@@ -1,0 +1,42 @@
+# llmdm — build, test and benchmark targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments ablations clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short live-fuzz pass over every fuzz target (seed corpora always run
+# under plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlkit/
+	$(GO) test -fuzz=FuzzExec -fuzztime=30s ./internal/sqlkit/
+	$(GO) test -fuzz=FuzzParseQuestion -fuzztime=20s ./internal/core/transform/
+	$(GO) test -fuzz=FuzzMinePattern -fuzztime=20s ./internal/core/transform/
+
+experiments:
+	$(GO) run ./cmd/llmdm-bench
+
+ablations:
+	$(GO) run ./cmd/llmdm-bench -exp ablations
+
+clean:
+	$(GO) clean ./...

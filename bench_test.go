@@ -1,0 +1,81 @@
+package llmdm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+// One benchmark per paper table and figure: each iteration regenerates the
+// full experiment, so `go test -bench=.` both re-measures the rows in
+// EXPERIMENTS.md and tracks the harness's own runtime.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run := exper.Registry()[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func benchAblation(b *testing.B, id string) {
+	b.Helper()
+	run := exper.ExtRegistry()[id]
+	if run == nil {
+		b.Fatalf("unknown ablation %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable1Cascade(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2Decomposition(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3Cache(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkFig1Pipeline(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig2SQLGen(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkFig3TrainGen(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkFig4Transform(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5Challenges(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6CascadeSweep(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7Sharing(b *testing.B)         { benchExperiment(b, "fig7") }
+
+func BenchmarkAblationIndexes(b *testing.B)        { benchAblation(b, "ab-index") }
+func BenchmarkAblationCachePolicies(b *testing.B)  { benchAblation(b, "ab-cache-policy") }
+func BenchmarkAblationCacheThreshold(b *testing.B) { benchAblation(b, "ab-cache-threshold") }
+func BenchmarkAblationHybridOrders(b *testing.B)   { benchAblation(b, "ab-hybrid") }
+func BenchmarkAblationDPSweep(b *testing.B)        { benchAblation(b, "ab-dp") }
+
+// TestAllExperimentsRun smoke-runs the full harness exactly as
+// cmd/llmdm-bench does.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range ExperimentIDs() {
+		rep, err := RunExperiment(id)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		out := rep.Format()
+		if !strings.Contains(out, strings.ToUpper(id)) {
+			t.Errorf("%s: malformed report:\n%s", id, out)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command lakeql explores a demo multi-modal data lake: semantic search
+// with optional attribute filtering, plus SQL over the LLM-backed virtual
+// people table ("LLM as databases").
+//
+// Usage:
+//
+//	lakeql "where was Mei Tanaka born"
+//	lakeql -filter entity_type=professor "Could Prof. Michael Jordan play basketball"
+//	lakeql -sql "SELECT name, born_country FROM people WHERE field = 'databases'"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	llmdm "repro"
+	"repro/internal/core/explore"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/vector"
+)
+
+func main() {
+	filter := flag.String("filter", "", "attribute filter key=value")
+	order := flag.String("order", "adaptive", "hybrid order: attribute-first, vector-first, adaptive")
+	sqlQuery := flag.String("sql", "", "run SQL against the LLM-backed virtual people table instead of searching")
+	k := flag.Int("k", 5, "results to return")
+	seed := flag.Int64("seed", 1, "demo knowledge base seed")
+	flag.Parse()
+
+	kb := llmdm.DemoKnowledgeBase(*seed)
+
+	if *sqlQuery != "" {
+		db := explore.NewLLMDB(llm.DefaultFamily().Largest(), kb)
+		res, err := db.Query(context.Background(), *sqlQuery)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		calls, cost := db.Usage()
+		fmt.Printf("(%d rows; %d LLM cell fetches, %s)\n", res.NumRows(), calls, cost)
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lakeql [flags] \"query\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	query := strings.Join(flag.Args(), " ")
+
+	lake := explore.NewLake(embed.New(embed.DefaultDim))
+	for i, f := range kb.Facts() {
+		kind := "city"
+		if i >= len(kb.Cities) && i < len(kb.Cities)+len(kb.Orgs) {
+			kind = "organization"
+		} else if i >= len(kb.Cities)+len(kb.Orgs) {
+			kind = "person"
+		}
+		lake.AddText("fact", f, map[string]string{"entity_type": kind})
+	}
+
+	var pred vector.Predicate
+	if *filter != "" {
+		parts := strings.SplitN(*filter, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -filter %q, want key=value", *filter))
+		}
+		pred = vector.AttrEquals(parts[0], parts[1])
+	}
+	var ord vector.FilterOrder
+	switch *order {
+	case "attribute-first":
+		ord = vector.AttributeFirst
+	case "vector-first":
+		ord = vector.VectorFirst
+	case "adaptive":
+		ord = vector.Adaptive
+	default:
+		fatal(fmt.Errorf("unknown -order %q", *order))
+	}
+
+	for _, hit := range lake.HybridSearch(query, *k, pred, ord) {
+		fmt.Println(hit)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lakeql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command llmdm-bench regenerates the paper's evaluation: every table and
+// figure, printed in the paper's row format.
+//
+// Usage:
+//
+//	llmdm-bench              # run everything
+//	llmdm-bench -exp table2  # run one experiment
+//	llmdm-bench -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	llmdm "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (table1..table3, fig1..fig7, ab-*), 'all' (paper artifacts), or 'ablations'")
+	format := flag.String("format", "table", "output format: table or csv")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range llmdm.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		for _, id := range llmdm.AblationIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	switch *exp {
+	case "all":
+		ids = llmdm.ExperimentIDs()
+	case "ablations":
+		ids = llmdm.AblationIDs()
+	default:
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		rep, err := llmdm.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llmdm-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(rep.CSV())
+		default:
+			fmt.Println(rep.Format())
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Command llmdm-proxy serves the LLM proxy of the paper's Section III-B
+// over HTTP: a semantic cache, in-flight deduplication, and the model
+// cascade stacked in front of the simulated model family.
+//
+//	llmdm-proxy -addr :8080
+//	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","difficulty":0.3}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/proxy"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	threshold := flag.Float64("threshold", 0.62, "cascade confidence threshold")
+	capacity := flag.Int("cache-capacity", 10000, "semantic cache capacity (0 = unbounded)")
+	noCache := flag.Bool("no-cache", false, "disable the semantic cache")
+	flag.Parse()
+
+	p := proxy.New(proxy.Config{
+		Threshold:     *threshold,
+		CacheCapacity: *capacity,
+		DisableCache:  *noCache,
+	})
+	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f)", *addr, !*noCache, *threshold)
+	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
+}

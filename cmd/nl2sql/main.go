@@ -1,0 +1,70 @@
+// Command nl2sql translates natural-language questions over the demo
+// concert/stadium schema into SQL and executes them.
+//
+// Usage:
+//
+//	nl2sql "Show the names of stadiums that had concerts in 2014?"
+//	nl2sql -model gpt-4 -strategy decompose "What are the names of stadiums that had concerts in 2014 or had sports meetings in 2015?"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	llmdm "repro"
+	"repro/internal/core/qopt"
+)
+
+func main() {
+	model := flag.String("model", llmdm.ModelLarge, "model tier: babbage-002, gpt-3.5-turbo, gpt-4")
+	strategy := flag.String("strategy", "origin", "translation strategy: origin or decompose")
+	seed := flag.Int64("seed", 1, "demo database seed")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nl2sql [flags] \"question\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	question := strings.Join(flag.Args(), " ")
+
+	client := llmdm.NewClient()
+	planner, err := client.Planner(*model)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	var results []qopt.Translated
+	switch *strategy {
+	case "origin":
+		results, _, err = planner.RunOrigin(ctx, []string{question})
+	case "decompose":
+		results, _, err = planner.RunDecomposed(ctx, []string{question})
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	sql := results[0].SQL
+	fmt.Println("SQL:", sql)
+
+	db := llmdm.ConcertDB(*seed)
+	res, err := db.Exec(sql)
+	if err != nil {
+		fatal(fmt.Errorf("executing generated SQL: %w", err))
+	}
+	fmt.Println()
+	fmt.Print(res.Format())
+	fmt.Printf("(%d rows, spent %s)\n", res.NumRows(), client.Spend())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nl2sql:", err)
+	os.Exit(1)
+}

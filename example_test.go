@@ -1,0 +1,59 @@
+package llmdm_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	llmdm "repro"
+)
+
+// The five-line tour: translate a natural-language question to SQL and run
+// it on the demo database.
+func Example() {
+	client := llmdm.NewClient()
+	tr, err := client.Translator(llmdm.ModelLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql, _, err := tr.Translate(context.Background(),
+		"Show the names of stadiums that have a capacity greater than 80000?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := llmdm.ConcertDB(1).Exec(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Rows) > 0)
+	// Output: true
+}
+
+// Regenerating one of the paper's tables takes one call.
+func ExampleRunExperiment() {
+	rep, err := llmdm.RunExperiment("table1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.ID, len(rep.Rows))
+	// Output: table1 4
+}
+
+// The cascade answers cheap questions with cheap models.
+func ExampleClient_Cascade() {
+	client := llmdm.NewClient()
+	casc := client.Cascade(0.62)
+	fmt.Println(len(casc.Models))
+	// Output: 3
+}
+
+// The semantic cache serves paraphrases without a model call.
+func ExampleClient_SemanticCache() {
+	client := llmdm.NewClient()
+	cache := client.SemanticCache(100, 0.9)
+	cache.Put("What are the names of stadiums that had concerts in 2014?",
+		"Anfield, Camp Nou", 0, 0)
+	hit, ok := cache.Lookup("Show the names of stadiums that had concerts in 2014")
+	fmt.Println(ok, hit.Entry.Response)
+	// Output: true Anfield, Camp Nou
+}

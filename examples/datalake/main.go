@@ -1,0 +1,69 @@
+// Datalake example: Section II-D — a multi-modal data lake mixing text,
+// table rows and images in one embedding space; the paper's "Prof. Michael
+// Jordan" disambiguation via hybrid attribute+vector search; and SQL over
+// the LLM-backed virtual people table.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	llmdm "repro"
+	"repro/internal/core/explore"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/vector"
+)
+
+func main() {
+	ctx := context.Background()
+
+	lake := explore.NewLake(embed.New(embed.DefaultDim))
+
+	// Text, table and image items — the paper's ambiguity example.
+	lake.AddText("mj-bio",
+		"Michael Jordan, the greatest basketball player of all time, found the secret to success",
+		map[string]string{"entity_type": "athlete"})
+	lake.AddTableRow("professors",
+		[]string{"name", "department", "university"},
+		[]string{"Michael Jordan", "computer science", "Berkeley"},
+		map[string]string{"entity_type": "professor"})
+	lake.AddText("note-001",
+		"discharge summary for a patient with arrhythmia and elevated lab values",
+		map[string]string{"entity_type": "patient"})
+	lake.AddImage("xray-001", "chest x-ray image of a patient",
+		[]float64{0.4, 0.2, 0.9}, map[string]string{"entity_type": "patient"})
+
+	query := "Could Prof. Michael Jordan play basketball"
+	fmt.Println("query:", query)
+
+	fmt.Println("\npure vector search (misled by surface similarity):")
+	for _, hit := range lake.Search(query, 2) {
+		fmt.Println(" ", hit)
+	}
+
+	fmt.Println("\nhybrid search with entity_type=professor (the paper's fix):")
+	for _, hit := range lake.HybridSearch(query, 2, vector.AttrEquals("entity_type", "professor"), vector.Adaptive) {
+		fmt.Println(" ", hit)
+	}
+
+	// Cross-modal search: a text query finding an image.
+	fmt.Println("\ncross-modal search for \"x-ray scan of the chest\":")
+	for _, hit := range lake.Search("x-ray scan of the chest", 1) {
+		fmt.Println(" ", hit)
+	}
+
+	// LLM as database: SQL against a virtual table whose cells are fetched
+	// from the model on demand.
+	fmt.Println("\nSQL over the LLM-backed virtual people table:")
+	kb := llmdm.DemoKnowledgeBase(1)
+	db := explore.NewLLMDB(llm.DefaultFamily().Largest(), kb)
+	res, err := db.Query(ctx, "SELECT born_country, COUNT(*) AS n FROM people GROUP BY born_country ORDER BY n DESC LIMIT 4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+	calls, cost := db.Usage()
+	fmt.Printf("(%d LLM cell fetches, %s — only the referenced columns were materialized)\n", calls, cost)
+}

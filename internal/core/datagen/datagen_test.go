@@ -1,0 +1,298 @@
+package datagen
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func strongModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "strong", Capability: 1.0, NoiseAmp: 0.001,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func weakModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "weakgen", Capability: 0.25,
+		Price: token.Price{InputPer1K: 400, OutputPer1K: 400}})
+}
+
+func TestGenerateAllTypesExecutable(t *testing.T) {
+	db := workload.ConcertDB(7)
+	g := NewGenerator(db, strongModel(), 1)
+	out, st, err := g.Generate(context.Background(), 30, Constraints{MustExecute: true, NonEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 30 {
+		t.Fatalf("generated %d", len(out))
+	}
+	types := map[QueryType]int{}
+	for _, q := range out {
+		types[q.Type]++
+		if !q.Executable {
+			t.Errorf("non-executable under MustExecute: %s", q.SQL)
+		}
+		if q.Rows == 0 {
+			t.Errorf("empty result under NonEmpty: %s", q.SQL)
+		}
+	}
+	if types[SimpleQuery] == 0 || types[MultiJoinQuery] == 0 || types[SubQueryQuery] == 0 {
+		t.Errorf("type mix = %v", types)
+	}
+	if st.Executable != 30 || st.NonEmpty != 30 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DistinctSQL < 10 {
+		t.Errorf("low diversity: %d distinct of 30", st.DistinctSQL)
+	}
+}
+
+func TestWeakModelNeedsRepairs(t *testing.T) {
+	db := workload.ConcertDB(7)
+	g := NewGenerator(db, weakModel(), 2)
+	_, st, err := g.Generate(context.Background(), 30, Constraints{MustExecute: true, NonEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak model errs on complex shapes, triggering repair calls: more LLM
+	// calls than queries.
+	if st.LLMCalls <= 30 {
+		t.Errorf("weak model made %d calls for 30 queries; repair loop untested", st.LLMCalls)
+	}
+	// The repair loop must still satisfy the constraints.
+	if st.Executable != 30 {
+		t.Errorf("repairs left %d/30 executable", st.Executable)
+	}
+}
+
+func TestWeakModelWithoutConstraintsEmitsBrokenSQL(t *testing.T) {
+	db := workload.ConcertDB(7)
+	g := NewGenerator(db, weakModel(), 3)
+	out, st, err := g.Generate(context.Background(), 30, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := 0
+	for _, q := range out {
+		if !q.Executable {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("weak model produced only valid SQL without constraints")
+	}
+	if st.Executable+broken != 30 {
+		t.Errorf("stats inconsistent: %+v broken=%d", st, broken)
+	}
+}
+
+func TestEquivalencePairsVerifyByExecution(t *testing.T) {
+	db := workload.ConcertDB(7)
+	g := NewGenerator(db, strongModel(), 4)
+	out, _, err := g.Generate(context.Background(), 24, Constraints{MustExecute: true, NonEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := EquivalencePairs(out)
+	if len(pairs) == 0 {
+		t.Fatal("no equivalence pairs derived")
+	}
+	for _, p := range pairs {
+		a, err := db.Exec(p.A)
+		if err != nil {
+			t.Fatalf("pair A fails: %v\n%s", err, p.A)
+		}
+		b, err := db.Exec(p.B)
+		if err != nil {
+			t.Fatalf("pair B fails: %v\n%s", err, p.B)
+		}
+		if !a.EqualBag(b) {
+			t.Errorf("equivalence violated:\n  %s\n  %s", p.A, p.B)
+		}
+	}
+}
+
+func TestExecTimeEstimator(t *testing.T) {
+	qs := workload.GenQueryWorkload(9, 300)
+	est := NewExecTimeEstimator(strongModel(), qs[:250])
+	var sumQ float64
+	n := 0
+	for _, q := range qs[250:] {
+		pred, resp, err := est.Estimate(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Correct {
+			t.Error("strong model emitted corrupted estimate")
+		}
+		sumQ += QError(pred, q.ExecTimeMS)
+		n++
+	}
+	mean := sumQ / float64(n)
+	if mean > 3.0 {
+		t.Errorf("mean q-error %.2f too high for ICL estimator", mean)
+	}
+}
+
+func TestWeakEstimatorWorse(t *testing.T) {
+	qs := workload.GenQueryWorkload(9, 300)
+	run := func(m llm.Model) float64 {
+		est := NewExecTimeEstimator(m, qs[:250])
+		var sumQ float64
+		for _, q := range qs[250:] {
+			pred, _, err := est.Estimate(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumQ += QError(pred, q.ExecTimeMS)
+		}
+		return sumQ / float64(len(qs)-250)
+	}
+	strong := run(strongModel())
+	weak := run(weakModel())
+	if weak <= strong {
+		t.Errorf("weak model q-error %.2f not above strong %.2f", weak, strong)
+	}
+}
+
+func TestQError(t *testing.T) {
+	if QError(10, 10) != 1 {
+		t.Error("perfect prediction q-error != 1")
+	}
+	if QError(20, 10) != 2 || QError(5, 10) != 2 {
+		t.Error("q-error not symmetric")
+	}
+	if !math.IsInf(QError(0, 10), 1) {
+		t.Error("zero prediction should be infinite error")
+	}
+}
+
+func TestImputer(t *testing.T) {
+	set := workload.GenCustomers(13, 200, 0.15, 0)
+	deps := map[string]string{"country": "city", "segment": "name", "city": "name"}
+	// Train on rows without missing cells.
+	var complete []workload.Row
+	missing := map[int]bool{}
+	for _, mc := range set.MissingCells {
+		missing[mc.Row] = true
+	}
+	for i, r := range set.Rows {
+		if !missing[i] {
+			complete = append(complete, r)
+		}
+	}
+	im := NewImputer(strongModel(), complete, deps)
+
+	correct, total := 0, 0
+	for _, mc := range set.MissingCells {
+		got, _, err := im.Impute(context.Background(), set.Rows[mc.Row], mc.Col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if got == mc.Gold {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no missing cells")
+	}
+	acc := float64(correct) / float64(total)
+	// Country is functionally determined by city; segment is random, so
+	// overall accuracy is bounded but must beat chance handily.
+	if acc < 0.4 {
+		t.Errorf("imputation accuracy %.3f too low", acc)
+	}
+	// Country-only accuracy should be near perfect with a strong model.
+	cCorrect, cTotal := 0, 0
+	for _, mc := range set.MissingCells {
+		if mc.Col != "country" {
+			continue
+		}
+		got, _, _ := im.Impute(context.Background(), set.Rows[mc.Row], mc.Col)
+		cTotal++
+		if got == mc.Gold {
+			cCorrect++
+		}
+	}
+	// Not 1.0: rows whose determinant city is also blanked fall back to the
+	// column mode.
+	if cTotal > 0 && float64(cCorrect)/float64(cTotal) < 0.8 {
+		t.Errorf("country imputation %.3f, want >= 0.8 (%d/%d)", float64(cCorrect)/float64(cTotal), cCorrect, cTotal)
+	}
+}
+
+func TestSerializeRow(t *testing.T) {
+	got := serializeRow(workload.Row{"name": "Alice", "city": "Lyon", "country": ""})
+	want := "city is Lyon, name is Alice"
+	if got != want {
+		t.Errorf("serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSynthesizerPreservesMarginals(t *testing.T) {
+	set := workload.GenCustomers(17, 300, 0, 0)
+	cols := []string{"city", "country", "segment"}
+	s := NewSynthesizer(strongModel(), 5)
+	synth, resp, err := s.Generate(context.Background(), set.Rows, cols, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost <= 0 {
+		t.Error("generation billed nothing")
+	}
+	for _, c := range cols {
+		if d := TVDistance(set.Rows, synth, c); d > 0.15 {
+			t.Errorf("column %s TV distance %.3f too high", c, d)
+		}
+	}
+	// Synthetic rows are not copies: at least some rows differ from all
+	// real rows (independence across columns breaks joint copies).
+	real := map[string]bool{}
+	for _, r := range set.Rows {
+		real[r["city"]+"|"+r["country"]+"|"+r["segment"]] = true
+	}
+	novel := 0
+	for _, r := range synth {
+		if !real[r["city"]+"|"+r["country"]+"|"+r["segment"]] {
+			novel++
+		}
+	}
+	if novel == 0 {
+		t.Error("synthesizer only replayed real rows")
+	}
+}
+
+func TestSynthesizerEmptyInput(t *testing.T) {
+	s := NewSynthesizer(strongModel(), 5)
+	if _, _, err := s.Generate(context.Background(), nil, []string{"a"}, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestTVDistanceBounds(t *testing.T) {
+	a := []workload.Row{{"c": "x"}, {"c": "x"}}
+	b := []workload.Row{{"c": "y"}}
+	if d := TVDistance(a, a, "c"); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := TVDistance(a, b, "c"); d != 1 {
+		t.Errorf("disjoint distance = %v", d)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	db := workload.ConcertDB(7)
+	g := NewGenerator(db, strongModel(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Generate(context.Background(), 10, Constraints{MustExecute: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

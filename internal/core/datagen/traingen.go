@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/llm"
+	"repro/internal/workload"
+)
+
+// ExecTimeEstimator predicts query execution times from a few labeled
+// examples via in-context learning — the paper's Figure 3 scenario ("input
+// a set of queries and their corresponding execution times into the LLM and
+// instruct it to generate additional examples").
+//
+// The real inference engine is distance-weighted k-NN over the query
+// feature space: exactly the kind of example-interpolation ICL performs.
+// The LLM layer adds tier-dependent reliability: a weak model sometimes
+// emits a badly scaled estimate.
+type ExecTimeEstimator struct {
+	Model    llm.Model
+	Examples []workload.QueryProfile
+	K        int
+}
+
+// NewExecTimeEstimator returns an estimator with k=5 neighbors.
+func NewExecTimeEstimator(m llm.Model, examples []workload.QueryProfile) *ExecTimeEstimator {
+	return &ExecTimeEstimator{Model: m, Examples: examples, K: 5}
+}
+
+// knnWeights re-scales the normalized feature vector for neighbor search:
+// scan volume dominates execution time, joins amplify it, predicates and
+// aggregation matter less. (workload.QueryProfile.Features normalizes each
+// component to ~[0,1] for gradient learners; the k-NN distance restores
+// task-appropriate importance.)
+var knnWeights = []float64{3, 1, 14, 0.5}
+
+// knnPredict is the deterministic ICL engine.
+func (e *ExecTimeEstimator) knnPredict(q workload.QueryProfile) float64 {
+	type nd struct {
+		d float64
+		t float64
+	}
+	qf := q.Features()
+	ds := make([]nd, 0, len(e.Examples))
+	for _, ex := range e.Examples {
+		ef := ex.Features()
+		var d float64
+		for i := range qf {
+			diff := (qf[i] - ef[i]) * knnWeights[i]
+			d += diff * diff
+		}
+		ds = append(ds, nd{d: math.Sqrt(d), t: ex.ExecTimeMS})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	k := e.K
+	if k > len(ds) {
+		k = len(ds)
+	}
+	if k == 0 {
+		return 0
+	}
+	var num, den float64
+	for _, n := range ds[:k] {
+		w := 1 / (n.d + 1e-6)
+		num += w * n.t
+		den += w
+	}
+	return num / den
+}
+
+// Estimate predicts the execution time of one query profile.
+func (e *ExecTimeEstimator) Estimate(ctx context.Context, q workload.QueryProfile) (float64, llm.Response, error) {
+	gold := e.knnPredict(q)
+	resp, err := e.Model.Complete(ctx, llm.Request{
+		Task: llm.TaskLabel,
+		Prompt: fmt.Sprintf("Given %d <query, execution_time> examples, predict the execution time of: joins=%d preds=%d rows=%d agg=%t",
+			len(e.Examples), q.NumJoins, q.NumPreds, q.ScanRows, q.HasAgg),
+		Gold:       formatMS(gold),
+		Wrong:      formatMS(gold * 3.2), // badly scaled estimate
+		Difficulty: 0.35,
+	})
+	if err != nil {
+		return 0, llm.Response{}, err
+	}
+	v, err := strconv.ParseFloat(resp.Text[:len(resp.Text)-2], 64)
+	if err != nil {
+		return 0, resp, fmt.Errorf("datagen: bad estimate %q: %w", resp.Text, err)
+	}
+	return v, resp, nil
+}
+
+func formatMS(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) + "ms" }
+
+// QError is the standard cardinality/cost-estimation error metric:
+// max(pred/true, true/pred), >= 1, 1 is perfect.
+func QError(pred, truth float64) float64 {
+	if pred <= 0 || truth <= 0 {
+		return math.Inf(1)
+	}
+	if pred > truth {
+		return pred / truth
+	}
+	return truth / pred
+}
+
+// --- Missing-field imputation (Section II-A2) ---
+
+// Imputer fills missing fields in tabular data by few-shot ICL: rows with
+// complete data serve as examples; the engine learns per-determinant
+// lookups (e.g. city → country) from them.
+type Imputer struct {
+	Model llm.Model
+	// lookup[col][determinantValue] = most frequent value.
+	lookup map[string]map[string]string
+	// determinant[col] is the column used to predict col.
+	determinant map[string]string
+	// mode[col] is the fallback: the column's overall mode.
+	mode map[string]string
+}
+
+// NewImputer trains the imputation engine from complete example rows. deps
+// maps each imputable column to its determinant column (country <- city,
+// segment <- name, ...); columns without a useful determinant fall back to
+// the mode.
+func NewImputer(m llm.Model, examples []workload.Row, deps map[string]string) *Imputer {
+	im := &Imputer{
+		Model:       m,
+		lookup:      map[string]map[string]string{},
+		determinant: deps,
+		mode:        map[string]string{},
+	}
+	counts := map[string]map[string]int{}
+	pairCounts := map[string]map[string]map[string]int{}
+	for _, row := range examples {
+		for col, v := range row {
+			if v == "" {
+				continue
+			}
+			if counts[col] == nil {
+				counts[col] = map[string]int{}
+			}
+			counts[col][v]++
+			if det, ok := deps[col]; ok && row[det] != "" {
+				if pairCounts[col] == nil {
+					pairCounts[col] = map[string]map[string]int{}
+				}
+				if pairCounts[col][row[det]] == nil {
+					pairCounts[col][row[det]] = map[string]int{}
+				}
+				pairCounts[col][row[det]][v]++
+			}
+		}
+	}
+	for col, cs := range counts {
+		im.mode[col] = argmax(cs)
+	}
+	for col, byDet := range pairCounts {
+		im.lookup[col] = map[string]string{}
+		for det, cs := range byDet {
+			im.lookup[col][det] = argmax(cs)
+		}
+	}
+	return im
+}
+
+func argmax(cs map[string]int) string {
+	best, bestN := "", -1
+	for v, n := range cs {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// Impute predicts the missing value of col in row.
+func (im *Imputer) Impute(ctx context.Context, row workload.Row, col string) (string, llm.Response, error) {
+	gold := ""
+	difficulty := 0.25
+	if det, ok := im.determinant[col]; ok {
+		if v, ok := im.lookup[col][row[det]]; ok && v != "" {
+			gold = v
+		}
+	}
+	if gold == "" {
+		gold = im.mode[col]
+		difficulty = 0.55 // no determinant evidence: genuinely harder
+	}
+	wrong := im.wrongValue(col, gold)
+	resp, err := im.Model.Complete(ctx, llm.Request{
+		Task:       llm.TaskLabel,
+		Prompt:     "Infer the missing field " + col + " for row: " + serializeRow(row),
+		Gold:       gold,
+		Wrong:      wrong,
+		Difficulty: difficulty,
+	})
+	if err != nil {
+		return "", llm.Response{}, err
+	}
+	return resp.Text, resp, nil
+}
+
+func (im *Imputer) wrongValue(col, not string) string {
+	// Any other observed value of the column.
+	var keys []string
+	for _, m := range im.lookup[col] {
+		keys = append(keys, m)
+	}
+	keys = append(keys, im.mode[col])
+	sort.Strings(keys)
+	for _, k := range keys {
+		if k != not && k != "" {
+			return k
+		}
+	}
+	return "unknown"
+}
+
+// serializeRow renders a row as the natural-language serialization the
+// paper describes ("serialize the attribute names and values into a natural
+// language string").
+func serializeRow(row workload.Row) string {
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		if row[k] == "" {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += k + " is " + row[k]
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package explore
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/vector"
+	"repro/internal/workload"
+)
+
+func strongModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "strong", Capability: 1.0, NoiseAmp: 0.001,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func buildLake() *Lake {
+	l := NewLake(embed.New(embed.DefaultDim))
+	// The paper's ambiguity example: an athlete document and a professor
+	// table row that share a name.
+	l.AddText("mj-bio", "Michael Jordan, the greatest basketball player of all time, found the secret to success",
+		map[string]string{"entity_type": "athlete"})
+	l.AddTableRow("professors",
+		[]string{"name", "department", "university"},
+		[]string{"Michael Jordan", "computer science", "Berkeley"},
+		map[string]string{"entity_type": "professor"})
+	l.AddText("patient-note", "discharge summary for a patient with arrhythmia and elevated lab values",
+		map[string]string{"entity_type": "patient"})
+	l.AddImage("xray-001", "chest x-ray image of a patient", []float64{0.4, 0.2, 0.9},
+		map[string]string{"entity_type": "patient"})
+	l.AddTableRow("stadiums",
+		[]string{"name", "city", "capacity"},
+		[]string{"Camp Nou", "Barcelona", "99000"},
+		map[string]string{"entity_type": "venue"})
+	return l
+}
+
+func TestSemanticSearchCrossModal(t *testing.T) {
+	l := buildLake()
+	hits := l.Search("x-ray scan of the chest", 2)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Item.Modality != Image {
+		t.Errorf("top hit modality = %s, want image: %v", hits[0].Item.Modality, hits[0])
+	}
+}
+
+func TestMichaelJordanDisambiguation(t *testing.T) {
+	l := buildLake()
+	query := "Could Prof. Michael Jordan play basketball"
+
+	// Pure vector search surfaces the athlete text (similar but wrong).
+	plain := l.Search(query, 1)
+	if len(plain) != 1 {
+		t.Fatal("no plain hits")
+	}
+
+	// Attribute filtering by entity type returns the professor row — the
+	// paper's fix.
+	filtered := l.HybridSearch(query, 1, vector.AttrEquals("entity_type", "professor"), vector.Adaptive)
+	if len(filtered) != 1 {
+		t.Fatal("no filtered hits")
+	}
+	if filtered[0].Item.Attrs["entity_type"] != "professor" {
+		t.Errorf("filtered hit = %v", filtered[0])
+	}
+	if filtered[0].Item.Modality != Table {
+		t.Errorf("professor hit modality = %s", filtered[0].Item.Modality)
+	}
+}
+
+func TestHybridOrdersConsistent(t *testing.T) {
+	l := buildLake()
+	pred := vector.AttrEquals("entity_type", "patient")
+	q := "patient medical records"
+	a := l.HybridSearch(q, 5, pred, vector.AttributeFirst)
+	b := l.HybridSearch(q, 5, pred, vector.VectorFirst)
+	if len(a) != len(b) {
+		t.Fatalf("orders disagree on count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Item.ID != b[i].Item.ID {
+			t.Errorf("rank %d differs: %v vs %v", i, a[i].Item.ID, b[i].Item.ID)
+		}
+	}
+}
+
+func TestModalityAttrInjected(t *testing.T) {
+	l := buildLake()
+	hits := l.HybridSearch("anything at all", 10, vector.AttrEquals("modality", "image"), vector.AttributeFirst)
+	if len(hits) != 1 || hits[0].Item.Modality != Image {
+		t.Errorf("modality filter hits = %v", hits)
+	}
+}
+
+func TestGetAndLen(t *testing.T) {
+	l := buildLake()
+	if l.Len() != 5 {
+		t.Errorf("len = %d", l.Len())
+	}
+	if _, ok := l.Get(0); !ok {
+		t.Error("Get(0) missed")
+	}
+	if _, ok := l.Get(999); ok {
+		t.Error("Get(999) hit")
+	}
+}
+
+func TestLLMDBSelect(t *testing.T) {
+	kb := workload.GenKB(3)
+	d := NewLLMDB(strongModel(), kb)
+	r, err := d.Query(context.Background(), "SELECT name, born_country FROM people WHERE field = 'databases' ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against the KB directly.
+	want := 0
+	for _, p := range kb.People {
+		if p.Field == "databases" {
+			want++
+		}
+	}
+	if r.NumRows() != want {
+		t.Errorf("rows = %d, want %d", r.NumRows(), want)
+	}
+	for _, row := range r.Rows {
+		name := row[0].Display()
+		for _, p := range kb.People {
+			if p.Name == name && row[1].Display() != kb.Cities[p.BornIn].Country {
+				t.Errorf("%s country = %s, want %s", name, row[1].Display(), kb.Cities[p.BornIn].Country)
+			}
+		}
+	}
+}
+
+func TestLLMDBMaterializesOnlyNeededColumns(t *testing.T) {
+	kb := workload.GenKB(3)
+	d1 := NewLLMDB(strongModel(), kb)
+	if _, err := d1.Query(context.Background(), "SELECT name FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	calls1, _ := d1.Usage()
+
+	d2 := NewLLMDB(strongModel(), kb)
+	if _, err := d2.Query(context.Background(), "SELECT * FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	calls2, _ := d2.Usage()
+
+	if calls1 != len(kb.People) {
+		t.Errorf("single-column query made %d calls, want %d", calls1, len(kb.People))
+	}
+	if calls2 != len(kb.People)*len(peopleColumns) {
+		t.Errorf("star query made %d calls, want %d", calls2, len(kb.People)*len(peopleColumns))
+	}
+}
+
+func TestLLMDBAggregates(t *testing.T) {
+	kb := workload.GenKB(3)
+	d := NewLLMDB(strongModel(), kb)
+	r, err := d.Query(context.Background(), "SELECT born_country, COUNT(*) AS n FROM people GROUP BY born_country ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, row := range r.Rows {
+		total += row[1].Int
+	}
+	if total != int64(len(kb.People)) {
+		t.Errorf("group counts sum to %d, want %d", total, len(kb.People))
+	}
+}
+
+func TestLLMDBErrors(t *testing.T) {
+	d := NewLLMDB(strongModel(), workload.GenKB(3))
+	if _, err := d.Query(context.Background(), "DELETE FROM people"); err == nil {
+		t.Error("non-SELECT accepted")
+	}
+	if _, err := d.Query(context.Background(), "SELECT * FROM stadiums"); err == nil {
+		t.Error("unknown virtual table accepted")
+	}
+	if _, err := d.Query(context.Background(), "not sql"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLLMDBWeakModelIntroducesErrors(t *testing.T) {
+	kb := workload.GenKB(3)
+	weak := llm.NewSim(llm.SimConfig{Name: "weak-db", Capability: 0.35,
+		Price: token.Price{InputPer1K: 400, OutputPer1K: 400}})
+	d := NewLLMDB(weak, kb)
+	r, err := d.Query(context.Background(), "SELECT name, born_country FROM people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for _, row := range r.Rows {
+		name := row[0].Display()
+		for _, p := range kb.People {
+			if p.Name == name && row[1].Display() != kb.Cities[p.BornIn].Country {
+				wrong++
+			}
+		}
+	}
+	if wrong == 0 {
+		t.Error("weak model materialized a perfect table; tier effect missing")
+	}
+	if !strings.Contains(r.Cols[1], "born_country") {
+		t.Errorf("cols = %v", r.Cols)
+	}
+}
+
+func BenchmarkLakeSearch(b *testing.B) {
+	l := NewLake(embed.New(embed.DefaultDim))
+	kb := workload.GenKB(5)
+	for i, f := range kb.Facts() {
+		l.AddText("fact", f, map[string]string{"n": string(rune('a' + i%26))})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Search("which organization is headquartered in Kyoto", 5)
+	}
+}
+
+func TestLLMDBJoinAcrossVirtualTables(t *testing.T) {
+	kb := workload.GenKB(3)
+	d := NewLLMDB(strongModel(), kb)
+	// Join people to their birth city's table — a query that needs two
+	// LLM-backed tables materialized and joined by the engine.
+	r, err := d.Query(context.Background(),
+		"SELECT p.name, c.country FROM people AS p JOIN cities AS c ON p.born_city = c.city ORDER BY p.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != len(kb.People) {
+		t.Errorf("rows = %d, want %d", r.NumRows(), len(kb.People))
+	}
+	// Spot-check against the KB.
+	for _, row := range r.Rows {
+		name, country := row[0].Display(), row[1].Display()
+		for _, p := range kb.People {
+			if p.Name == name && kb.Cities[p.BornIn].Country != country {
+				t.Errorf("%s joined to country %s, want %s", name, country, kb.Cities[p.BornIn].Country)
+			}
+		}
+	}
+}
+
+func TestLLMDBOrganizationsTable(t *testing.T) {
+	kb := workload.GenKB(3)
+	d := NewLLMDB(strongModel(), kb)
+	r, err := d.Query(context.Background(),
+		"SELECT organization, founded FROM organizations ORDER BY organization LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 3 {
+		t.Errorf("rows = %d", r.NumRows())
+	}
+}
+
+func TestLLMDBUnknownVirtualTableInJoin(t *testing.T) {
+	d := NewLLMDB(strongModel(), workload.GenKB(3))
+	if _, err := d.Query(context.Background(),
+		"SELECT * FROM people AS p JOIN stadiums AS s ON p.name = s.name"); err == nil {
+		t.Error("join to unknown virtual table accepted")
+	}
+	if _, err := d.Query(context.Background(),
+		"SELECT t.name FROM (SELECT name FROM people) AS t"); err == nil {
+		t.Error("derived table accepted")
+	}
+}
+
+func TestLogAndTripleModalities(t *testing.T) {
+	l := NewLake(embed.New(embed.DefaultDim))
+	l.AddLogLine("db-01.log", "ERROR", "query-planner", "join order enumeration exceeded budget", nil)
+	l.AddLogLine("db-01.log", "INFO", "storage", "checkpoint completed in 120ms", nil)
+	l.AddTriple("Mei Tanaka", "born_in", "Kyoto", nil)
+	l.AddTriple("Kyoto", "located_in", "Hyrkania", nil)
+
+	// Semantic search finds the error log from a paraphrase.
+	hits := l.Search("planner error enumerating join orders", 1)
+	if len(hits) != 1 || hits[0].Item.Modality != Log {
+		t.Errorf("log search = %v", hits)
+	}
+	// Severity filtering works over log attributes.
+	errs := l.HybridSearch("anything", 5, vector.AttrEquals("severity", "ERROR"), vector.AttributeFirst)
+	if len(errs) != 1 {
+		t.Errorf("severity filter hits = %v", errs)
+	}
+	// Triples answer entity questions.
+	hits = l.Search("where was Mei Tanaka born", 1)
+	if len(hits) != 1 || hits[0].Item.Modality != Triple {
+		t.Errorf("triple search = %v", hits)
+	}
+	// Subject filtering isolates one entity's edges.
+	edges := l.HybridSearch("anything", 5, vector.AttrEquals("subject", "Kyoto"), vector.AttributeFirst)
+	if len(edges) != 1 || edges[0].Item.Content != "Kyoto located in Hyrkania" {
+		t.Errorf("subject filter = %v", edges)
+	}
+}

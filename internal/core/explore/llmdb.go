@@ -1,0 +1,286 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/sqlkit"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// LLMDB realizes the paper's "LLM as databases" vision (Section II-D2,
+// citing Saeed et al.): SQL queries run against *virtual tables* whose
+// cells are not stored anywhere but fetched from an LLM on demand. A query
+// is decomposed, the referenced columns are materialized entity-by-entity
+// with one LLM call per cell (each call "extracts multi-modal information
+// from corresponding LLMs, just like searching from tables"), and the
+// assembled table is handed to the relational engine.
+type LLMDB struct {
+	Model llm.Model
+	KB    *workload.KnowledgeBase
+
+	// usage tracks materialization spend.
+	calls int
+	cost  token.Cost
+}
+
+// NewLLMDB returns an LLM-backed database over the given knowledge base
+// (the knowledge the "LLM" was pre-trained on).
+func NewLLMDB(m llm.Model, kb *workload.KnowledgeBase) *LLMDB {
+	return &LLMDB{Model: m, KB: kb}
+}
+
+// Usage reports the LLM calls and spend so far.
+func (d *LLMDB) Usage() (calls int, cost token.Cost) { return d.calls, d.cost }
+
+// Virtual table schemas. Each table's cells are fetched from the LLM on
+// demand; joins across virtual tables run on the relational engine after
+// only the referenced columns are materialized.
+var (
+	peopleColumns = []string{"name", "born_city", "born_country", "organization", "field"}
+	cityColumns   = []string{"city", "country"}
+	orgColumns    = []string{"organization", "hq_city", "founded"}
+)
+
+// virtualTables maps table name to its column list.
+var virtualTables = map[string][]string{
+	"people":        peopleColumns,
+	"cities":        cityColumns,
+	"organizations": orgColumns,
+}
+
+// fetchCell answers one (entity, attribute) lookup from the KB. It returns
+// the gold value and a plausible wrong value.
+func (d *LLMDB) fetchCell(p workload.Person, col string) (gold, wrong string, difficulty float64) {
+	born := d.KB.Cities[p.BornIn]
+	org := d.KB.Orgs[p.WorksFor]
+	switch col {
+	case "name":
+		return p.Name, p.Name, 0
+	case "born_city":
+		return born.Name, d.KB.Cities[(p.BornIn+1)%len(d.KB.Cities)].Name, 0.25
+	case "born_country":
+		// Two-hop attribute: harder, like the QA workload's 2-hop items.
+		return born.Country, otherCountryName(born.Country), 0.55
+	case "organization":
+		return org.Name, d.KB.Orgs[(p.WorksFor+1)%len(d.KB.Orgs)].Name, 0.25
+	case "field":
+		return p.Field, "economics", 0.3
+	default:
+		return "", "", 0
+	}
+}
+
+func otherCountryName(not string) string {
+	for _, c := range []string{"Atlantia", "Borduria", "Carpathia", "Dalmatia"} {
+		if c != not {
+			return c
+		}
+	}
+	return "Atlantia"
+}
+
+// Query parses and executes SQL against the virtual tables (people,
+// cities, organizations), including joins between them. For single-table
+// queries only the referenced columns are materialized — the
+// query-decomposition cost optimization; multi-table queries materialize
+// all columns of the referenced tables (joins need their keys anyway).
+func (d *LLMDB) Query(ctx context.Context, sql string) (*sqlkit.Result, error) {
+	st, err := sqlkit.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlkit.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("explore: LLM database supports SELECT only")
+	}
+
+	// Collect referenced virtual tables (FROM plus JOINs).
+	var tables []string
+	addTable := func(name string) error {
+		lower := strings.ToLower(name)
+		if _, ok := virtualTables[lower]; !ok {
+			return fmt.Errorf("explore: unknown virtual table %q (have: people, cities, organizations)", name)
+		}
+		for _, t := range tables {
+			if t == lower {
+				return nil
+			}
+		}
+		tables = append(tables, lower)
+		return nil
+	}
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("explore: query references no table")
+	}
+	for _, tr := range sel.From {
+		if tr.Name == "" {
+			return nil, fmt.Errorf("explore: derived tables are not supported over virtual tables")
+		}
+		if err := addTable(tr.Name); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range sel.Joins {
+		if err := addTable(j.Table.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	db := sqlkit.NewDB()
+	for _, table := range tables {
+		fetch := virtualTables[table]
+		if len(tables) == 1 {
+			needed := neededColumns(sel)
+			var pruned []string
+			for _, c := range fetch {
+				if needed["*"] || needed[c] {
+					pruned = append(pruned, c)
+				}
+			}
+			if len(pruned) == 0 {
+				return nil, fmt.Errorf("explore: query references no known column of %s(%s)", table, strings.Join(fetch, ", "))
+			}
+			fetch = pruned
+		}
+		if err := d.materialize(ctx, db, table, fetch); err != nil {
+			return nil, err
+		}
+	}
+	return db.ExecStmt(sel)
+}
+
+// materialize builds one virtual table in db, fetching every cell from the
+// model.
+func (d *LLMDB) materialize(ctx context.Context, db *sqlkit.DB, table string, fetch []string) error {
+	cols := make([]sqlkit.Column, len(fetch))
+	for i, c := range fetch {
+		cols[i] = sqlkit.Column{Name: c, Type: sqlkit.TText}
+	}
+	if err := db.CreateTable(table, cols); err != nil {
+		return err
+	}
+	entities := d.entityCount(table)
+	for e := 0; e < entities; e++ {
+		row := make([]sqlkit.Value, len(fetch))
+		for i, c := range fetch {
+			subject, gold, wrong, difficulty := d.cellSpec(table, e, c)
+			resp, err := d.Model.Complete(ctx, llm.Request{
+				Task:       llm.TaskQA,
+				Prompt:     fmt.Sprintf("What is the %s of %s?", c, subject),
+				Gold:       gold,
+				Wrong:      wrong,
+				Difficulty: difficulty,
+			})
+			if err != nil {
+				return err
+			}
+			d.calls++
+			d.cost += resp.Cost
+			row[i] = sqlkit.StringVal(resp.Text)
+		}
+		if err := db.InsertRow(table, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *LLMDB) entityCount(table string) int {
+	switch table {
+	case "people":
+		return len(d.KB.People)
+	case "cities":
+		return len(d.KB.Cities)
+	case "organizations":
+		return len(d.KB.Orgs)
+	default:
+		return 0
+	}
+}
+
+// cellSpec returns the prompt subject, gold value, plausible wrong value
+// and difficulty for one (table, entity, column) cell.
+func (d *LLMDB) cellSpec(table string, e int, col string) (subject, gold, wrong string, difficulty float64) {
+	switch table {
+	case "people":
+		p := d.KB.People[e]
+		g, w, diff := d.fetchCell(p, col)
+		return p.Name, g, w, diff
+	case "cities":
+		c := d.KB.Cities[e]
+		switch col {
+		case "city":
+			return c.Name, c.Name, c.Name, 0
+		case "country":
+			return c.Name, c.Country, otherCountryName(c.Country), 0.2
+		}
+	case "organizations":
+		o := d.KB.Orgs[e]
+		switch col {
+		case "organization":
+			return o.Name, o.Name, o.Name, 0
+		case "hq_city":
+			hq := d.KB.Cities[o.HQ].Name
+			other := d.KB.Cities[(o.HQ+1)%len(d.KB.Cities)].Name
+			return o.Name, hq, other, 0.25
+		case "founded":
+			return o.Name, fmt.Sprintf("%d", o.Founded), fmt.Sprintf("%d", o.Founded+7), 0.3
+		}
+	}
+	return "", "", "", 0
+}
+
+// neededColumns walks the select to find referenced column names.
+func neededColumns(sel *sqlkit.SelectStmt) map[string]bool {
+	out := map[string]bool{}
+	if len(sel.Exprs) == 0 {
+		out["*"] = true
+	}
+	var walkExpr func(e sqlkit.Expr)
+	walkExpr = func(e sqlkit.Expr) {
+		switch x := e.(type) {
+		case *sqlkit.ColRef:
+			out[strings.ToLower(x.Name)] = true
+		case *sqlkit.Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *sqlkit.Unary:
+			walkExpr(x.X)
+		case *sqlkit.FuncCall:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *sqlkit.InExpr:
+			walkExpr(x.X)
+			for _, v := range x.List {
+				walkExpr(v)
+			}
+		case *sqlkit.IsNullExpr:
+			walkExpr(x.X)
+		case *sqlkit.BetweenExpr:
+			walkExpr(x.X)
+			walkExpr(x.Lo)
+			walkExpr(x.Hi)
+		}
+	}
+	for _, se := range sel.Exprs {
+		walkExpr(se.Expr)
+	}
+	if sel.Where != nil {
+		walkExpr(sel.Where)
+	}
+	for _, g := range sel.GroupBy {
+		walkExpr(g)
+	}
+	if sel.Having != nil {
+		walkExpr(sel.Having)
+	}
+	for _, k := range sel.OrderBy {
+		walkExpr(k.Expr)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package integrate
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// SortedNeighborhood generates candidate pairs with the classic
+// sorted-neighborhood method: rows are sorted by a blocking key and every
+// pair within a sliding window of the sorted order is compared. Unlike
+// hash blocking on an exact key, it tolerates typos at the key's tail and
+// bounds the candidate count at n·(window−1) regardless of skew.
+func SortedNeighborhood(rows []workload.Row, keyCol string, window int) [][2]int {
+	if window < 2 {
+		window = 2
+	}
+	type keyed struct {
+		key string
+		idx int
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		ks[i] = keyed{key: strings.ToLower(r[keyCol]), idx: i}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].idx < ks[j].idx
+	})
+	var out [][2]int
+	for i := range ks {
+		for j := i + 1; j < len(ks) && j < i+window; j++ {
+			a, b := ks[i].idx, ks[j].idx
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// ResolvePairs runs the resolver's LLM judgment over an explicit candidate
+// pair list (from any blocking strategy), bypassing the resolver's own
+// blocking.
+func (r *Resolver) ResolvePairs(ctx context.Context, rows []workload.Row, pairs [][2]int) ([]MatchDecision, int, error) {
+	return r.judgePairs(ctx, rows, pairs)
+}

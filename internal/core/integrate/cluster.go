@@ -1,0 +1,96 @@
+package integrate
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Clusters groups rows into entity clusters from pairwise match decisions
+// using union-find: the transitive closure of "is the same entity as".
+// Each cluster is a sorted slice of row indexes; singletons are included,
+// so the clusters partition [0, n).
+func Clusters(decisions []MatchDecision, n int) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, d := range decisions {
+		if d.Match && d.I >= 0 && d.I < n && d.J >= 0 && d.J < n {
+			union(d.I, d.J)
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Merge produces one canonical record per cluster: for each column, the
+// most frequent non-empty value wins, ties broken by the earliest row —
+// the survivorship rule of deduplication pipelines.
+func Merge(rows []workload.Row, cluster []int, cols []string) workload.Row {
+	out := workload.Row{}
+	for _, c := range cols {
+		counts := map[string]int{}
+		first := map[string]int{}
+		for pos, i := range cluster {
+			v := rows[i][c]
+			if v == "" {
+				continue
+			}
+			counts[v]++
+			if _, seen := first[v]; !seen {
+				first[v] = pos
+			}
+		}
+		best, bestN, bestPos := "", 0, 1<<30
+		for v, nv := range counts {
+			if nv > bestN || (nv == bestN && first[v] < bestPos) {
+				best, bestN, bestPos = v, nv, first[v]
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// Dedupe runs clustering plus merging, returning one canonical row per
+// entity, ordered by the clusters' smallest member index.
+func Dedupe(rows []workload.Row, decisions []MatchDecision, cols []string) []workload.Row {
+	clusters := Clusters(decisions, len(rows))
+	out := make([]workload.Row, 0, len(clusters))
+	for _, cl := range clusters {
+		out = append(out, Merge(rows, cl, cols))
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package integrate
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestClustersTransitiveClosure(t *testing.T) {
+	decisions := []MatchDecision{
+		{I: 0, J: 1, Match: true},
+		{I: 1, J: 2, Match: true}, // 0-1-2 chain
+		{I: 3, J: 4, Match: true},
+		{I: 5, J: 6, Match: false}, // non-matches must not merge
+	}
+	got := Clusters(decisions, 7)
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}, {6}}
+	if len(got) != len(want) {
+		t.Fatalf("clusters = %v", got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("cluster %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("cluster %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: clusters always partition [0, n) regardless of the decision set.
+func TestClustersPartitionProperty(t *testing.T) {
+	f := func(pairs []uint8, n8 uint8) bool {
+		n := int(n8%20) + 1
+		var decisions []MatchDecision
+		for i := 0; i+1 < len(pairs); i += 2 {
+			decisions = append(decisions, MatchDecision{
+				I: int(pairs[i]) % n, J: int(pairs[i+1]) % n, Match: pairs[i]%2 == 0,
+			})
+		}
+		seen := map[int]int{}
+		for _, cl := range Clusters(decisions, n) {
+			if len(cl) == 0 {
+				return false
+			}
+			for _, i := range cl {
+				seen[i]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSurvivorship(t *testing.T) {
+	rows := []workload.Row{
+		{"name": "Alice Anderson", "city": "Lyon", "segment": "retail"},
+		{"name": "ALICE ANDERSON", "city": "Lyon", "segment": ""},
+		{"name": "Alice Anderson", "city": "LYON", "segment": "retail"},
+	}
+	m := Merge(rows, []int{0, 1, 2}, []string{"name", "city", "segment"})
+	if m["name"] != "Alice Anderson" {
+		t.Errorf("name = %q (majority should win)", m["name"])
+	}
+	if m["city"] != "Lyon" {
+		t.Errorf("city = %q", m["city"])
+	}
+	if m["segment"] != "retail" {
+		t.Errorf("segment = %q (empty values must not win)", m["segment"])
+	}
+}
+
+func TestDedupeEndToEnd(t *testing.T) {
+	set := workload.GenCustomers(9, 60, 0, 0.3)
+	r := &Resolver{Model: strongModel(), Threshold: 0.5, CompareCols: []string{"name"}, BlockCol: "country"}
+	decisions, _, err := r.Resolve(context.Background(), set.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deduped := Dedupe(set.Rows, decisions, set.Cols)
+	// 60 originals + 18 duplicates; dedup should land near 60.
+	if len(deduped) >= len(set.Rows) {
+		t.Errorf("dedupe removed nothing: %d of %d", len(deduped), len(set.Rows))
+	}
+	if len(deduped) < 55 || len(deduped) > 66 {
+		t.Errorf("deduped to %d rows, expected ~60", len(deduped))
+	}
+	for _, row := range deduped {
+		if row["name"] == "" {
+			t.Error("canonical row lost its name")
+		}
+	}
+}
+
+func TestClustersEmpty(t *testing.T) {
+	if got := Clusters(nil, 0); len(got) != 0 {
+		t.Errorf("empty clusters = %v", got)
+	}
+	got := Clusters(nil, 3)
+	if len(got) != 3 {
+		t.Errorf("no-decision clusters = %v", got)
+	}
+}
+
+func TestSortedNeighborhoodBlocking(t *testing.T) {
+	set := workload.GenCustomers(13, 80, 0, 0.25)
+	pairs := SortedNeighborhood(set.Rows, "name", 5)
+	// Bounded candidate count.
+	if len(pairs) > len(set.Rows)*4 {
+		t.Errorf("too many candidates: %d", len(pairs))
+	}
+	// The window must surface most gold duplicate pairs (names sort
+	// adjacently even with case/typo perturbations... case differences are
+	// lowercased by the key).
+	inPairs := map[[2]int]bool{}
+	for _, p := range pairs {
+		inPairs[p] = true
+	}
+	covered := 0
+	for _, g := range set.DuplicatePairs {
+		a, b := g[0], g[1]
+		if a > b {
+			a, b = b, a
+		}
+		if inPairs[[2]int{a, b}] {
+			covered++
+		}
+	}
+	if float64(covered)/float64(len(set.DuplicatePairs)) < 0.6 {
+		t.Errorf("sorted neighborhood covered only %d/%d gold pairs", covered, len(set.DuplicatePairs))
+	}
+}
+
+func TestResolvePairsWithSortedNeighborhood(t *testing.T) {
+	set := workload.GenCustomers(13, 80, 0, 0.25)
+	r := &Resolver{Model: strongModel(), Threshold: 0.5, CompareCols: []string{"name"}}
+	pairs := SortedNeighborhood(set.Rows, "name", 5)
+	decisions, calls, err := r.ResolvePairs(context.Background(), set.Rows, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(pairs) {
+		t.Errorf("calls %d != pairs %d", calls, len(pairs))
+	}
+	_, rec, _ := PRF1(decisions, set.DuplicatePairs)
+	if rec < 0.5 {
+		t.Errorf("recall via sorted neighborhood %.3f too low", rec)
+	}
+}
+
+func TestSortedNeighborhoodWindowFloor(t *testing.T) {
+	rows := []workload.Row{{"k": "b"}, {"k": "a"}, {"k": "c"}}
+	pairs := SortedNeighborhood(rows, "k", 0) // floors to 2: adjacent only
+	if len(pairs) != 2 {
+		t.Errorf("pairs = %v", pairs)
+	}
+}

@@ -1,0 +1,279 @@
+package integrate
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func strongModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "strong", Capability: 1.0, NoiseAmp: 0.001,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func TestTrigramSim(t *testing.T) {
+	if s := trigramSim("Alice Anderson", "Alice Anderson"); s != 1 {
+		t.Errorf("self sim = %v", s)
+	}
+	near := trigramSim("Alice Anderson", "Alce Anderson") // dropped char
+	far := trigramSim("Alice Anderson", "Zoltan Kovacs")
+	if near <= far {
+		t.Errorf("near %v not above far %v", near, far)
+	}
+	if s := trigramSim("", ""); s != 1 {
+		t.Errorf("empty-empty = %v", s)
+	}
+	if s := trigramSim("ab", "cd"); s != 0 {
+		t.Errorf("short unrelated = %v", s)
+	}
+}
+
+func TestEntityResolutionBeatsExactBaseline(t *testing.T) {
+	set := workload.GenCustomers(3, 80, 0, 0.25)
+	// Identity is carried by the name; blocking on country bounds the pair
+	// count. Comparing on the block key itself would inflate every
+	// same-block pair's score.
+	cols := []string{"name"}
+
+	r := &Resolver{Model: strongModel(), Threshold: 0.5, CompareCols: cols, BlockCol: "country"}
+	decisions, calls, err := r.Resolve(context.Background(), set.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("no LLM calls made")
+	}
+	_, recLLM, f1LLM := PRF1(decisions, set.DuplicatePairs)
+
+	base := ExactBaseline(set.Rows, []string{"name", "city", "signup_date"})
+	_, recBase, _ := PRF1(base, set.DuplicatePairs)
+
+	// Perturbed duplicates defeat exact matching; similarity+LLM recovers
+	// most of them.
+	if recBase > 0.1 {
+		t.Errorf("exact baseline recall %.3f unexpectedly high", recBase)
+	}
+	if recLLM < 0.6 {
+		t.Errorf("LLM resolver recall %.3f too low", recLLM)
+	}
+	if f1LLM < 0.55 {
+		t.Errorf("LLM resolver F1 %.3f too low", f1LLM)
+	}
+}
+
+func TestBlockingReducesPairs(t *testing.T) {
+	set := workload.GenCustomers(5, 60, 0, 0.2)
+	cols := []string{"name"}
+	blocked := &Resolver{Model: strongModel(), Threshold: 0.5, CompareCols: cols, BlockCol: "country"}
+	unblocked := &Resolver{Model: strongModel(), Threshold: 0.5, CompareCols: cols}
+	_, callsB, err := blocked.Resolve(context.Background(), set.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, callsU, err := unblocked.Resolve(context.Background(), set.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callsB >= callsU/2 {
+		t.Errorf("blocking saved too little: %d vs %d calls", callsB, callsU)
+	}
+}
+
+func TestPRF1Edge(t *testing.T) {
+	p, r, f1 := PRF1(nil, nil)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("empty PRF1 = %v %v %v", p, r, f1)
+	}
+	dec := []MatchDecision{{I: 2, J: 1, Match: true}}
+	_, rec, _ := PRF1(dec, [][2]int{{1, 2}})
+	if rec != 1 {
+		t.Errorf("pair order not normalized: recall %v", rec)
+	}
+}
+
+func TestSerializeEntity(t *testing.T) {
+	s := SerializeEntity(workload.Row{"name": "Alice", "city": "", "country": "Florin"}, []string{"name", "city", "country"})
+	if s != "name: Alice; country: Florin" {
+		t.Errorf("serialize = %q", s)
+	}
+}
+
+func TestSchemaMatcher(t *testing.T) {
+	e := embed.New(embed.DefaultDim)
+	m := NewSchemaMatcher(strongModel(), e)
+	source := []ColumnSpec{
+		{Name: "customer_name", Sample: []string{"Alice Anderson", "Bruno Costa"}},
+		{Name: "signup_date", Sample: []string{"Aug 14 2023", "Sep 02 2021"}},
+		{Name: "city", Sample: []string{"Lyon", "Riga"}},
+	}
+	target := []ColumnSpec{
+		{Name: "name", Sample: []string{"Dana Silva", "Omar Petrov"}},
+		{Name: "registration_date", Sample: []string{"Jul 01 2022", "Jan 20 2020"}},
+		{Name: "town", Sample: []string{"Kyoto", "Porto"}},
+	}
+	matches, err := m.Match(context.Background(), source, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, mt := range matches {
+		got[mt.Source] = mt.Target
+	}
+	if got["signup_date"] != "registration_date" {
+		t.Errorf("date columns not matched: %v", got)
+	}
+	if got["customer_name"] == "registration_date" || got["city"] == "registration_date" {
+		t.Errorf("one-to-one violated: %v", got)
+	}
+	// One-to-one: no target repeated.
+	seen := map[string]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Errorf("target %s matched twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestTypeAnnotatorPaperExample(t *testing.T) {
+	e := embed.New(embed.DefaultDim)
+	train := workload.GenColumnTypeBench(7, 60)
+	a := NewTypeAnnotator(strongModel(), e, train)
+
+	// The paper's running example: "Basketball||Badminton||Table Tennis,
+	// this column type is __" -> sports.
+	got, resp, err := a.Annotate(context.Background(), []string{"Basketball", "Badminton", "Table Tennis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "sports" {
+		t.Errorf("annotated %q, want sports", got)
+	}
+	if !strings.Contains(resp.Model, "strong") {
+		t.Errorf("model = %s", resp.Model)
+	}
+}
+
+func TestTypeAnnotatorAccuracy(t *testing.T) {
+	e := embed.New(embed.DefaultDim)
+	train := workload.GenColumnTypeBench(7, 120)
+	test := workload.GenColumnTypeBench(8, 60)
+	a := NewTypeAnnotator(strongModel(), e, train)
+	correct := 0
+	for _, c := range test {
+		got, _, err := a.Annotate(context.Background(), c.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == c.Gold {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.8 {
+		t.Errorf("CTA accuracy %.3f too low", acc)
+	}
+}
+
+func TestSerializeRowNL(t *testing.T) {
+	db := workload.ConcertDB(11)
+	tab := db.Table("stadium")
+	s := SerializeRowNL(tab.Name, tab.Cols, tab.Rows[0])
+	if !strings.Contains(s, "In table stadium") || !strings.Contains(s, "the capacity is") {
+		t.Errorf("serialization = %q", s)
+	}
+}
+
+func TestDescribeTable(t *testing.T) {
+	db := workload.ConcertDB(11)
+	stats, err := DescribeTable(db, "stadium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) < 4 { // count + avg/min/max over at least capacity
+		t.Fatalf("stats = %d sentences", len(stats))
+	}
+	foundAvg := false
+	for _, s := range stats {
+		if strings.Contains(s.SQL, "AVG(capacity)") {
+			foundAvg = true
+			if !strings.Contains(s.Sentence, "average capacity") {
+				t.Errorf("avg sentence = %q", s.Sentence)
+			}
+		}
+		// Every sentence's SQL must execute (they were executed to build
+		// the sentence, re-check).
+		if _, err := db.Exec(s.SQL); err != nil {
+			t.Errorf("stat SQL fails: %v", err)
+		}
+	}
+	if !foundAvg {
+		t.Error("no AVG sentence produced")
+	}
+	if _, err := DescribeTable(db, "nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestSplitAdvisor(t *testing.T) {
+	db := workload.ConcertDB(11)
+	tab := db.Table("concert")
+	s := &SplitAdvisor{Model: strongModel()}
+	chunks, _, err := s.Recommend(context.Background(), tab, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, c := range chunks {
+		if c.End-c.Start > 50 {
+			t.Errorf("chunk [%d,%d) overflows budget", c.Start, c.End)
+		}
+		covered += c.End - c.Start
+	}
+	if covered != len(tab.Rows) {
+		t.Errorf("chunks cover %d of %d rows", covered, len(tab.Rows))
+	}
+	if _, _, err := s.Recommend(context.Background(), tab, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestCleanColumnDates(t *testing.T) {
+	rows := []workload.Row{
+		{"d": "Aug 14 2023"},
+		{"d": "Sep 02 2021"},
+		{"d": "8/14/2023"},
+		{"d": "Jan 30 1999"},
+		{"d": ""},
+	}
+	rep, cleaned := CleanColumnDates(rows, "d")
+	if rep.Violations != 1 || rep.Fixed != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if cleaned[2]["d"] != "Aug 14 2023" {
+		t.Errorf("fixed value = %q", cleaned[2]["d"])
+	}
+	if rep.Pattern == "" {
+		t.Error("no pattern mined after cleaning")
+	}
+	// Input untouched.
+	if rows[2]["d"] != "8/14/2023" {
+		t.Error("cleaning mutated input")
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	set := workload.GenCustomers(3, 60, 0, 0.2)
+	r := &Resolver{Model: strongModel(), Threshold: 0.5, CompareCols: []string{"name"}, BlockCol: "country"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Resolve(context.Background(), set.Rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package integrate
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/workload"
+)
+
+// ColumnSpec is one column offered for schema matching: its name and a
+// sample of values.
+type ColumnSpec struct {
+	Name   string
+	Sample []string
+}
+
+// SchemaMatch pairs a source column with its best target column.
+type SchemaMatch struct {
+	Source, Target string
+	Score          float64
+}
+
+// SchemaMatcher aligns columns of two schemas. The engine scores candidate
+// pairs by blended name similarity and value-distribution embedding
+// similarity, then takes a greedy one-to-one assignment; each accepted pair
+// is confirmed with an LLM call.
+type SchemaMatcher struct {
+	Model llm.Model
+	Emb   *embed.Embedder
+	// MinScore rejects pairs below this blended score.
+	MinScore float64
+}
+
+// NewSchemaMatcher returns a matcher with sensible defaults.
+func NewSchemaMatcher(m llm.Model, e *embed.Embedder) *SchemaMatcher {
+	return &SchemaMatcher{Model: m, Emb: e, MinScore: 0.35}
+}
+
+// pairScore blends column-name similarity, value-shape agreement and
+// value-embedding similarity. The shape feature (majority character-class
+// signature of the values) is what lets "signup_date" align with
+// "registration_date" even when no value is shared.
+func (s *SchemaMatcher) pairScore(a, b ColumnSpec) float64 {
+	name := trigramSim(a.Name, b.Name)
+	shape := 0.0
+	if shapeSignature(a.Sample) == shapeSignature(b.Sample) && shapeSignature(a.Sample) != "" {
+		shape = 1
+	}
+	emb := embed.Cosine(s.Emb.Column(a.Name, a.Sample), s.Emb.Column(b.Name, b.Sample))
+	return 0.35*name + 0.35*shape + 0.3*emb
+}
+
+// shapeSignature is the majority character-class sequence of the values:
+// "L D D" for "Aug 14 2023", "L L" for "Alice Anderson", "L" for "Lyon".
+func shapeSignature(values []string) string {
+	counts := map[string]int{}
+	for _, v := range values {
+		var sig []string
+		cur := ""
+		flush := func() {
+			if cur != "" {
+				sig = append(sig, cur)
+				cur = ""
+			}
+		}
+		for _, r := range v {
+			switch {
+			case r >= '0' && r <= '9':
+				if cur != "D" {
+					flush()
+					cur = "D"
+				}
+			case r == ' ':
+				flush()
+			default:
+				if cur != "L" {
+					flush()
+					cur = "L"
+				}
+			}
+		}
+		flush()
+		counts[strings.Join(sig, " ")]++
+	}
+	best, bestN := "", 0
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// Match aligns source columns to target columns one-to-one.
+func (s *SchemaMatcher) Match(ctx context.Context, source, target []ColumnSpec) ([]SchemaMatch, error) {
+	type cand struct {
+		si, ti int
+		score  float64
+	}
+	var cands []cand
+	for i, a := range source {
+		for j, b := range target {
+			if sc := s.pairScore(a, b); sc >= s.MinScore {
+				cands = append(cands, cand{i, j, sc})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].si != cands[j].si {
+			return cands[i].si < cands[j].si
+		}
+		return cands[i].ti < cands[j].ti
+	})
+	usedS, usedT := map[int]bool{}, map[int]bool{}
+	var out []SchemaMatch
+	for _, c := range cands {
+		if usedS[c.si] || usedT[c.ti] {
+			continue
+		}
+		a, b := source[c.si], target[c.ti]
+		gold, wrong := "yes", "no"
+		margin := c.score - s.MinScore
+		difficulty := 0.6 - margin
+		if difficulty < 0.05 {
+			difficulty = 0.05
+		}
+		resp, err := s.Model.Complete(ctx, llm.Request{
+			Task: llm.TaskLabel,
+			Prompt: "Do these two columns describe the same attribute?\nA: " + a.Name + " e.g. " + strings.Join(a.Sample, "||") +
+				"\nB: " + b.Name + " e.g. " + strings.Join(b.Sample, "||"),
+			Gold:       gold,
+			Wrong:      wrong,
+			Difficulty: difficulty,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Text != "yes" {
+			continue
+		}
+		usedS[c.si], usedT[c.ti] = true, true
+		out = append(out, SchemaMatch{Source: a.Name, Target: b.Name, Score: c.score})
+	}
+	return out, nil
+}
+
+// --- Column type annotation (the paper's few-shot CTA example) ---
+
+// TypeAnnotator labels columns with semantic types by few-shot
+// nearest-centroid classification: labeled example columns are embedded,
+// per-type centroids averaged, and a new column is assigned the nearest
+// centroid's type. The LLM call carries the paper's exact prompt shape.
+type TypeAnnotator struct {
+	Model llm.Model
+	Emb   *embed.Embedder
+
+	types     []string
+	centroids map[string][]float64
+}
+
+// NewTypeAnnotator trains the annotator from labeled example columns.
+func NewTypeAnnotator(m llm.Model, e *embed.Embedder, examples []workload.ColumnTypeSample) *TypeAnnotator {
+	a := &TypeAnnotator{Model: m, Emb: e, centroids: map[string][]float64{}}
+	counts := map[string]int{}
+	for _, ex := range examples {
+		v := e.Column("", ex.Values)
+		if a.centroids[ex.Gold] == nil {
+			a.centroids[ex.Gold] = make([]float64, len(v))
+		}
+		for i, x := range v {
+			a.centroids[ex.Gold][i] += float64(x)
+		}
+		counts[ex.Gold]++
+	}
+	for ty, c := range a.centroids {
+		n := float64(counts[ty])
+		for i := range c {
+			c[i] /= n
+		}
+		a.types = append(a.types, ty)
+	}
+	sort.Strings(a.types)
+	return a
+}
+
+// classify is the deterministic few-shot engine.
+func (a *TypeAnnotator) classify(values []string) (best string, margin float64) {
+	v := a.Emb.Column("", values)
+	scores := make(map[string]float64, len(a.types))
+	for _, ty := range a.types {
+		var dot float64
+		for i, c := range a.centroids[ty] {
+			dot += c * float64(v[i])
+		}
+		scores[ty] = dot
+	}
+	var second float64
+	bestScore := -1e18
+	for _, ty := range a.types {
+		if scores[ty] > bestScore {
+			second = bestScore
+			bestScore = scores[ty]
+			best = ty
+		} else if scores[ty] > second {
+			second = scores[ty]
+		}
+	}
+	return best, bestScore - second
+}
+
+// Annotate predicts the semantic type of a column.
+func (a *TypeAnnotator) Annotate(ctx context.Context, values []string) (string, llm.Response, error) {
+	gold, margin := a.classify(values)
+	wrong := a.types[0]
+	if wrong == gold && len(a.types) > 1 {
+		wrong = a.types[1]
+	}
+	difficulty := 0.55 - margin*3
+	if difficulty < 0.05 {
+		difficulty = 0.05
+	}
+	if difficulty > 0.9 {
+		difficulty = 0.9
+	}
+	resp, err := a.Model.Complete(ctx, llm.Request{
+		Task: llm.TaskLabel,
+		Prompt: "Given the following column types: " + strings.Join(a.types, ", ") +
+			". You need to predict the column type according to the column values. " +
+			strings.Join(values, "||") + ", this column type is __.",
+		Gold:       gold,
+		Wrong:      wrong,
+		Difficulty: difficulty,
+	})
+	if err != nil {
+		return "", llm.Response{}, err
+	}
+	return resp.Text, resp, nil
+}

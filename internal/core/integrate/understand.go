@@ -1,0 +1,214 @@
+package integrate
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/transform"
+	"repro/internal/llm"
+	"repro/internal/sqlkit"
+	"repro/internal/workload"
+)
+
+// SerializeRowNL renders one table row as a natural-language sentence — the
+// semantically richer serialization the paper proposes over plain
+// row-linearization for PLM training data.
+func SerializeRowNL(tableName string, cols []sqlkit.Column, row []sqlkit.Value) string {
+	parts := make([]string, 0, len(cols))
+	for i, c := range cols {
+		if i < len(row) && !row[i].IsNull() {
+			parts = append(parts, "the "+c.Name+" is "+row[i].Display())
+		}
+	}
+	return "In table " + tableName + ", " + strings.Join(parts, ", ") + "."
+}
+
+// StatSentence is one SQL-derived natural-language statistic: the paper's
+// "SELECT AVG(SALARY) FROM EMPLOYEE" → "the average salary of all the
+// employees ... is $500" mechanism. The SQL is actually executed.
+type StatSentence struct {
+	SQL      string
+	Sentence string
+}
+
+// DescribeTable executes aggregate SQL over every numeric column and the
+// row count, rendering each result as a sentence. These sentences are the
+// structural/statistical training inputs for downstream PLMs.
+func DescribeTable(db *sqlkit.DB, table string) ([]StatSentence, error) {
+	t := db.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("integrate: unknown table %q", table)
+	}
+	var out []StatSentence
+	countSQL := "SELECT COUNT(*) FROM " + table
+	r, err := db.Exec(countSQL)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, StatSentence{
+		SQL:      countSQL,
+		Sentence: fmt.Sprintf("the table %s contains %s rows", table, r.Rows[0][0].Display()),
+	})
+	for _, c := range t.Cols {
+		if c.Type != sqlkit.TInt && c.Type != sqlkit.TFloat {
+			continue
+		}
+		for _, agg := range []struct{ fn, word string }{
+			{"AVG", "average"}, {"MIN", "minimum"}, {"MAX", "maximum"},
+		} {
+			sql := fmt.Sprintf("SELECT %s(%s) FROM %s", agg.fn, c.Name, table)
+			r, err := db.Exec(sql)
+			if err != nil {
+				return nil, err
+			}
+			if len(r.Rows) == 0 || r.Rows[0][0].IsNull() {
+				continue
+			}
+			out = append(out, StatSentence{
+				SQL: sql,
+				Sentence: fmt.Sprintf("the %s %s of all the rows in the %s table is %s",
+					agg.word, c.Name, table, r.Rows[0][0].Display()),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Chunk is one slice of a large table.
+type Chunk struct {
+	Start, End int // row range [Start, End)
+}
+
+// SplitAdvisor recommends how to split a large table into PLM-sized chunks
+// — the paper's "LLMs can assist in splitting big tables". The engine
+// computes the split from the row count and the per-chunk budget; the LLM
+// call prices the consultation and can, at weak tiers, recommend a split
+// that overflows the budget.
+type SplitAdvisor struct {
+	Model llm.Model
+}
+
+// Recommend returns chunk boundaries so that each chunk holds at most
+// maxRows rows.
+func (s *SplitAdvisor) Recommend(ctx context.Context, table *sqlkit.Table, maxRows int) ([]Chunk, llm.Response, error) {
+	if maxRows <= 0 {
+		return nil, llm.Response{}, fmt.Errorf("integrate: non-positive chunk budget")
+	}
+	n := len(table.Rows)
+	gold := (n + maxRows - 1) / maxRows
+	if gold == 0 {
+		gold = 1
+	}
+	wrong := gold - 1 // one chunk too few: overflows the budget
+	if wrong < 1 {
+		wrong = gold + 1
+	}
+	resp, err := s.Model.Complete(ctx, llm.Request{
+		Task:       llm.TaskLabel,
+		Prompt:     fmt.Sprintf("Table %s has %d rows; the PLM input window fits %d rows. How many chunks?", table.Name, n, maxRows),
+		Gold:       fmt.Sprintf("%d", gold),
+		Wrong:      fmt.Sprintf("%d", wrong),
+		Difficulty: 0.2,
+	})
+	if err != nil {
+		return nil, llm.Response{}, err
+	}
+	var k int
+	fmt.Sscanf(resp.Text, "%d", &k)
+	if k < 1 {
+		k = 1
+	}
+	per := (n + k - 1) / k
+	var out []Chunk
+	for start := 0; start < n; start += per {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		out = append(out, Chunk{Start: start, End: end})
+	}
+	if n == 0 {
+		out = []Chunk{{0, 0}}
+	}
+	return out, resp, nil
+}
+
+// --- Data cleaning ---
+
+// CleanReport summarizes a cleaning pass.
+type CleanReport struct {
+	Column  string
+	Pattern string
+	Violations,
+	Fixed int
+}
+
+// CleanColumnDates normalizes a date column with mixed formats to the
+// majority format, using pattern mining to find violations and the
+// column-transformation synthesis from the transform package to fix them.
+// This composes two LLM applications exactly as the paper suggests
+// (patterns validate quality; transformation programs repair it).
+func CleanColumnDates(rows []workload.Row, col string) (CleanReport, []workload.Row) {
+	rep := CleanReport{Column: col}
+	// Majority format.
+	counts := map[string]int{}
+	for _, r := range rows {
+		for _, f := range []string{"words", "slash", "iso"} {
+			if _, _, _, ok := transform.ParseDateAs(f, r[col]); ok {
+				counts[f]++
+				break
+			}
+		}
+	}
+	var formats []string
+	for f := range counts {
+		formats = append(formats, f)
+	}
+	sort.Slice(formats, func(i, j int) bool {
+		if counts[formats[i]] != counts[formats[j]] {
+			return counts[formats[i]] > counts[formats[j]]
+		}
+		return formats[i] < formats[j]
+	})
+	if len(formats) == 0 {
+		return rep, rows
+	}
+	major := formats[0]
+	out := make([]workload.Row, len(rows))
+	for i, r := range rows {
+		nr := workload.Row{}
+		for k, v := range r {
+			nr[k] = v
+		}
+		v := nr[col]
+		if _, _, _, ok := transform.ParseDateAs(major, v); ok || v == "" {
+			out[i] = nr
+			continue
+		}
+		rep.Violations++
+		for _, f := range formats[1:] {
+			if y, m, d, ok := transform.ParseDateAs(f, v); ok {
+				nr[col] = transform.RenderDateAs(major, y, m, d)
+				rep.Fixed++
+				break
+			}
+		}
+		out[i] = nr
+	}
+	if p, ok := transform.MinePattern(columnValues(out, col)); ok {
+		rep.Pattern = p.String()
+	}
+	return rep, out
+}
+
+func columnValues(rows []workload.Row, col string) []string {
+	var out []string
+	for _, r := range rows {
+		if r[col] != "" {
+			out = append(out, r[col])
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package privacy
+
+import (
+	"math"
+	"sort"
+)
+
+// MembershipAttack is the loss-threshold membership-inference attack
+// (Shokri et al., cited by the paper): an example with unusually low model
+// loss is predicted to have been in the training set. Advantage is the
+// standard TPR − FPR at the attacker's best threshold: 0 means the model
+// leaks nothing, 1 means perfect membership recovery.
+type MembershipAttack struct {
+	Model *LinearModel
+}
+
+// lossOf computes the squared error of one example.
+func (a *MembershipAttack) lossOf(x []float64, y float64) float64 {
+	d := a.Model.Predict(x) - y
+	return d * d
+}
+
+// Advantage sweeps every threshold over the combined loss distribution and
+// returns the maximum TPR − FPR plus the threshold achieving it.
+func (a *MembershipAttack) Advantage(memberX [][]float64, memberY []float64, nonX [][]float64, nonY []float64) (adv, threshold float64) {
+	type pt struct {
+		loss   float64
+		member bool
+	}
+	var pts []pt
+	for i, x := range memberX {
+		pts = append(pts, pt{a.lossOf(x, memberY[i]), true})
+	}
+	for i, x := range nonX {
+		pts = append(pts, pt{a.lossOf(x, nonY[i]), false})
+	}
+	if len(memberX) == 0 || len(nonX) == 0 {
+		return 0, 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].loss < pts[j].loss })
+
+	nm, nn := float64(len(memberX)), float64(len(nonX))
+	tp, fp := 0.0, 0.0
+	best, bestT := 0.0, 0.0
+	for _, p := range pts {
+		// Predicting "member" for loss <= p.loss.
+		if p.member {
+			tp++
+		} else {
+			fp++
+		}
+		if adv := tp/nm - fp/nn; adv > best {
+			best = adv
+			bestT = p.loss
+		}
+	}
+	return best, bestT
+}
+
+// LossGap is the mean non-member loss minus mean member loss — the raw
+// overfitting signal the attack exploits.
+func (a *MembershipAttack) LossGap(memberX [][]float64, memberY []float64, nonX [][]float64, nonY []float64) float64 {
+	mean := func(xs [][]float64, ys []float64) float64 {
+		if len(xs) == 0 {
+			return math.NaN()
+		}
+		var s float64
+		for i, x := range xs {
+			s += a.lossOf(x, ys[i])
+		}
+		return s / float64(len(xs))
+	}
+	return mean(nonX, nonY) - mean(memberX, memberY)
+}

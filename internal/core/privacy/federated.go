@@ -1,0 +1,163 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LinearModel is a linear regressor — the stand-in for the fine-tunable
+// model head in the federated LLM fine-tuning scenario (full LLM weights
+// never leave this repository's simulation, but the optimization dynamics
+// FedAvg must handle — heterogeneous clients, clipped noisy updates — are
+// identical for a linear head).
+type LinearModel struct {
+	W []float64
+	B float64
+}
+
+// NewLinearModel returns a zero model of the given feature dimension.
+func NewLinearModel(dim int) *LinearModel {
+	return &LinearModel{W: make([]float64, dim)}
+}
+
+// Clone deep-copies the model.
+func (m *LinearModel) Clone() *LinearModel {
+	w := make([]float64, len(m.W))
+	copy(w, m.W)
+	return &LinearModel{W: w, B: m.B}
+}
+
+// Predict returns the model output for one feature vector.
+func (m *LinearModel) Predict(x []float64) float64 {
+	out := m.B
+	for i, w := range m.W {
+		out += w * x[i]
+	}
+	return out
+}
+
+// MSE is the mean squared error over a dataset.
+func (m *LinearModel) MSE(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for i, x := range xs {
+		d := m.Predict(x) - ys[i]
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SGD runs epochs of stochastic gradient descent in place.
+func (m *LinearModel) SGD(rng *rand.Rand, xs [][]float64, ys []float64, lr float64, epochs int) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			pred := m.Predict(xs[i])
+			g := pred - ys[i]
+			for j := range m.W {
+				m.W[j] -= lr * g * xs[i][j]
+			}
+			m.B -= lr * g
+		}
+	}
+}
+
+// Client is one federated participant with a local shard. Heterogeneity —
+// differing shard sizes, label noise and compute (local epochs) — is the
+// design difficulty the paper highlights.
+type Client struct {
+	X           [][]float64
+	Y           []float64
+	LocalEpochs int
+}
+
+// FedConfig parameterizes federated training.
+type FedConfig struct {
+	Rounds int
+	LR     float64
+	// ClipNorm bounds each client update's L2 norm (0 disables clipping).
+	ClipNorm float64
+	// NoiseSigma is the DP noise multiplier applied to clipped updates
+	// (0 disables noise). Noise std per coordinate = NoiseSigma * ClipNorm.
+	NoiseSigma float64
+	Seed       int64
+}
+
+// FedAvg trains a global model by federated averaging. With ClipNorm and
+// NoiseSigma set, updates are clipped and Gaussian-noised — the DP-SGD
+// defense evaluated by the membership-inference harness.
+func FedAvg(clients []Client, dim int, cfg FedConfig) (*LinearModel, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("privacy: no clients")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	global := NewLinearModel(dim)
+	total := 0
+	for _, c := range clients {
+		total += len(c.X)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("privacy: clients hold no data")
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		aggW := make([]float64, dim)
+		aggB := 0.0
+		for _, c := range clients {
+			if len(c.X) == 0 {
+				continue
+			}
+			local := global.Clone()
+			epochs := c.LocalEpochs
+			if epochs <= 0 {
+				epochs = 1
+			}
+			local.SGD(rng, c.X, c.Y, cfg.LR, epochs)
+
+			// The update is the delta from the global model.
+			dw := make([]float64, dim)
+			for j := range dw {
+				dw[j] = local.W[j] - global.W[j]
+			}
+			db := local.B - global.B
+
+			if cfg.ClipNorm > 0 {
+				norm := db * db
+				for _, v := range dw {
+					norm += v * v
+				}
+				norm = math.Sqrt(norm)
+				if norm > cfg.ClipNorm {
+					scale := cfg.ClipNorm / norm
+					for j := range dw {
+						dw[j] *= scale
+					}
+					db *= scale
+				}
+			}
+			if cfg.NoiseSigma > 0 && cfg.ClipNorm > 0 {
+				for j := range dw {
+					dw[j] += Gaussian(rng, cfg.NoiseSigma*cfg.ClipNorm)
+				}
+				db += Gaussian(rng, cfg.NoiseSigma*cfg.ClipNorm)
+			}
+
+			weight := float64(len(c.X)) / float64(total)
+			for j := range dw {
+				aggW[j] += weight * dw[j]
+			}
+			aggB += weight * db
+		}
+		for j := range global.W {
+			global.W[j] += aggW[j]
+		}
+		global.B += aggB
+	}
+	return global, nil
+}

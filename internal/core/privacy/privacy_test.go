@@ -1,0 +1,226 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestLaplaceZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	var sum, absSum float64
+	for i := 0; i < n; i++ {
+		v := Laplace(rng, 2.0)
+		sum += v
+		absSum += math.Abs(v)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.1 {
+		t.Errorf("laplace mean %.3f, want ~0", mean)
+	}
+	// E|Laplace(b)| = b.
+	if meanAbs := absSum / n; math.Abs(meanAbs-2.0) > 0.1 {
+		t.Errorf("laplace mean abs %.3f, want ~2", meanAbs)
+	}
+}
+
+func TestPrivateCountCloseAndNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	exact := 0
+	for i := 0; i < 200; i++ {
+		v, err := PrivateCount(rng, 100, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-100) > 20 {
+			t.Errorf("count %v too far from 100", v)
+		}
+		if v == 100 {
+			exact++
+		}
+	}
+	if exact > 10 {
+		t.Errorf("count returned exactly 100 %d times; noise missing", exact)
+	}
+	if _, err := PrivateCount(rng, 1, 0); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestPrivateMeanAccuracyVsEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = 50 + 10*rng.NormFloat64()
+	}
+	errAt := func(eps float64) float64 {
+		var s float64
+		for i := 0; i < 100; i++ {
+			v, err := PrivateMean(rng, values, 0, 100, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += math.Abs(v - 50)
+		}
+		return s / 100
+	}
+	loose := errAt(0.1)
+	tight := errAt(10)
+	if tight >= loose {
+		t.Errorf("higher epsilon not more accurate: eps=10 err %.3f vs eps=0.1 err %.3f", tight, loose)
+	}
+	if _, err := PrivateMean(rng, nil, 0, 1, 1); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := PrivateMean(rng, values, 1, 1, 1); err == nil {
+		t.Error("empty clamp range accepted")
+	}
+}
+
+func TestPrivateHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h, err := PrivateHistogram(rng, map[string]int{"a": 100, "b": 5}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h["a"]-100) > 15 || math.Abs(h["b"]-5) > 15 {
+		t.Errorf("histogram too noisy: %v", h)
+	}
+}
+
+// flData builds a regression dataset from the AI4DB workload:
+// features -> log execution time.
+func flData(seed int64, n int) ([][]float64, []float64) {
+	qs := workload.GenQueryWorkload(seed, n)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i, q := range qs {
+		xs[i] = q.Features()
+		ys[i] = math.Log1p(q.ExecTimeMS)
+	}
+	return xs, ys
+}
+
+func splitClients(xs [][]float64, ys []float64, sizes []int, epochs []int) []Client {
+	var out []Client
+	at := 0
+	for i, sz := range sizes {
+		out = append(out, Client{X: xs[at : at+sz], Y: ys[at : at+sz], LocalEpochs: epochs[i]})
+		at += sz
+	}
+	return out
+}
+
+func TestFedAvgLearns(t *testing.T) {
+	xs, ys := flData(7, 600)
+	// Heterogeneous clients: different shard sizes and local compute.
+	clients := splitClients(xs[:500], ys[:500], []int{250, 150, 100}, []int{1, 2, 3})
+	global, err := FedAvg(clients, len(xs[0]), FedConfig{Rounds: 30, LR: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := xs[500:], ys[500:]
+	mse := global.MSE(testX, testY)
+	base := NewLinearModel(len(xs[0])).MSE(testX, testY)
+	if mse >= base/2 {
+		t.Errorf("FedAvg MSE %.3f not well below zero-model %.3f", mse, base)
+	}
+}
+
+func TestFedAvgBeatsSmallestClientAlone(t *testing.T) {
+	xs, ys := flData(9, 600)
+	clients := splitClients(xs[:500], ys[:500], []int{450, 30, 20}, []int{1, 1, 1})
+	global, err := FedAvg(clients, len(xs[0]), FedConfig{Rounds: 30, LR: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The smallest client training alone on 20 points.
+	solo := NewLinearModel(len(xs[0]))
+	solo.SGD(rand.New(rand.NewSource(3)), clients[2].X, clients[2].Y, 0.01, 30)
+
+	testX, testY := xs[500:], ys[500:]
+	if global.MSE(testX, testY) >= solo.MSE(testX, testY) {
+		t.Errorf("collaboration did not beat solo training: fed %.3f vs solo %.3f",
+			global.MSE(testX, testY), solo.MSE(testX, testY))
+	}
+}
+
+func TestDPNoiseDegradesUtilityMonotonically(t *testing.T) {
+	xs, ys := flData(11, 600)
+	clients := splitClients(xs[:500], ys[:500], []int{250, 250}, []int{1, 1})
+	testX, testY := xs[500:], ys[500:]
+	mseAt := func(sigma float64) float64 {
+		g, err := FedAvg(clients, len(xs[0]), FedConfig{Rounds: 25, LR: 0.01, ClipNorm: 1, NoiseSigma: sigma, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.MSE(testX, testY)
+	}
+	clean := mseAt(0)
+	heavy := mseAt(0.8)
+	if heavy <= clean {
+		t.Errorf("heavy DP noise did not cost utility: sigma=0.8 MSE %.3f vs clean %.3f", heavy, clean)
+	}
+}
+
+func TestFedAvgErrors(t *testing.T) {
+	if _, err := FedAvg(nil, 3, FedConfig{Rounds: 1}); err == nil {
+		t.Error("no clients accepted")
+	}
+	if _, err := FedAvg([]Client{{}}, 3, FedConfig{Rounds: 1}); err == nil {
+		t.Error("empty clients accepted")
+	}
+}
+
+func TestMembershipAttackAndDPDefense(t *testing.T) {
+	xs, ys := flData(13, 400)
+	// A member set small enough for the linear model to near-interpolate:
+	// overfitting is what the attack exploits.
+	memberX, memberY := xs[:6], ys[:6]
+	nonX, nonY := xs[200:300], ys[200:300]
+
+	// Undefended: heavy local training on the tiny member set.
+	over := NewLinearModel(len(xs[0]))
+	over.SGD(rand.New(rand.NewSource(5)), memberX, memberY, 0.05, 3000)
+	atk := &MembershipAttack{Model: over}
+	advPlain, _ := atk.Advantage(memberX, memberY, nonX, nonY)
+	if gap := atk.LossGap(memberX, memberY, nonX, nonY); gap <= 0 {
+		t.Fatalf("no overfitting signal (gap %.4f); attack scenario broken", gap)
+	}
+	if advPlain < 0.15 {
+		t.Errorf("undefended attack advantage %.3f too small to study", advPlain)
+	}
+
+	// DP-defended federated training on the same members.
+	clients := []Client{{X: memberX, Y: memberY, LocalEpochs: 3}}
+	defended, err := FedAvg(clients, len(xs[0]), FedConfig{Rounds: 40, LR: 0.05, ClipNorm: 0.5, NoiseSigma: 0.3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atkD := &MembershipAttack{Model: defended}
+	advDP, _ := atkD.Advantage(memberX, memberY, nonX, nonY)
+	if advDP >= advPlain {
+		t.Errorf("DP did not reduce attack advantage: %.3f -> %.3f", advPlain, advDP)
+	}
+}
+
+func TestAdvantageEdgeCases(t *testing.T) {
+	atk := &MembershipAttack{Model: NewLinearModel(2)}
+	if adv, _ := atk.Advantage(nil, nil, nil, nil); adv != 0 {
+		t.Errorf("empty advantage = %v", adv)
+	}
+}
+
+func BenchmarkFedAvgRound(b *testing.B) {
+	xs, ys := flData(17, 500)
+	clients := splitClients(xs, ys, []int{200, 200, 100}, []int{1, 1, 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FedAvg(clients, len(xs[0]), FedConfig{Rounds: 1, LR: 0.01, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package qopt
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core/transform"
+	"repro/internal/llm"
+	"repro/internal/sqlkit"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func midModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "gpt-3.5-turbo", Capability: 0.80,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+// paperQuestions mirrors the paper's Q1-Q5 from Section III-B1.
+func paperQuestions() []string {
+	return []string{
+		"What are the names of stadiums that had concerts in 2014 or had sports meetings in 2015?",
+		"What are the names of stadiums that had the most number of concerts in 2014?",
+		"Show the names of stadiums that had the most number of sports meetings in 2015?",
+		"Show the names of stadiums that had concerts in 2014 and had sports meetings in 2015?",
+		"Show the names of stadiums that had concerts in 2014 but did not have sports meetings in 2015?",
+	}
+}
+
+func TestDecomposePaperQ1(t *testing.T) {
+	d, err := Decompose(paperQuestions()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Subs) != 2 {
+		t.Fatalf("subs = %d", len(d.Subs))
+	}
+	if d.Subs[0].Key != "had concerts in 2014" || d.Subs[1].Key != "had sports meetings in 2015" {
+		t.Errorf("sub keys = %v", d.Subs)
+	}
+}
+
+func TestSharedSubQueriesAcrossPaperBatch(t *testing.T) {
+	// Figure 7: Q1 and Q2 share "concerts in 2014"; Q3 and Q4 share
+	// "sports meetings in 2015"; etc. Across Q1..Q5, the unique sub-query
+	// count must be well below the total.
+	seen := map[string]int{}
+	total := 0
+	for _, q := range paperQuestions() {
+		d, err := Decompose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range d.Subs {
+			seen[s.Key]++
+			total++
+		}
+	}
+	if len(seen) >= total {
+		t.Errorf("no sharing: %d unique of %d", len(seen), total)
+	}
+	if seen["had concerts in 2014"] < 3 {
+		t.Errorf("expected 'concerts in 2014' shared by Q1/Q4/Q5: %v", seen)
+	}
+}
+
+func TestComposeConnectives(t *testing.T) {
+	subs := []string{"SELECT a", "SELECT b"}
+	for conn, want := range map[workload.Connective]string{
+		workload.ConnOr:  "SELECT a UNION SELECT b",
+		workload.ConnAnd: "SELECT a INTERSECT SELECT b",
+		workload.ConnNot: "SELECT a EXCEPT SELECT b",
+	} {
+		p := transform.ParsedQuestion{Conn: conn, Atoms: make([]workload.Atom, 2)}
+		if got := Compose(p, subs); got != want {
+			t.Errorf("Compose(%v) = %q, want %q", conn, got, want)
+		}
+	}
+	if Compose(transform.ParsedQuestion{}, nil) != "" {
+		t.Error("empty compose not empty")
+	}
+}
+
+// grade executes translated SQL against the DB and compares with gold.
+func grade(t *testing.T, db *sqlkit.DB, res []Translated, golds map[string]string) (correct int) {
+	t.Helper()
+	for _, r := range res {
+		got, err := db.Exec(r.SQL)
+		if err != nil {
+			t.Errorf("SQL for %q does not execute: %v", r.Question, err)
+			continue
+		}
+		want, err := db.Exec(golds[r.Question])
+		if err != nil {
+			t.Fatalf("gold SQL broken: %v", err)
+		}
+		if got.EqualBag(want) {
+			correct++
+		}
+	}
+	return correct
+}
+
+func TestTableIIShape(t *testing.T) {
+	// Decomposition must raise accuracy AND cut cost; combination must cut
+	// cost further at equal accuracy — the Table II shape.
+	qs := workload.GenNL2SQL(37, 60)
+	questions := make([]string, len(qs))
+	golds := map[string]string{}
+	for i, q := range qs {
+		questions[i] = q.Text
+		golds[q.Text] = q.GoldSQL
+	}
+	db := workload.ConcertDB(37)
+
+	run := func(f func(*Planner) ([]Translated, BatchStats, error)) (float64, BatchStats) {
+		p := NewPlanner(transform.NewTranslator(midModel()))
+		res, st, err := f(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := float64(grade(t, db, res, golds)) / float64(len(res))
+		return acc, st
+	}
+
+	accO, stO := run(func(p *Planner) ([]Translated, BatchStats, error) {
+		return p.RunOrigin(context.Background(), questions)
+	})
+	accD, stD := run(func(p *Planner) ([]Translated, BatchStats, error) {
+		return p.RunDecomposed(context.Background(), questions)
+	})
+	accC, stC := run(func(p *Planner) ([]Translated, BatchStats, error) {
+		return p.RunDecomposedCombined(context.Background(), questions, 5)
+	})
+
+	if accD <= accO {
+		t.Errorf("decomposition did not improve accuracy: %.3f vs %.3f", accD, accO)
+	}
+	if stD.Cost >= stO.Cost {
+		t.Errorf("decomposition did not cut cost: %v vs %v", stD.Cost, stO.Cost)
+	}
+	if stC.Cost >= stD.Cost {
+		t.Errorf("combination did not cut cost further: %v vs %v", stC.Cost, stD.Cost)
+	}
+	if accC < accD-0.08 {
+		t.Errorf("combination hurt accuracy: %.3f vs %.3f", accC, accD)
+	}
+}
+
+func TestSharingStats(t *testing.T) {
+	p := NewPlanner(transform.NewTranslator(midModel()))
+	_, st, err := p.RunDecomposed(context.Background(), paperQuestions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalSubQueries != 8 {
+		t.Errorf("total subs = %d, want 8 (Q1:2 Q2:1 Q3:1 Q4:2 Q5:2)", st.TotalSubQueries)
+	}
+	if st.UniqueSubQueries >= st.TotalSubQueries {
+		t.Errorf("no sharing: %d unique of %d", st.UniqueSubQueries, st.TotalSubQueries)
+	}
+	if st.CallsSaved() != st.TotalSubQueries-st.UniqueSubQueries {
+		t.Error("CallsSaved inconsistent")
+	}
+	if st.LLMCalls != st.UniqueSubQueries {
+		t.Errorf("calls %d != unique subs %d", st.LLMCalls, st.UniqueSubQueries)
+	}
+}
+
+func TestCombinedBillingCheaper(t *testing.T) {
+	questions := paperQuestions()
+	pd := NewPlanner(transform.NewTranslator(midModel()))
+	_, stD, err := pd.RunDecomposed(context.Background(), questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPlanner(transform.NewTranslator(midModel()))
+	_, stC, err := pc.RunDecomposedCombined(context.Background(), questions, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stC.InputTokens >= stD.InputTokens {
+		t.Errorf("combined input tokens %d not below decomposed %d", stC.InputTokens, stD.InputTokens)
+	}
+}
+
+func TestDecomposedSQLExecutes(t *testing.T) {
+	db := workload.ConcertDB(41)
+	p := NewPlanner(transform.NewTranslator(midModel()))
+	res, _, err := p.RunDecomposed(context.Background(), paperQuestions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if _, err := db.Exec(r.SQL); err != nil {
+			t.Errorf("composed SQL fails for %q: %v\n%s", r.Question, err, r.SQL)
+		}
+	}
+}
+
+func TestPlanBatchSharingMakesDecompositionCheap(t *testing.T) {
+	tr := transform.NewTranslator(midModel())
+	decisions, err := PlanBatch(tr, paperQuestions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 5 {
+		t.Fatalf("decisions = %d", len(decisions))
+	}
+	// All compound questions decompose; later questions whose atoms are
+	// covered have tiny marginal cost.
+	if !decisions[0].Decompose {
+		t.Error("Q1 not decomposed")
+	}
+	if decisions[4].MarginalTokens >= decisions[0].MarginalTokens {
+		t.Errorf("Q5 marginal %d should be below Q1 %d (atoms already covered)",
+			decisions[4].MarginalTokens, decisions[0].MarginalTokens)
+	}
+}
+
+func TestDecomposeError(t *testing.T) {
+	if _, err := Decompose("nonsense question"); err == nil {
+		t.Error("garbage decomposed")
+	}
+	p := NewPlanner(transform.NewTranslator(midModel()))
+	if _, _, err := p.RunOrigin(context.Background(), []string{"nonsense"}); err == nil {
+		t.Error("origin run accepted garbage")
+	}
+	if _, _, err := p.RunDecomposed(context.Background(), []string{"nonsense"}); err == nil {
+		t.Error("decomposed run accepted garbage")
+	}
+}
+
+func BenchmarkRunDecomposed(b *testing.B) {
+	questions := paperQuestions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewPlanner(transform.NewTranslator(midModel()))
+		if _, _, err := p.RunDecomposed(context.Background(), questions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRunPlannedBetweenOriginAndDecomposed(t *testing.T) {
+	qs := workload.GenNL2SQL(43, 60)
+	questions := make([]string, len(qs))
+	golds := map[string]string{}
+	for i, q := range qs {
+		questions[i] = q.Text
+		golds[q.Text] = q.GoldSQL
+	}
+	db := workload.ConcertDB(43)
+
+	po := NewPlanner(transform.NewTranslator(midModel()))
+	_, stO, err := po.RunOrigin(context.Background(), questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := NewPlanner(transform.NewTranslator(midModel()))
+	resP, stP, err := pp.RunPlanned(context.Background(), questions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must be cheaper than always-whole translation and must
+	// still produce executable SQL for every question.
+	if stP.Cost >= stO.Cost {
+		t.Errorf("planned cost %v not below origin %v", stP.Cost, stO.Cost)
+	}
+	correct := grade(t, db, resP, golds)
+	if float64(correct)/float64(len(resP)) < 0.8 {
+		t.Errorf("planned accuracy %.3f too low", float64(correct)/float64(len(resP)))
+	}
+}

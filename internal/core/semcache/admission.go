@@ -1,0 +1,98 @@
+package semcache
+
+import (
+	"context"
+	"hash/fnv"
+)
+
+// Admission decides whether a freshly computed (query, response) pair is
+// worth caching — the paper's "decide whether to cache ... or refrain from
+// caching based on the likelihood of future access. Predictive methods ...
+// can be designed to predict the probability of future access."
+type Admission interface {
+	// Admit reports whether the query should be cached. Implementations may
+	// update internal state (e.g. frequency sketches) on every call.
+	Admit(query string) bool
+}
+
+// AdmitAll caches everything (the default).
+type AdmitAll struct{}
+
+// Admit implements Admission.
+func (AdmitAll) Admit(string) bool { return true }
+
+// Doorkeeper is a TinyLFU-style admission predictor: a query is admitted
+// only on its second sighting within a sliding window, so one-off queries
+// never displace recurring ones. The sketch is a counting filter that
+// halves on every windowSize insertions (aging).
+type Doorkeeper struct {
+	counts     map[uint64]uint8
+	inserts    int
+	windowSize int
+}
+
+// NewDoorkeeper returns a Doorkeeper with the given aging window (number of
+// observations between halvings). 0 uses 1024.
+func NewDoorkeeper(windowSize int) *Doorkeeper {
+	if windowSize <= 0 {
+		windowSize = 1024
+	}
+	return &Doorkeeper{counts: make(map[uint64]uint8), windowSize: windowSize}
+}
+
+// Admit implements Admission.
+func (d *Doorkeeper) Admit(query string) bool {
+	h := fnv.New64a()
+	h.Write([]byte(query))
+	key := h.Sum64()
+
+	d.inserts++
+	if d.inserts >= d.windowSize {
+		d.inserts = 0
+		for k, c := range d.counts {
+			c /= 2
+			if c == 0 {
+				delete(d.counts, k)
+			} else {
+				d.counts[k] = c
+			}
+		}
+	}
+	seen := d.counts[key]
+	if seen < 255 {
+		d.counts[key] = seen + 1
+	}
+	return seen >= 1
+}
+
+// SetAdmission installs an admission policy; nil restores AdmitAll.
+func (c *Cache) SetAdmission(a Admission) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.admission = a
+}
+
+// SetTTL bounds entry lifetime in logical ticks (each Lookup or Put
+// advances the clock by one). 0 disables expiry. Logical time keeps the
+// cache deterministic — the property every experiment in this repository
+// relies on — while still modelling staleness.
+func (c *Cache) SetTTL(ticks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ttl = ticks
+}
+
+// GetOrCompute returns the cached response for query, or computes, caches
+// and returns it. The compute callback runs outside the cache lock.
+func (c *Cache) GetOrCompute(ctx context.Context, query string, kind Kind, class Class,
+	compute func(ctx context.Context) (string, error)) (string, bool, error) {
+	if hit, ok := c.Lookup(query); ok {
+		return hit.Entry.Response, true, nil
+	}
+	out, err := compute(ctx)
+	if err != nil {
+		return "", false, err
+	}
+	c.Put(query, out, kind, class)
+	return out, false, nil
+}

@@ -1,0 +1,145 @@
+package semcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestAdmitAll(t *testing.T) {
+	var a AdmitAll
+	if !a.Admit("anything") {
+		t.Error("AdmitAll rejected")
+	}
+}
+
+func TestDoorkeeperSecondSighting(t *testing.T) {
+	d := NewDoorkeeper(0)
+	if d.Admit("query one") {
+		t.Error("first sighting admitted")
+	}
+	if !d.Admit("query one") {
+		t.Error("second sighting rejected")
+	}
+	if d.Admit("query two") {
+		t.Error("unrelated first sighting admitted")
+	}
+}
+
+func TestDoorkeeperAging(t *testing.T) {
+	d := NewDoorkeeper(4)
+	d.Admit("q") // count 1
+	// Flood past the window so counts halve (1/2 -> 0, entry dropped).
+	for i := 0; i < 5; i++ {
+		d.Admit(fmt.Sprintf("filler-%d", i))
+	}
+	if d.Admit("q") {
+		t.Error("aged-out query still admitted on what is effectively a first sighting")
+	}
+}
+
+func TestCacheWithDoorkeeper(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.SetAdmission(NewDoorkeeper(0))
+	// First Put: rejected by the doorkeeper (first sighting).
+	c.Put("one-off analytical question", "resp", Original, Reuse)
+	if c.Len() != 0 {
+		t.Fatalf("one-off cached: len=%d", c.Len())
+	}
+	// Second Put of the same query: admitted.
+	c.Put("one-off analytical question", "resp", Original, Reuse)
+	if c.Len() != 1 {
+		t.Fatalf("recurring query not cached: len=%d", c.Len())
+	}
+	// nil restores admit-all.
+	c.SetAdmission(nil)
+	c.Put("brand new question", "resp", Original, Reuse)
+	if c.Len() != 2 {
+		t.Error("admit-all not restored")
+	}
+}
+
+func TestDoorkeeperProtectsHotEntries(t *testing.T) {
+	// Under cache pressure from a one-off scan, the doorkeeper keeps
+	// recurring queries cacheable while never admitting the scan.
+	c := newCache(4, Weighted)
+	dk := NewDoorkeeper(0)
+	c.SetAdmission(dk)
+	hot := []string{"recurring query alpha", "recurring query beta"}
+	for _, q := range hot {
+		c.Put(q, "r", Original, Reuse) // sighting 1: rejected
+		c.Put(q, "r", Original, Reuse) // sighting 2: admitted
+	}
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("scan item %d with unique text", i), "r", Original, Reuse)
+	}
+	for _, q := range hot {
+		if _, ok := c.Lookup(q); !ok {
+			t.Errorf("hot query %q evicted by one-off scan", q)
+		}
+	}
+	if c.Len() > 2 {
+		t.Errorf("scan items were admitted: len=%d", c.Len())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.SetTTL(3)
+	c.Put("short lived", "r", Original, Reuse)
+	// Advance the logical clock past the TTL with unrelated lookups.
+	for i := 0; i < 5; i++ {
+		c.Lookup(fmt.Sprintf("unrelated probe %d", i))
+	}
+	if _, ok := c.Lookup("short lived"); ok {
+		t.Error("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry not removed: len=%d", c.Len())
+	}
+}
+
+func TestTTLRefreshOnHit(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.SetTTL(3)
+	c.Put("kept alive", "r", Original, Reuse)
+	for i := 0; i < 10; i++ {
+		if _, ok := c.Lookup("kept alive"); !ok {
+			t.Fatalf("entry expired despite being hit every tick (i=%d)", i)
+		}
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := newCache(0, Weighted)
+	calls := 0
+	compute := func(ctx context.Context) (string, error) {
+		calls++
+		return "computed", nil
+	}
+	out, cached, err := c.GetOrCompute(context.Background(), "q", Original, Reuse, compute)
+	if err != nil || cached || out != "computed" {
+		t.Fatalf("first call: %q cached=%v err=%v", out, cached, err)
+	}
+	out, cached, err = c.GetOrCompute(context.Background(), "q", Original, Reuse, compute)
+	if err != nil || !cached || out != "computed" {
+		t.Fatalf("second call: %q cached=%v err=%v", out, cached, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+}
+
+func TestGetOrComputeError(t *testing.T) {
+	c := newCache(0, Weighted)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute(context.Background(), "q", Original, Reuse,
+		func(ctx context.Context) (string, error) { return "", boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed compute was cached")
+	}
+}

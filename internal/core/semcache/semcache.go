@@ -1,0 +1,292 @@
+// Package semcache implements the semantic LLM cache of the paper's
+// Section III-C. Unlike a conventional exact-match cache, lookups embed the
+// query and accept the nearest cached query above a similarity threshold.
+// Entries carry a usage class — Reuse (a hit avoids the LLM call entirely)
+// or Augment (a hit only enriches the next prompt) — and the weighted
+// eviction policy prefers keeping Reuse entries, as the paper argues the
+// two hit classes "should have different weights when considering
+// eviction". Sub-query entries are first-class, enabling the Cache(A)
+// configuration of Table III.
+package semcache
+
+import (
+	"sync"
+
+	"repro/internal/embed"
+	"repro/internal/vector"
+)
+
+// Class is how a cached entry is consumed on a hit.
+type Class int
+
+const (
+	// Reuse entries replace an LLM call outright (case 1 in the paper).
+	Reuse Class = iota
+	// Augment entries only enrich the prompt of a new call (case 2).
+	Augment
+)
+
+// Kind distinguishes original queries from decomposed sub-queries.
+type Kind int
+
+const (
+	Original Kind = iota
+	SubQuery
+)
+
+// Policy selects the eviction strategy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used entry.
+	LRU Policy = iota
+	// LFU evicts the least frequently hit entry.
+	LFU
+	// Weighted evicts the entry with the smallest class-weighted usage
+	// score — the paper's proposed policy.
+	Weighted
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	case Weighted:
+		return "weighted"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one cached (query, response) pair.
+type Entry struct {
+	Query    string
+	Response string
+	Kind     Kind
+	Class    Class
+	// Hits counts lookups served by this entry.
+	Hits int
+	// lastUsed is a logical clock value for recency.
+	lastUsed int64
+}
+
+// Hit is a successful lookup.
+type Hit struct {
+	Entry      Entry
+	Similarity float64
+	Exact      bool
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Lookups   int
+	Hits      int
+	ExactHits int
+	Evictions int
+}
+
+// HitRate is Hits/Lookups (0 when empty).
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is a bounded semantic cache. Cache is safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	emb       *embed.Embedder
+	idx       *vector.Flat
+	entries   map[vector.ID]*Entry
+	byExact   map[string]vector.ID
+	nextID    vector.ID
+	capacity  int
+	threshold float64
+	policy    Policy
+	clock     int64
+	stats     Stats
+	// admission gates what gets cached (nil = admit everything).
+	admission Admission
+	// ttl expires entries older than this many logical ticks (0 = never).
+	ttl int64
+}
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Embedder embeds queries; required.
+	Embedder *embed.Embedder
+	// Capacity bounds the entry count; 0 means unbounded.
+	Capacity int
+	// Threshold is the minimum cosine similarity for a semantic hit.
+	// Defaults to 0.85.
+	Threshold float64
+	// Policy selects eviction. Defaults to Weighted.
+	Policy Policy
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Embedder == nil {
+		panic("semcache: nil embedder")
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.85
+	}
+	return &Cache{
+		emb:       cfg.Embedder,
+		idx:       vector.NewFlat(cfg.Embedder.Dim(), vector.Cosine),
+		entries:   make(map[vector.ID]*Entry),
+		byExact:   make(map[string]vector.ID),
+		capacity:  cfg.Capacity,
+		threshold: cfg.Threshold,
+		policy:    cfg.Policy,
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Lookup finds the best cached entry for query: an exact match if present,
+// otherwise the most similar entry above the threshold.
+func (c *Cache) Lookup(query string) (Hit, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.stats.Lookups++
+
+	if id, ok := c.byExact[query]; ok {
+		e := c.entries[id]
+		if c.expiredLocked(e) {
+			c.removeLocked(id)
+		} else {
+			e.Hits++
+			e.lastUsed = c.clock
+			c.stats.Hits++
+			c.stats.ExactHits++
+			return Hit{Entry: *e, Similarity: 1, Exact: true}, true
+		}
+	}
+
+	q := c.emb.Text(query)
+	hits := c.idx.Search(q, 1)
+	if len(hits) == 0 || hits[0].Score < c.threshold {
+		return Hit{}, false
+	}
+	e := c.entries[hits[0].ID]
+	if c.expiredLocked(e) {
+		c.removeLocked(hits[0].ID)
+		return Hit{}, false
+	}
+	e.Hits++
+	e.lastUsed = c.clock
+	c.stats.Hits++
+	return Hit{Entry: *e, Similarity: hits[0].Score}, true
+}
+
+// expiredLocked reports whether e is past the TTL.
+func (c *Cache) expiredLocked(e *Entry) bool {
+	return c.ttl > 0 && c.clock-e.lastUsed > c.ttl
+}
+
+// removeLocked deletes an entry by id.
+func (c *Cache) removeLocked(id vector.ID) {
+	e, ok := c.entries[id]
+	if !ok {
+		return
+	}
+	delete(c.byExact, e.Query)
+	delete(c.entries, id)
+	c.idx.Remove(id)
+}
+
+// Put inserts a (query, response) pair. Re-putting an existing query
+// refreshes its response.
+func (c *Cache) Put(query, response string, kind Kind, class Class) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if id, ok := c.byExact[query]; ok {
+		e := c.entries[id]
+		e.Response = response
+		e.lastUsed = c.clock
+		return
+	}
+	if c.admission != nil && !c.admission.Admit(query) {
+		return
+	}
+	id := c.nextID
+	c.nextID++
+	c.entries[id] = &Entry{Query: query, Response: response, Kind: kind, Class: class, lastUsed: c.clock}
+	c.byExact[query] = id
+	if err := c.idx.Add(vector.Item{ID: id, Vec: c.emb.Text(query)}); err != nil {
+		panic(err) // IDs are unique by construction
+	}
+	if c.capacity > 0 && len(c.entries) > c.capacity {
+		c.evictLocked(id)
+	}
+}
+
+// evictLocked removes one entry per the configured policy. The entry just
+// inserted (keep) is exempt, so cold newcomers are not evicted before they
+// can prove useful.
+func (c *Cache) evictLocked(keep vector.ID) {
+	var victim vector.ID
+	first := true
+	better := func(a, b *Entry) bool { // is a a better victim than b?
+		switch c.policy {
+		case LRU:
+			return a.lastUsed < b.lastUsed
+		case LFU:
+			if a.Hits != b.Hits {
+				return a.Hits < b.Hits
+			}
+			return a.lastUsed < b.lastUsed
+		default: // Weighted
+			wa, wb := c.weight(a), c.weight(b)
+			if wa != wb {
+				return wa < wb
+			}
+			return a.lastUsed < b.lastUsed
+		}
+	}
+	for id, e := range c.entries {
+		if id == keep {
+			continue
+		}
+		if first || better(e, c.entries[victim]) {
+			victim = id
+			first = false
+		}
+	}
+	e := c.entries[victim]
+	delete(c.byExact, e.Query)
+	delete(c.entries, victim)
+	c.idx.Remove(victim)
+	c.stats.Evictions++
+}
+
+// weight scores an entry's retention value: hit count scaled by the class
+// weight (Reuse hits save a whole LLM call; Augment hits only improve a
+// prompt).
+func (c *Cache) weight(e *Entry) float64 {
+	w := 1.0
+	if e.Class == Augment {
+		w = 0.4
+	}
+	return w * float64(e.Hits+1)
+}

@@ -1,0 +1,173 @@
+package semcache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+func newCache(capacity int, policy Policy) *Cache {
+	return New(Config{Embedder: embed.New(embed.DefaultDim), Capacity: capacity, Policy: policy})
+}
+
+func TestExactHit(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.Put("in which city was Alice born?", "Lyon", Original, Reuse)
+	h, ok := c.Lookup("in which city was Alice born?")
+	if !ok || !h.Exact || h.Entry.Response != "Lyon" {
+		t.Fatalf("hit = %+v ok=%v", h, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.ExactHits != 1 || st.Lookups != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSemanticHit(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.Put("What are the names of stadiums that had concerts in 2014?", "Anfield, Camp Nou", Original, Reuse)
+	// Paraphrase: high similarity, not exact.
+	h, ok := c.Lookup("Show the names of stadiums that had concerts in 2014")
+	if !ok {
+		t.Fatal("semantic paraphrase missed")
+	}
+	if h.Exact {
+		t.Error("paraphrase reported exact")
+	}
+	if h.Similarity < 0.85 || h.Similarity >= 1 {
+		t.Errorf("similarity = %v", h.Similarity)
+	}
+}
+
+func TestUnrelatedQueryMisses(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.Put("What are the names of stadiums that had concerts in 2014?", "x", Original, Reuse)
+	if _, ok := c.Lookup("predict the execution time of this analytical join query"); ok {
+		t.Error("unrelated query hit")
+	}
+	if c.Stats().HitRate() != 0 {
+		t.Errorf("hit rate = %v", c.Stats().HitRate())
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.Put("q", "old", Original, Reuse)
+	c.Put("q", "new", Original, Reuse)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	h, _ := c.Lookup("q")
+	if h.Entry.Response != "new" {
+		t.Errorf("response = %q", h.Entry.Response)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newCache(2, LRU)
+	c.Put("alpha query one", "1", Original, Reuse)
+	c.Put("beta query two", "2", Original, Reuse)
+	c.Lookup("alpha query one") // refresh alpha
+	c.Put("gamma query three", "3", Original, Reuse)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Lookup("beta query two"); ok {
+		t.Error("LRU kept the least recently used entry")
+	}
+	if _, ok := c.Lookup("alpha query one"); !ok {
+		t.Error("LRU evicted the recently used entry")
+	}
+}
+
+func TestLFUEviction(t *testing.T) {
+	c := newCache(2, LFU)
+	c.Put("alpha query one", "1", Original, Reuse)
+	c.Put("beta query two", "2", Original, Reuse)
+	c.Lookup("alpha query one")
+	c.Lookup("alpha query one")
+	c.Lookup("beta query two")
+	c.Put("gamma query three", "3", Original, Reuse)
+	if _, ok := c.Lookup("beta query two"); ok {
+		t.Error("LFU kept the less frequent entry")
+	}
+}
+
+func TestWeightedEvictionPrefersReuse(t *testing.T) {
+	c := newCache(2, Weighted)
+	c.Put("reuse entry query", "r", Original, Reuse)
+	c.Put("augment entry query", "a", Original, Augment)
+	// Same hit counts: the augment entry has lower weight and goes first.
+	c.Lookup("reuse entry query")
+	c.Lookup("augment entry query")
+	c.Put("newcomer entry query", "n", Original, Reuse)
+	if _, ok := c.Lookup("augment entry query"); ok {
+		t.Error("weighted policy kept the augment entry over the reuse entry")
+	}
+	if _, ok := c.Lookup("reuse entry query"); !ok {
+		t.Error("weighted policy evicted the reuse entry")
+	}
+}
+
+func TestEvictionCountsAndCapacity(t *testing.T) {
+	c := newCache(3, LRU)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("query number %d with padding words", i), "r", Original, Reuse)
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d, want 3", c.Len())
+	}
+	if c.Stats().Evictions != 7 {
+		t.Errorf("evictions = %d, want 7", c.Stats().Evictions)
+	}
+}
+
+func TestSubQueryEntries(t *testing.T) {
+	c := newCache(0, Weighted)
+	c.Put("In which city was Alice born?", "Lyon", SubQuery, Reuse)
+	h, ok := c.Lookup("In which city was Alice born?")
+	if !ok || h.Entry.Kind != SubQuery {
+		t.Errorf("sub-query entry = %+v ok=%v", h, ok)
+	}
+}
+
+func TestThresholdRespected(t *testing.T) {
+	strict := New(Config{Embedder: embed.New(embed.DefaultDim), Threshold: 0.999})
+	strict.Put("What are the names of stadiums that had concerts in 2014?", "x", Original, Reuse)
+	if _, ok := strict.Lookup("Show the names of stadiums that had concerts in 2014"); ok {
+		t.Error("strict threshold admitted a paraphrase")
+	}
+	loose := New(Config{Embedder: embed.New(embed.DefaultDim), Threshold: 0.5})
+	loose.Put("What are the names of stadiums that had concerts in 2014?", "x", Original, Reuse)
+	if _, ok := loose.Lookup("Show the names of stadiums that had concerts in 2014"); !ok {
+		t.Error("loose threshold missed a paraphrase")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || LFU.String() != "lfu" || Weighted.String() != "weighted" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestNewPanicsWithoutEmbedder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without embedder did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func BenchmarkLookup(b *testing.B) {
+	c := newCache(0, Weighted)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("cached question number %d about stadiums", i), "r", Original, Reuse)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup("cached question number 42 about stadiums")
+	}
+}

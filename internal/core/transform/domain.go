@@ -1,0 +1,300 @@
+package transform
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/workload"
+)
+
+// DomainSpec declares an NL2SQL domain: a head entity table whose names
+// are asked for, event tables linked by the entity key (verb phrases like
+// "attended trainings in 2016"), and numeric attributes (phrases like
+// "have a salary greater than 50000"). The question grammar, SQL
+// generation and difficulty calibration are all derived from the spec —
+// the generalization of the concert-schema translator, addressing the
+// paper's "implicit matching between the entities in the NL query and the
+// database tables" beyond one hard-coded domain.
+type DomainSpec struct {
+	// Entity is the head entity table ("employee"); EntityPlural the noun
+	// used in questions ("employees").
+	Entity       string
+	EntityPlural string
+	// Key joins the entity to its event tables ("employee_id").
+	Key string
+	// NameCol is the projected column ("name").
+	NameCol string
+	// Events are the linkable activities.
+	Events []EventSpec
+	// Attrs are the numeric attribute predicates.
+	Attrs []AttrSpec
+}
+
+// EventSpec is one event table: "worked on projects in 2015" with
+// Verb="worked on", Noun="projects", Table="project_assignment".
+type EventSpec struct {
+	Verb  string
+	Noun  string
+	Table string
+	// YearCol is the temporal column ("year").
+	YearCol string
+}
+
+// AttrSpec is one numeric attribute: "have a salary greater than N".
+type AttrSpec struct {
+	Noun string
+	Col  string
+}
+
+// DomainAtom is one parsed atomic condition in a domain.
+type DomainAtom struct {
+	// Kind is "event", "most", or "attr".
+	Kind  string
+	Event *EventSpec
+	Year  int
+	Attr  *AttrSpec
+	Op    string // ">" or "<"
+	N     int
+}
+
+// Phrase renders the atom as the verb phrase used inside questions.
+func (a DomainAtom) Phrase() string {
+	switch a.Kind {
+	case "event":
+		return fmt.Sprintf("%s %s in %d", a.Event.Verb, a.Event.Noun, a.Year)
+	case "most":
+		return fmt.Sprintf("%s the most %s in %d", a.Event.Verb, a.Event.Noun, a.Year)
+	case "attr":
+		word := "greater"
+		if a.Op == "<" {
+			word = "smaller"
+		}
+		return fmt.Sprintf("have a %s %s than %d", a.Attr.Noun, word, a.N)
+	default:
+		return "?"
+	}
+}
+
+// SQL renders the gold SQL for "names of <entities> that <atom>".
+func (a DomainAtom) SQL(spec *DomainSpec) string {
+	switch a.Kind {
+	case "event":
+		return fmt.Sprintf("SELECT DISTINCT h.%s FROM %s AS h JOIN %s AS e ON h.%s = e.%s WHERE e.%s = %d",
+			spec.NameCol, spec.Entity, a.Event.Table, spec.Key, spec.Key, a.Event.YearCol, a.Year)
+	case "most":
+		return fmt.Sprintf("SELECT h.%s FROM %s AS h JOIN %s AS e ON h.%s = e.%s WHERE e.%s = %d GROUP BY h.%s ORDER BY COUNT(*) DESC, h.%s ASC LIMIT 1",
+			spec.NameCol, spec.Entity, a.Event.Table, spec.Key, spec.Key, a.Event.YearCol, a.Year, spec.NameCol, spec.NameCol)
+	case "attr":
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s %s %d",
+			spec.NameCol, spec.Entity, a.Attr.Col, a.Op, a.N)
+	default:
+		return ""
+	}
+}
+
+// DomainParsed is a parsed domain question.
+type DomainParsed struct {
+	Atoms []DomainAtom
+	Conn  workload.Connective
+	spec  *DomainSpec
+}
+
+// SQL renders the gold SQL for the whole question.
+func (p DomainParsed) SQL() string {
+	if len(p.Atoms) == 0 {
+		return ""
+	}
+	sql := p.Atoms[0].SQL(p.spec)
+	if len(p.Atoms) == 2 {
+		op := map[workload.Connective]string{
+			workload.ConnOr:  " UNION ",
+			workload.ConnAnd: " INTERSECT ",
+			workload.ConnNot: " EXCEPT ",
+		}[p.Conn]
+		sql += op + p.Atoms[1].SQL(p.spec)
+	}
+	return sql
+}
+
+// Difficulty mirrors the concert calibration.
+func (p DomainParsed) Difficulty() float64 {
+	if len(p.Atoms) > 1 {
+		return DifficultyCompound
+	}
+	if len(p.Atoms) == 1 && p.Atoms[0].Kind == "most" {
+		return DifficultySuperlative
+	}
+	return DifficultySimple
+}
+
+// DomainTranslator is the spec-driven NL2SQL translator.
+type DomainTranslator struct {
+	Spec  *DomainSpec
+	Model llm.Model
+
+	reHead  *regexp.Regexp
+	reMost  *regexp.Regexp
+	reEvent *regexp.Regexp
+	reAttr  *regexp.Regexp
+}
+
+// NewDomainTranslator compiles the grammar for a spec.
+func NewDomainTranslator(spec *DomainSpec, m llm.Model) *DomainTranslator {
+	plural := regexp.QuoteMeta(spec.EntityPlural)
+	var verbs, nouns []string
+	for _, e := range spec.Events {
+		verbs = append(verbs, regexp.QuoteMeta(e.Verb))
+		nouns = append(nouns, regexp.QuoteMeta(e.Noun))
+	}
+	var attrs []string
+	for _, a := range spec.Attrs {
+		attrs = append(attrs, regexp.QuoteMeta(a.Noun))
+	}
+	verbAlt := strings.Join(verbs, "|")
+	nounAlt := strings.Join(nouns, "|")
+	attrAlt := strings.Join(attrs, "|")
+	return &DomainTranslator{
+		Spec:    spec,
+		Model:   m,
+		reHead:  regexp.MustCompile(`(?i)^(what are the names of ` + plural + ` that|show the names of ` + plural + ` that)\s+(.*?)\??$`),
+		reMost:  regexp.MustCompile(`(?i)^(` + verbAlt + `)\s+the most\s+(` + nounAlt + `)\s+in\s+(\d{4})$`),
+		reEvent: regexp.MustCompile(`(?i)^(` + verbAlt + `)\s+(` + nounAlt + `)\s+in\s+(\d{4})$`),
+		reAttr:  regexp.MustCompile(`(?i)^have a\s+(` + attrAlt + `)\s+(greater|smaller)\s+than\s+(\d+)$`),
+	}
+}
+
+// Parse parses a domain question into its atoms and connective.
+func (t *DomainTranslator) Parse(q string) (DomainParsed, error) {
+	m := t.reHead.FindStringSubmatch(strings.TrimSpace(q))
+	if m == nil {
+		return DomainParsed{}, fmt.Errorf("transform: question does not match the %s domain: %q", t.Spec.Entity, q)
+	}
+	body := m[2]
+	var parts []string
+	conn := workload.ConnNone
+	switch {
+	case strings.Contains(body, " but not "):
+		parts = strings.SplitN(body, " but not ", 2)
+		conn = workload.ConnNot
+	case strings.Contains(body, " or "):
+		parts = strings.SplitN(body, " or ", 2)
+		conn = workload.ConnOr
+	case strings.Contains(body, " and "):
+		parts = strings.SplitN(body, " and ", 2)
+		conn = workload.ConnAnd
+	default:
+		parts = []string{body}
+	}
+	out := DomainParsed{Conn: conn, spec: t.Spec}
+	for _, part := range parts {
+		a, err := t.parseAtom(strings.TrimSpace(part))
+		if err != nil {
+			return DomainParsed{}, err
+		}
+		out.Atoms = append(out.Atoms, a)
+	}
+	return out, nil
+}
+
+func (t *DomainTranslator) parseAtom(s string) (DomainAtom, error) {
+	if m := t.reMost.FindStringSubmatch(s); m != nil {
+		e := t.eventByNoun(m[2])
+		if e == nil {
+			return DomainAtom{}, fmt.Errorf("transform: unknown event noun %q", m[2])
+		}
+		y, _ := strconv.Atoi(m[3])
+		return DomainAtom{Kind: "most", Event: e, Year: y}, nil
+	}
+	if m := t.reEvent.FindStringSubmatch(s); m != nil {
+		e := t.eventByNoun(m[2])
+		if e == nil {
+			return DomainAtom{}, fmt.Errorf("transform: unknown event noun %q", m[2])
+		}
+		y, _ := strconv.Atoi(m[3])
+		return DomainAtom{Kind: "event", Event: e, Year: y}, nil
+	}
+	if m := t.reAttr.FindStringSubmatch(s); m != nil {
+		a := t.attrByNoun(m[1])
+		if a == nil {
+			return DomainAtom{}, fmt.Errorf("transform: unknown attribute %q", m[1])
+		}
+		op := ">"
+		if strings.EqualFold(m[2], "smaller") {
+			op = "<"
+		}
+		n, _ := strconv.Atoi(m[3])
+		return DomainAtom{Kind: "attr", Attr: a, Op: op, N: n}, nil
+	}
+	return DomainAtom{}, fmt.Errorf("transform: unrecognized condition %q in the %s domain", s, t.Spec.Entity)
+}
+
+func (t *DomainTranslator) eventByNoun(noun string) *EventSpec {
+	for i := range t.Spec.Events {
+		if strings.EqualFold(t.Spec.Events[i].Noun, noun) {
+			return &t.Spec.Events[i]
+		}
+	}
+	return nil
+}
+
+func (t *DomainTranslator) attrByNoun(noun string) *AttrSpec {
+	for i := range t.Spec.Attrs {
+		if strings.EqualFold(t.Spec.Attrs[i].Noun, noun) {
+			return &t.Spec.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// Translate converts one domain question to SQL via an LLM call, with the
+// same corruption realism as the concert translator (wrong set operation
+// for compounds; off-by-one year or flipped comparison for atoms).
+func (t *DomainTranslator) Translate(ctx context.Context, question string) (string, llm.Response, error) {
+	parsed, err := t.Parse(question)
+	if err != nil {
+		return "", llm.Response{}, err
+	}
+	gold := parsed.SQL()
+	wrong := t.corrupt(parsed)
+	resp, err := t.Model.Complete(ctx, llm.Request{
+		Task:       llm.TaskNL2SQL,
+		Prompt:     fmt.Sprintf("Translate over the %s schema: %s", t.Spec.Entity, question),
+		Gold:       gold,
+		Wrong:      wrong,
+		Difficulty: parsed.Difficulty(),
+	})
+	if err != nil {
+		return "", llm.Response{}, err
+	}
+	return resp.Text, resp, nil
+}
+
+func (t *DomainTranslator) corrupt(p DomainParsed) string {
+	if len(p.Atoms) == 2 {
+		wrongOp := map[workload.Connective]string{
+			workload.ConnOr:  " INTERSECT ",
+			workload.ConnAnd: " UNION ",
+			workload.ConnNot: " UNION ",
+		}[p.Conn]
+		return p.Atoms[0].SQL(t.Spec) + wrongOp + p.Atoms[1].SQL(t.Spec)
+	}
+	if len(p.Atoms) == 1 {
+		a := p.Atoms[0]
+		switch a.Kind {
+		case "event", "most":
+			a.Year++
+		case "attr":
+			if a.Op == ">" {
+				a.Op = "<"
+			} else {
+				a.Op = ">"
+			}
+		}
+		return a.SQL(t.Spec)
+	}
+	return fmt.Sprintf("SELECT %s FROM %s", t.Spec.NameCol, t.Spec.Entity)
+}

@@ -1,0 +1,161 @@
+package transform
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// employeeSpec declares the second NL2SQL domain.
+func employeeSpec() *DomainSpec {
+	return &DomainSpec{
+		Entity:       "employee",
+		EntityPlural: "employees",
+		Key:          "employee_id",
+		NameCol:      "name",
+		Events: []EventSpec{
+			{Verb: "worked on", Noun: "projects", Table: "project_assignment", YearCol: "year"},
+			{Verb: "attended", Noun: "trainings", Table: "training_session", YearCol: "year"},
+		},
+		Attrs: []AttrSpec{{Noun: "salary", Col: "salary"}},
+	}
+}
+
+func TestDomainParseEmployee(t *testing.T) {
+	dt := NewDomainTranslator(employeeSpec(), strongModel())
+	p, err := dt.Parse("What are the names of employees that worked on projects in 2015 or attended trainings in 2016?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Atoms) != 2 || p.Conn != workload.ConnOr {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Atoms[0].Event.Table != "project_assignment" || p.Atoms[1].Event.Table != "training_session" {
+		t.Errorf("event mapping wrong: %+v", p.Atoms)
+	}
+	if p.Difficulty() != DifficultyCompound {
+		t.Errorf("difficulty = %v", p.Difficulty())
+	}
+}
+
+func TestDomainParseAttrAndMost(t *testing.T) {
+	dt := NewDomainTranslator(employeeSpec(), strongModel())
+	p, err := dt.Parse("Show the names of employees that have a salary greater than 60000?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Atoms[0].Kind != "attr" || p.Atoms[0].Op != ">" || p.Atoms[0].N != 60000 {
+		t.Errorf("attr atom = %+v", p.Atoms[0])
+	}
+
+	p, err = dt.Parse("Show the names of employees that worked on the most projects in 2015?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Atoms[0].Kind != "most" {
+		t.Errorf("most atom = %+v", p.Atoms[0])
+	}
+}
+
+func TestDomainRejectsForeignQuestions(t *testing.T) {
+	dt := NewDomainTranslator(employeeSpec(), strongModel())
+	for _, q := range []string{
+		"What are the names of stadiums that had concerts in 2014?", // wrong domain
+		"Show the names of employees that danced in 2015?",          // unknown verb
+		"",
+	} {
+		if _, err := dt.Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestDomainGoldSQLExecutes(t *testing.T) {
+	db := workload.EmployeeDB(3)
+	dt := NewDomainTranslator(employeeSpec(), strongModel())
+	qs := workload.EmployeeQuestions(5, 40)
+	for _, q := range qs {
+		p, err := dt.Parse(q.Text)
+		if err != nil {
+			t.Errorf("cannot parse %q: %v", q.Text, err)
+			continue
+		}
+		if p.SQL() != q.GoldSQL {
+			t.Errorf("SQL mismatch for %q:\n  parsed: %s\n  gold:   %s", q.Text, p.SQL(), q.GoldSQL)
+		}
+		if _, err := db.Exec(p.SQL()); err != nil {
+			t.Errorf("SQL fails for %q: %v", q.Text, err)
+		}
+	}
+}
+
+func TestDomainTranslateEndToEnd(t *testing.T) {
+	db := workload.EmployeeDB(3)
+	dt := NewDomainTranslator(employeeSpec(), strongModel())
+	qs := workload.EmployeeQuestions(7, 20)
+	for _, q := range qs {
+		sql, resp, err := dt.Translate(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Correct {
+			t.Errorf("strong model erred on %q", q.Text)
+		}
+		got, err := db.Exec(sql)
+		if err != nil {
+			t.Fatalf("translated SQL fails: %v\n%s", err, sql)
+		}
+		want, _ := db.Exec(q.GoldSQL)
+		if !got.EqualBag(want) {
+			t.Errorf("execution mismatch for %q", q.Text)
+		}
+	}
+}
+
+func TestDomainWeakModelEmitsValidWrongSQL(t *testing.T) {
+	db := workload.EmployeeDB(3)
+	dt := NewDomainTranslator(employeeSpec(), weakModel())
+	qs := workload.EmployeeQuestions(11, 40)
+	wrongs := 0
+	for _, q := range qs {
+		sql, resp, err := dt.Translate(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(sql); err != nil {
+			t.Errorf("emitted SQL invalid: %v\n%s", err, sql)
+		}
+		if !resp.Correct {
+			wrongs++
+		}
+	}
+	if wrongs == 0 {
+		t.Error("weak model never erred on the employee domain")
+	}
+}
+
+// The concert schema expressed as a DomainSpec must parse concert-style
+// questions too — the generality check.
+func TestConcertExpressibleAsDomain(t *testing.T) {
+	spec := &DomainSpec{
+		Entity:       "stadium",
+		EntityPlural: "stadiums",
+		Key:          "stadium_id",
+		NameCol:      "name",
+		Events: []EventSpec{
+			{Verb: "had", Noun: "concerts", Table: "concert", YearCol: "year"},
+			{Verb: "had", Noun: "sports meetings", Table: "sports_meeting", YearCol: "year"},
+		},
+		Attrs: []AttrSpec{{Noun: "capacity", Col: "capacity"}},
+	}
+	dt := NewDomainTranslator(spec, strongModel())
+	db := workload.ConcertDB(3)
+	p, err := dt.Parse("What are the names of stadiums that had concerts in 2014 or had sports meetings in 2015?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(p.SQL()); err != nil {
+		t.Fatalf("domain-generated concert SQL fails: %v\n%s", err, p.SQL())
+	}
+}

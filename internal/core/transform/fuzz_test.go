@@ -1,0 +1,56 @@
+package transform
+
+import "testing"
+
+// FuzzParseQuestion asserts the NL question parser is total and that any
+// successful parse renders executable-shaped SQL (non-empty, starts with
+// SELECT).
+func FuzzParseQuestion(f *testing.F) {
+	seeds := []string{
+		"What are the names of stadiums that had concerts in 2014?",
+		"Show the names of stadiums that had concerts in 2014 or had sports meetings in 2015?",
+		"Show the names of stadiums that had concerts in 2014 but did not have sports meetings in 2015?",
+		"What are the names of stadiums that had the most number of concerts in 2014?",
+		"Show the names of stadiums that have a capacity greater than 60000?",
+		"what are the names of stadiums that had concerts in 99999?",
+		"Show the names of stadiums that",
+		"", "???", "had concerts in 2014",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		p, err := ParseQuestion(q)
+		if err != nil {
+			return
+		}
+		sql := p.SQL()
+		if len(sql) < 6 || sql[:6] != "SELECT" {
+			t.Fatalf("parse of %q produced non-SELECT SQL %q", q, sql)
+		}
+		if d := p.Difficulty(); d <= 0 || d > 1 {
+			t.Fatalf("difficulty %v out of range for %q", d, q)
+		}
+	})
+}
+
+// FuzzMinePattern asserts pattern mining is total and sound: a mined
+// pattern matches every input it was mined from.
+func FuzzMinePattern(f *testing.F) {
+	f.Add("Aug 14 2023", "Sep 02 2021")
+	f.Add("C001", "C9999")
+	f.Add("", "x")
+	f.Add("日本語", "日本語2")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if a == "" || b == "" {
+			return
+		}
+		p, ok := MinePattern([]string{a, b})
+		if !ok {
+			return
+		}
+		if !p.Match(a) || !p.Match(b) {
+			t.Fatalf("pattern %q does not match its own inputs %q / %q", p.String(), a, b)
+		}
+	})
+}

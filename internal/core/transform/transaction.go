@@ -1,0 +1,149 @@
+package transform
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/llm"
+)
+
+// NL2Transaction converts a natural-language description of a multi-step
+// money flow into a SQL transaction — the paper's Alice-buys-a-laptop
+// example. The grammar accepts sentences of the form
+//
+//	"<payer> pays <payee> $<amount>"
+//
+// joined by "and", "then", commas or periods, and emits BEGIN/UPDATE.../
+// COMMIT over an accounts(owner TEXT, balance INT) table.
+type NL2Transaction struct {
+	Model llm.Model
+}
+
+// Payment is one parsed transfer.
+type Payment struct {
+	From   string
+	To     string
+	Amount int64
+}
+
+var rePayment = regexp.MustCompile(`(?i)([A-Za-z][A-Za-z ]*?)\s+(?:pays|needs to pay|transfers)\s+(?:\$(\d+)\s+to\s+)?([A-Za-z][A-Za-z ]*?)(?:\s+\$(\d+))?$`)
+
+// ParsePayments extracts the ordered transfers from text.
+func ParsePayments(text string) ([]Payment, error) {
+	// Normalize sentence separators.
+	text = strings.NewReplacer(". ", ";", ", and ", ";", " and ", ";", " then ", ";", ",", ";").Replace(text)
+	text = strings.TrimSuffix(strings.TrimSpace(text), ".")
+	var out []Payment
+	for _, sent := range strings.Split(text, ";") {
+		sent = strings.TrimSpace(sent)
+		if sent == "" {
+			continue
+		}
+		m := rePayment.FindStringSubmatch(sent)
+		if m == nil {
+			return nil, fmt.Errorf("transform: unrecognized payment sentence %q", sent)
+		}
+		var amountStr string
+		if m[2] != "" {
+			amountStr = m[2] // "pays $N to Y"
+		} else {
+			amountStr = m[4] // "pays Y $N"
+		}
+		if amountStr == "" {
+			return nil, fmt.Errorf("transform: no amount in %q", sent)
+		}
+		n, err := strconv.ParseInt(amountStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("transform: bad amount in %q: %w", sent, err)
+		}
+		out = append(out, Payment{
+			From:   strings.TrimSpace(m[1]),
+			To:     strings.TrimSpace(m[3]),
+			Amount: n,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("transform: no payments found in %q", text)
+	}
+	return out, nil
+}
+
+// TransactionSQL renders the payments as a SQL transaction script.
+func TransactionSQL(payments []Payment) string {
+	var b strings.Builder
+	b.WriteString("BEGIN;\n")
+	for _, p := range payments {
+		fmt.Fprintf(&b, "UPDATE accounts SET balance = balance - %d WHERE owner = '%s';\n", p.Amount, p.From)
+		fmt.Fprintf(&b, "UPDATE accounts SET balance = balance + %d WHERE owner = '%s';\n", p.Amount, p.To)
+	}
+	b.WriteString("COMMIT;")
+	return b.String()
+}
+
+// Translate converts the NL description to a transaction script with one
+// LLM call. Multi-statement generation is a step-by-step reasoning task:
+// moderately hard, with the typical failure being a dropped leg of one
+// transfer (which breaks balance conservation — detectable by validation).
+func (t *NL2Transaction) Translate(ctx context.Context, text string) (string, llm.Response, error) {
+	payments, err := ParsePayments(text)
+	if err != nil {
+		return "", llm.Response{}, err
+	}
+	gold := TransactionSQL(payments)
+
+	// Wrong variant: forget the credit leg of the last payment.
+	wrongPayments := make([]Payment, len(payments))
+	copy(wrongPayments, payments)
+	var wb strings.Builder
+	wb.WriteString("BEGIN;\n")
+	for i, p := range wrongPayments {
+		fmt.Fprintf(&wb, "UPDATE accounts SET balance = balance - %d WHERE owner = '%s';\n", p.Amount, p.From)
+		if i != len(wrongPayments)-1 {
+			fmt.Fprintf(&wb, "UPDATE accounts SET balance = balance + %d WHERE owner = '%s';\n", p.Amount, p.To)
+		}
+	}
+	wb.WriteString("COMMIT;")
+
+	difficulty := 0.35 + 0.12*float64(len(payments)-1)
+	if difficulty > 0.85 {
+		difficulty = 0.85
+	}
+	resp, err := t.Model.Complete(ctx, llm.Request{
+		Task:       llm.TaskTransform,
+		Prompt:     "Convert to a SQL transaction over accounts(owner, balance): " + text,
+		Gold:       gold,
+		Wrong:      wb.String(),
+		Difficulty: difficulty,
+	})
+	if err != nil {
+		return "", llm.Response{}, err
+	}
+	return resp.Text, resp, nil
+}
+
+// ValidateConservation checks that a generated transaction script conserves
+// total balance: the sum of all debits equals the sum of all credits. This
+// is the kind of cheap domain validation the paper's Section III-E calls
+// for before trusting LLM output.
+func ValidateConservation(script string) bool {
+	var debit, credit int64
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+		lower := strings.ToLower(line)
+		if !strings.HasPrefix(lower, "update accounts set balance = balance") {
+			continue
+		}
+		var amt int64
+		if _, err := fmt.Sscanf(lower, "update accounts set balance = balance - %d", &amt); err == nil {
+			debit += amt
+			continue
+		}
+		if _, err := fmt.Sscanf(lower, "update accounts set balance = balance + %d", &amt); err == nil {
+			credit += amt
+		}
+	}
+	return debit == credit && debit > 0
+}

@@ -1,0 +1,53 @@
+package validate
+
+import (
+	"context"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// LeaveOneOut measures each context fact's influence on the model's answer
+// by re-asking the question with that fact removed and recording the
+// confidence drop — the model-grounded counterpart of AttributeEvidence
+// (string-grounded), and the classic ablation form of LLM interpretability
+// the paper's Section III-E-1 asks for.
+//
+// buildReq constructs the request for a given context subset; callers
+// encode how missing context affects the task (e.g. raising difficulty
+// when a supporting fact is absent). The returned attributions are ordered
+// like facts; Score is baselineConfidence − ablatedConfidence, so larger
+// means more load-bearing.
+func LeaveOneOut(ctx context.Context, m llm.Model, facts []string,
+	buildReq func(facts []string) llm.Request) ([]Attribution, token.Cost, error) {
+
+	base, err := m.Complete(ctx, buildReq(facts))
+	if err != nil {
+		return nil, 0, err
+	}
+	cost := base.Cost
+	out := make([]Attribution, len(facts))
+	for i, f := range facts {
+		ablated := make([]string, 0, len(facts)-1)
+		ablated = append(ablated, facts[:i]...)
+		ablated = append(ablated, facts[i+1:]...)
+		resp, err := m.Complete(ctx, buildReq(ablated))
+		if err != nil {
+			return nil, cost, err
+		}
+		cost += resp.Cost
+		out[i] = Attribution{Fact: f, Score: base.Confidence - resp.Confidence}
+	}
+	return out, cost, nil
+}
+
+// TopEvidence returns the index of the highest-scoring attribution, or -1.
+func TopEvidence(attrs []Attribution) int {
+	best, bestScore := -1, 0.0
+	for i, a := range attrs {
+		if best == -1 || a.Score > bestScore {
+			best, bestScore = i, a.Score
+		}
+	}
+	return best
+}

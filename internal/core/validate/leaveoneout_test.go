@@ -1,0 +1,85 @@
+package validate
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func TestLeaveOneOutFindsSupportingFact(t *testing.T) {
+	m := llm.NewSim(llm.SimConfig{Name: "loo", Capability: 0.85,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+	set := workload.GenQA(31, 40)
+
+	checked := 0
+	for _, it := range set.Items {
+		if it.Hops != 2 {
+			continue
+		}
+		// The item's gold facts plus distractors.
+		facts := append([]string{}, it.Facts...)
+		facts = append(facts, "Turin is a city in Borduria.", "Onyx Group was founded in 1971.")
+
+		buildReq := func(fs []string) llm.Request {
+			// Missing support makes the question unanswerable from context:
+			// the builder raises difficulty accordingly. This is how a
+			// retrieval-grounded pipeline actually behaves.
+			difficulty := it.Difficulty
+			joined := strings.Join(fs, " ")
+			for _, gold := range it.Facts {
+				if !strings.Contains(joined, gold) {
+					difficulty = 0.99
+				}
+			}
+			return llm.Request{
+				Task:       llm.TaskQA,
+				Prompt:     "Context: " + joined + "\nQ: " + it.Question,
+				Gold:       it.Answer,
+				Wrong:      it.Distractor,
+				Difficulty: difficulty,
+			}
+		}
+		attrs, cost, err := LeaveOneOut(context.Background(), m, facts, buildReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost <= 0 {
+			t.Error("ablations billed nothing")
+		}
+		// Every gold fact must out-score every distractor.
+		minGold, maxDistr := 2.0, -2.0
+		for i, a := range attrs {
+			if i < len(it.Facts) {
+				if a.Score < minGold {
+					minGold = a.Score
+				}
+			} else if a.Score > maxDistr {
+				maxDistr = a.Score
+			}
+		}
+		if minGold <= maxDistr {
+			t.Errorf("item %d: gold fact score %.3f not above distractor %.3f", it.ID, minGold, maxDistr)
+		}
+		checked++
+		if checked >= 5 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no 2-hop items checked")
+	}
+}
+
+func TestTopEvidence(t *testing.T) {
+	attrs := []Attribution{{Score: 0.1}, {Score: 0.9}, {Score: 0.3}}
+	if got := TopEvidence(attrs); got != 1 {
+		t.Errorf("TopEvidence = %d", got)
+	}
+	if got := TopEvidence(nil); got != -1 {
+		t.Errorf("TopEvidence(nil) = %d", got)
+	}
+}

@@ -1,0 +1,256 @@
+package validate
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func midModel() *llm.SimModel {
+	return llm.NewSim(llm.SimConfig{Name: "mid", Capability: 0.7,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 2000}})
+}
+
+func TestSelfConsistencyEasyUnanimous(t *testing.T) {
+	req := llm.Request{Task: llm.TaskQA, Prompt: "trivial lookup", Gold: "Lyon", Wrong: "Riga", Difficulty: 0.05}
+	res, err := SelfConsistency(context.Background(), midModel(), req, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != "Lyon" || res.Agreement != 1 {
+		t.Errorf("consensus = %q agreement %.2f", res.Answer, res.Agreement)
+	}
+	if len(res.Votes) != 5 || res.Cost <= 0 {
+		t.Errorf("votes %d cost %v", len(res.Votes), res.Cost)
+	}
+}
+
+func TestSelfConsistencyBorderlineDisagrees(t *testing.T) {
+	// Difficulty right at capability: noise flips some samples, and the
+	// disagreement is the validation signal.
+	set := workload.GenQA(19, 200)
+	m := midModel()
+	sawDisagreement := false
+	for _, it := range set.Items {
+		if it.Difficulty < 0.62 || it.Difficulty > 0.78 {
+			continue
+		}
+		res, err := SelfConsistency(context.Background(), m, llm.Request{
+			Prompt: it.Question, Gold: it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+		}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Agreement < 1 {
+			sawDisagreement = true
+			break
+		}
+	}
+	if !sawDisagreement {
+		t.Error("borderline queries never disagreed; agreement carries no signal")
+	}
+}
+
+func TestAgreementFiltersErrors(t *testing.T) {
+	// Accepting only high-agreement answers must raise precision over
+	// accepting everything.
+	set := workload.GenQA(23, 300)
+	m := midModel()
+	var allCorrect, allN, accCorrect, accN int
+	for _, it := range set.Items {
+		res, err := SelfConsistency(context.Background(), m, llm.Request{
+			Prompt: it.Question, Gold: it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+			WrongAlts: []string{"I am not certain.", "It is not mentioned in the context."},
+		}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := res.Answer == it.Answer
+		allN++
+		if correct {
+			allCorrect++
+		}
+		if res.Agreement >= 0.8 {
+			accN++
+			if correct {
+				accCorrect++
+			}
+		}
+	}
+	if accN == 0 || accN == allN {
+		t.Fatalf("degenerate acceptance: %d of %d", accN, allN)
+	}
+	rawAcc := float64(allCorrect) / float64(allN)
+	validatedAcc := float64(accCorrect) / float64(accN)
+	if validatedAcc <= rawAcc {
+		t.Errorf("validated accuracy %.3f not above raw %.3f", validatedAcc, rawAcc)
+	}
+}
+
+func TestAttributeEvidence(t *testing.T) {
+	facts := []string{
+		"Kyoto is a city in Hyrkania.",
+		"Mei Tanaka was born in Kyoto and researches genomics at Apex Labs.",
+		"Apex Labs is headquartered in Lyon and was founded in 1954.",
+	}
+	attrs := AttributeEvidence("In which city was Mei Tanaka born?", "Kyoto", facts)
+	if attrs[0].Fact != facts[1] {
+		t.Errorf("top attribution = %q", attrs[0].Fact)
+	}
+	if attrs[0].Score <= attrs[2].Score {
+		t.Error("supporting fact not scored above unrelated fact")
+	}
+}
+
+func TestSupported(t *testing.T) {
+	facts := []string{"Mei Tanaka was born in Kyoto."}
+	if !Supported("Kyoto", facts) {
+		t.Error("grounded answer reported unsupported")
+	}
+	if Supported("Riga", facts) {
+		t.Error("hallucinated answer reported supported")
+	}
+	if Supported("", facts) {
+		t.Error("empty answer supported")
+	}
+}
+
+func TestWorkerJudgeDeterministic(t *testing.T) {
+	w := NewWorker("w1", 0.8)
+	a := w.Judge("item-1", true)
+	b := w.Judge("item-1", true)
+	if a != b {
+		t.Error("worker verdict nondeterministic")
+	}
+}
+
+func TestWorkerAccuracyCalibrated(t *testing.T) {
+	w := NewWorker("w2", 0.8)
+	right := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		truth := i%2 == 0
+		if w.Judge(fmt.Sprintf("item-%d", i), truth) == truth {
+			right++
+		}
+	}
+	acc := float64(right) / n
+	if acc < 0.75 || acc > 0.85 {
+		t.Errorf("worker accuracy %.3f, want ~0.8", acc)
+	}
+}
+
+func TestCrowdBeatsSingleWorker(t *testing.T) {
+	workers := []*Worker{
+		NewWorker("a", 0.75), NewWorker("b", 0.75), NewWorker("c", 0.75),
+		NewWorker("d", 0.75), NewWorker("e", 0.75),
+	}
+	crowd := NewCrowd(workers...)
+	const n = 1000
+	crowdRight, soloRight := 0, 0
+	for i := 0; i < n; i++ {
+		truth := i%3 != 0
+		key := fmt.Sprintf("out-%d", i)
+		if verdict, _ := crowd.Accept(key, truth); verdict == truth {
+			crowdRight++
+		}
+		if workers[0].Judge(key, truth) == truth {
+			soloRight++
+		}
+	}
+	if crowdRight <= soloRight {
+		t.Errorf("crowd %d not above solo %d", crowdRight, soloRight)
+	}
+}
+
+func TestCalibrationDownweightsBadWorker(t *testing.T) {
+	good := NewWorker("good", 0.95)
+	bad := NewWorker("bad", 0.3) // adversarially wrong
+	crowd := NewCrowd(good, bad)
+
+	var goldItems []string
+	var goldTruth []bool
+	for i := 0; i < 200; i++ {
+		goldItems = append(goldItems, fmt.Sprintf("gold-%d", i))
+		goldTruth = append(goldTruth, i%2 == 0)
+	}
+	crowd.Calibrate(goldItems, goldTruth)
+	if good.reliability <= bad.reliability {
+		t.Errorf("calibration failed: good %.2f vs bad %.2f", good.reliability, bad.reliability)
+	}
+
+	// With calibration, the good worker dominates the vote.
+	right := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		truth := i%2 == 0
+		if verdict, _ := crowd.Accept(fmt.Sprintf("item-%d", i), truth); verdict == truth {
+			right++
+		}
+	}
+	if float64(right)/n < 0.85 {
+		t.Errorf("calibrated crowd accuracy %.3f too low", float64(right)/n)
+	}
+}
+
+func TestEmptyCrowd(t *testing.T) {
+	c := NewCrowd()
+	verdict, share := c.Accept("x", true)
+	if verdict || share != 0 {
+		t.Errorf("empty crowd verdict %v share %v", verdict, share)
+	}
+}
+
+func BenchmarkSelfConsistency(b *testing.B) {
+	m := midModel()
+	req := llm.Request{Prompt: "a question of moderate length about stadium concerts", Gold: "g", Wrong: "w", Difficulty: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelfConsistency(context.Background(), m, req, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAcceptSequentialSavesJudgments(t *testing.T) {
+	workers := make([]*Worker, 9)
+	for i := range workers {
+		workers[i] = NewWorker(fmt.Sprintf("sw%d", i), 0.95)
+	}
+	crowd := NewCrowd(workers...)
+
+	totalConsulted, full := 0, 0
+	agree := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		truth := i%3 != 0
+		key := fmt.Sprintf("seq-%d", i)
+		vSeq, _, used := crowd.AcceptSequential(key, truth)
+		vFull, _ := crowd.Accept(key, truth)
+		totalConsulted += used
+		full += len(workers)
+		if vSeq == vFull {
+			agree++
+		}
+	}
+	if totalConsulted >= full {
+		t.Errorf("sequential used %d judgments, full panel %d", totalConsulted, full)
+	}
+	// With high-reliability workers the early stop should rarely flip the
+	// verdict relative to the full panel.
+	if float64(agree)/n < 0.97 {
+		t.Errorf("sequential agreed with full panel only %.3f", float64(agree)/n)
+	}
+}
+
+func TestAcceptSequentialEmptyCrowd(t *testing.T) {
+	c := NewCrowd()
+	verdict, share, used := c.AcceptSequential("x", true)
+	if verdict || share != 0 || used != 0 {
+		t.Errorf("empty sequential = %v %v %d", verdict, share, used)
+	}
+}

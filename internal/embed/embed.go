@@ -1,0 +1,189 @@
+// Package embed produces deterministic vector embeddings for text, tabular
+// and image-descriptor data.
+//
+// The embedder is a hashed bag-of-n-grams model: every word token and every
+// character trigram of the input is hashed into a fixed-dimensional vector
+// with a signed FNV hash, and the result is L2-normalized. This is the
+// classic "hashing trick" feature map; it is deterministic, allocation-light
+// and — crucially for this reproduction — semantically meaningful enough that
+// similar queries land near each other, which is what the paper's prompt
+// store (III-A), semantic cache (III-C) and multi-modal data lake (II-D)
+// all rely on.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// DefaultDim is the embedding dimensionality used across the repository when
+// callers do not request a specific size.
+const DefaultDim = 128
+
+// Vector is a dense embedding.
+type Vector []float32
+
+// Embedder maps data of several modalities into one shared vector space.
+type Embedder struct {
+	dim int
+	tok token.Tokenizer
+}
+
+// New returns an Embedder producing vectors of the given dimensionality.
+// It panics if dim <= 0, since a zero-dimensional space is always a bug.
+func New(dim int) *Embedder {
+	if dim <= 0 {
+		panic("embed: non-positive dimension")
+	}
+	return &Embedder{dim: dim}
+}
+
+// Dim reports the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// Text embeds a natural-language string.
+func (e *Embedder) Text(s string) Vector {
+	v := make(Vector, e.dim)
+	for _, t := range e.tok.Tokenize(s) {
+		addHashed(v, "w:"+t, 1)
+	}
+	for _, g := range charTrigrams(s) {
+		addHashed(v, "g:"+g, 0.5)
+	}
+	normalize(v)
+	return v
+}
+
+// Row embeds one table row given its column names and stringified values.
+// The attribute names are folded in so that rows from tables with the same
+// values but different schemas do not collapse to one point.
+func (e *Embedder) Row(cols, vals []string) Vector {
+	v := make(Vector, e.dim)
+	for i, c := range cols {
+		addHashed(v, "c:"+strings.ToLower(c), 0.75)
+		if i < len(vals) {
+			for _, t := range e.tok.Tokenize(vals[i]) {
+				addHashed(v, "v:"+strings.ToLower(c)+"="+t, 1)
+				addHashed(v, "w:"+t, 0.5)
+			}
+		}
+	}
+	normalize(v)
+	return v
+}
+
+// Column embeds a table column given its name and a sample of values.
+func (e *Embedder) Column(name string, sample []string) Vector {
+	v := make(Vector, e.dim)
+	addHashed(v, "c:"+strings.ToLower(name), 2)
+	for _, s := range sample {
+		for _, t := range e.tok.Tokenize(s) {
+			addHashed(v, "w:"+t, 1)
+		}
+	}
+	normalize(v)
+	return v
+}
+
+// Image embeds an image stand-in. Offline reproduction has no pixel data, so
+// images are represented by caption text plus a compact feature descriptor
+// (e.g. dominant colors, detected object tags); both contribute to the
+// embedding so that caption-similar and feature-similar images are close.
+func (e *Embedder) Image(caption string, features []float64) Vector {
+	v := make(Vector, e.dim)
+	for _, t := range e.tok.Tokenize(caption) {
+		addHashed(v, "w:"+t, 1)
+	}
+	for i, f := range features {
+		addHashed(v, "f:"+strconv.Itoa(i), float32(f))
+	}
+	normalize(v)
+	return v
+}
+
+// Cosine returns the cosine similarity of two vectors of equal length.
+// Because Embedder output is L2-normalized, this equals the dot product for
+// embedder-produced vectors, but Cosine stays correct for raw vectors too.
+func Cosine(a, b Vector) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Dot returns the inner product of two vectors of equal length.
+func Dot(a, b Vector) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// L2 returns the Euclidean distance between two vectors of equal length.
+func L2(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Norm returns the L2 norm of v.
+func Norm(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// addHashed folds feature key into v at a hashed position with a hashed sign.
+func addHashed(v Vector, key string, w float32) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	sum := h.Sum64()
+	idx := int(sum % uint64(len(v)))
+	if (sum>>63)&1 == 1 {
+		w = -w
+	}
+	v[idx] += w
+}
+
+// normalize scales v to unit L2 norm in place; the zero vector is unchanged.
+func normalize(v Vector) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := float32(1 / n)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// charTrigrams returns the character trigrams of the lowercased input with
+// spaces collapsed. Short strings yield nothing.
+func charTrigrams(s string) []string {
+	s = strings.ToLower(strings.Join(strings.Fields(s), " "))
+	r := []rune(s)
+	if len(r) < 3 {
+		return nil
+	}
+	out := make([]string, 0, len(r)-2)
+	for i := 0; i+3 <= len(r); i++ {
+		out = append(out, string(r[i:i+3]))
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core/privacy"
+	"repro/internal/core/semcache"
+	"repro/internal/embed"
+	"repro/internal/vector"
+	"repro/internal/workload"
+)
+
+// ExtRegistry maps the ablation experiments (DESIGN.md §4) — studies of
+// this repository's own design choices, beyond the paper's artifacts.
+func ExtRegistry() map[string]Runner {
+	return map[string]Runner{
+		"ab-index":           AblationIndexes,
+		"ab-cache-policy":    AblationCachePolicies,
+		"ab-cache-threshold": AblationCacheThreshold,
+		"ab-hybrid":          AblationHybridOrders,
+		"ab-dp":              AblationDPSweep,
+	}
+}
+
+// ExtIDs lists ablation IDs in presentation order.
+func ExtIDs() []string {
+	return []string{"ab-index", "ab-cache-policy", "ab-cache-threshold", "ab-hybrid", "ab-dp"}
+}
+
+func randVecs(seed int64, n, dim int) []vector.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]vector.Item, n)
+	for i := range items {
+		v := make(embed.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		items[i] = vector.Item{ID: vector.ID(i), Vec: v}
+	}
+	return items
+}
+
+// AblationIndexes compares the four vector indexes on recall@10 against
+// the exact flat scan, plus per-vector storage.
+func AblationIndexes() (Report, error) {
+	const n, dim, k, queries = 2000, 64, 10, 40
+	items := randVecs(201, n, dim)
+	rng := rand.New(rand.NewSource(202))
+
+	flat := vector.NewFlat(dim, vector.L2)
+	flat.Add(items...)
+	ivf := vector.NewIVF(vector.IVFConfig{Dim: dim, Metric: vector.L2, NList: 32, NProbe: 6, Seed: 1})
+	ivf.Add(items...)
+	hnsw := vector.NewHNSW(vector.HNSWConfig{Dim: dim, Metric: vector.L2, M: 12, EfSearch: 64, Seed: 1})
+	hnsw.Add(items...)
+	pq := vector.NewPQ(vector.PQConfig{Dim: dim, M: 8, K: 64, Seed: 1})
+	pq.Add(items...)
+
+	recall := func(idx vector.Index) float64 {
+		qrng := rand.New(rand.NewSource(rng.Int63()))
+		hits, total := 0, 0
+		for qi := 0; qi < queries; qi++ {
+			q := make(embed.Vector, dim)
+			for j := range q {
+				q[j] = float32(qrng.NormFloat64())
+			}
+			truth := flat.Search(q, k)
+			approx := idx.Search(q, k)
+			in := map[vector.ID]bool{}
+			for _, r := range approx {
+				in[r.ID] = true
+			}
+			for _, r := range truth {
+				total++
+				if in[r.ID] {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+
+	rep := Report{
+		ID:      "ab-index",
+		Title:   "vector index ablation: recall@10 vs storage",
+		Headers: []string{"index", "recall@10", "bytes/vector"},
+		Notes:   []string{fmt.Sprintf("%d vectors, dim %d, %d queries; ground truth = exact flat scan", n, dim, queries)},
+	}
+	rep.Rows = append(rep.Rows,
+		[]string{"flat (exact)", f3(recall(flat)), fmt.Sprintf("%d", dim*4)},
+		[]string{"ivf (nprobe 6/32)", f3(recall(ivf)), fmt.Sprintf("%d", dim*4)},
+		[]string{"hnsw (M=12, ef=64)", f3(recall(hnsw)), fmt.Sprintf("%d", dim*4)},
+		[]string{fmt.Sprintf("pq (m=8, 64x compressed)"), f3(recall(pq)), fmt.Sprintf("%d", pq.BytesPerVector())},
+	)
+	return rep, nil
+}
+
+// AblationCachePolicies replays a skewed query stream (hot set revisited,
+// cold one-offs passing through) against each eviction policy under
+// capacity pressure.
+func AblationCachePolicies() (Report, error) {
+	rep := Report{
+		ID:      "ab-cache-policy",
+		Title:   "cache eviction policy ablation under capacity pressure",
+		Headers: []string{"policy", "hit rate", "evictions"},
+		Notes:   []string{"capacity 20; stream: 10 hot queries revisited 8x, interleaved with 120 one-off queries"},
+	}
+	hot := make([]string, 10)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("recurring analytics question number %d about revenue", i)
+	}
+	for _, policy := range []semcache.Policy{semcache.LRU, semcache.LFU, semcache.Weighted} {
+		c := semcache.New(semcache.Config{
+			Embedder: embed.New(embed.DefaultDim), Capacity: 20, Threshold: 0.999, Policy: policy,
+		})
+		cold := 0
+		for round := 0; round < 8; round++ {
+			for _, q := range hot {
+				if _, ok := c.Lookup(q); !ok {
+					c.Put(q, "r", semcache.Original, semcache.Reuse)
+				}
+			}
+			for j := 0; j < 15; j++ {
+				q := fmt.Sprintf("one-off exploratory query %d-%d with unique text", round, j)
+				cold++
+				if _, ok := c.Lookup(q); !ok {
+					c.Put(q, "r", semcache.Original, semcache.Augment)
+				}
+			}
+		}
+		st := c.Stats()
+		rep.Rows = append(rep.Rows, []string{policy.String(), f3(st.HitRate()), fmt.Sprintf("%d", st.Evictions)})
+	}
+	return rep, nil
+}
+
+// AblationCacheThreshold sweeps the semantic-hit similarity threshold and
+// measures the hit rate alongside the false-hit rate (hits whose cached
+// answer belongs to a different question) — the paper's "appropriate
+// similarity threshold ... should be different for various scenarios".
+func AblationCacheThreshold() (Report, error) {
+	rep := Report{
+		ID:      "ab-cache-threshold",
+		Title:   "semantic cache threshold ablation: hits vs false hits",
+		Headers: []string{"threshold", "hit rate", "false-hit rate"},
+		Notes: []string{
+			"workload: NL2SQL questions; each cached question is probed once by a true paraphrase (different head, same semantics) and once by a near-miss (same shape, different entity)",
+		},
+	}
+	qs := workload.GenNL2SQL(61, 60)
+	for _, th := range []float64{0.80, 0.90, 0.95, 0.99} {
+		c := semcache.New(semcache.Config{Embedder: embed.New(embed.DefaultDim), Threshold: th})
+		probes, hits, falseHits := 0, 0, 0
+		for i := 0; i+1 < len(qs); i += 2 {
+			a, b := qs[i], qs[i+1]
+			c.Put(a.Text, a.GoldSQL, semcache.Original, semcache.Reuse)
+
+			// True paraphrase: swap the question head.
+			para := swapHead(a.Text)
+			probes++
+			if hit, ok := c.Lookup(para); ok {
+				hits++
+				if hit.Entry.Response != a.GoldSQL {
+					falseHits++
+				}
+			}
+			// Near-miss: a different question entirely.
+			probes++
+			if hit, ok := c.Lookup(b.Text); ok {
+				hits++
+				if hit.Entry.Response != b.GoldSQL {
+					falseHits++
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.2f", th),
+			f3(float64(hits) / float64(probes)),
+			f3(float64(falseHits) / float64(probes)),
+		})
+	}
+	return rep, nil
+}
+
+func swapHead(q string) string {
+	const a = "What are the names of stadiums that"
+	const b = "Show the names of stadiums that"
+	if len(q) >= len(a) && q[:len(a)] == a {
+		return b + q[len(a):]
+	}
+	if len(q) >= len(b) && q[:len(b)] == b {
+		return a + q[len(b):]
+	}
+	return q
+}
+
+// AblationHybridOrders compares the vectors scanned by each hybrid
+// execution order across predicate selectivities, including the adaptive
+// heuristic and the trained order classifier.
+func AblationHybridOrders() (Report, error) {
+	rep := Report{
+		ID:      "ab-hybrid",
+		Title:   "hybrid search order ablation: vectors scanned by strategy",
+		Headers: []string{"selectivity", "attribute-first", "vector-first", "adaptive picked", "learned picked"},
+		Notes:   []string{"store of 1000 items, k=10; scanned = vectors scored by the chosen plan"},
+	}
+	rng := rand.New(rand.NewSource(71))
+	store := vector.NewFlat(embed.DefaultDim, vector.Cosine)
+	for i := 0; i < 1000; i++ {
+		v := make(embed.Vector, embed.DefaultDim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		store.Add(vector.Item{ID: vector.ID(i), Vec: v, Attrs: map[string]string{
+			"bucket100": fmt.Sprintf("%d", i%100), // 1% selectivity
+			"bucket10":  fmt.Sprintf("%d", i%10),  // 10%
+			"bucket2":   fmt.Sprintf("%d", i%2),   // 50%
+		}})
+	}
+	h := vector.NewHybrid(store)
+
+	// Train the learned chooser on a probe workload mixing selectivities.
+	learner := vector.NewOrderLearner()
+	preds := []struct {
+		name string
+		sel  float64
+		p    vector.Predicate
+	}{
+		{"0.01", 0.01, vector.AttrEquals("bucket100", "3")},
+		{"0.10", 0.10, vector.AttrEquals("bucket10", "3")},
+		{"0.50", 0.50, vector.AttrEquals("bucket2", "1")},
+	}
+	q := make(embed.Vector, embed.DefaultDim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	for round := 0; round < 10; round++ {
+		for _, pc := range preds {
+			h.SearchLearned(q, 10, pc.p, learner, true)
+		}
+	}
+	learner.Train(800, 2.0)
+
+	for _, pc := range preds {
+		_, stA := h.Search(q, 10, pc.p, vector.AttributeFirst)
+		_, stV := h.Search(q, 10, pc.p, vector.VectorFirst)
+		_, stAd := h.Search(q, 10, pc.p, vector.Adaptive)
+		_, stL := h.SearchLearned(q, 10, pc.p, learner, false)
+		rep.Rows = append(rep.Rows, []string{
+			pc.name,
+			fmt.Sprintf("%d", stA.Scanned),
+			fmt.Sprintf("%d", stV.Scanned),
+			stAd.Order.String(),
+			stL.Order.String(),
+		})
+	}
+	return rep, nil
+}
+
+// AblationDPSweep traces the privacy/utility frontier: DP noise multiplier
+// vs membership-inference advantage vs model error.
+func AblationDPSweep() (Report, error) {
+	rep := Report{
+		ID:      "ab-dp",
+		Title:   "differential privacy sweep: attack advantage vs utility",
+		Headers: []string{"noise sigma", "MIA advantage", "test MSE"},
+		Notes:   []string{"6 member examples, federated training with clipping 0.5; advantage = best TPR-FPR of the loss-threshold attack"},
+	}
+	qw := workload.GenQueryWorkload(81, 400)
+	xs := make([][]float64, len(qw))
+	ys := make([]float64, len(qw))
+	for i, q := range qw {
+		xs[i] = q.Features()
+		ys[i] = math.Log1p(q.ExecTimeMS)
+	}
+	memberX, memberY := xs[:6], ys[:6]
+	nonX, nonY := xs[200:300], ys[200:300]
+
+	for _, sigma := range []float64{0, 0.05, 0.15, 0.3, 0.6} {
+		m, err := privacy.FedAvg([]privacy.Client{{X: memberX, Y: memberY, LocalEpochs: 5}}, len(xs[0]),
+			privacy.FedConfig{Rounds: 60, LR: 0.05, ClipNorm: 0.5, NoiseSigma: sigma, Seed: 7})
+		if err != nil {
+			return rep, err
+		}
+		adv, _ := (&privacy.MembershipAttack{Model: m}).Advantage(memberX, memberY, nonX, nonY)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.2f", sigma), f3(adv), f3(m.MSE(nonX, nonY)),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,145 @@
+package exper
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationIndexes(t *testing.T) {
+	rep, err := AblationIndexes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	flatRecall, _ := strconv.ParseFloat(rep.Rows[0][1], 64)
+	if flatRecall != 1 {
+		t.Errorf("flat recall = %v, want 1 (it is the ground truth)", flatRecall)
+	}
+	hnswRecall, _ := strconv.ParseFloat(rep.Rows[2][1], 64)
+	pqRecall, _ := strconv.ParseFloat(rep.Rows[3][1], 64)
+	if hnswRecall < 0.8 {
+		t.Errorf("hnsw recall %v too low", hnswRecall)
+	}
+	if pqRecall >= hnswRecall {
+		t.Errorf("pq (lossy) recall %v should be below hnsw %v", pqRecall, hnswRecall)
+	}
+	pqBytes, _ := strconv.Atoi(rep.Rows[3][2])
+	flatBytes, _ := strconv.Atoi(rep.Rows[0][2])
+	if pqBytes*8 > flatBytes {
+		t.Errorf("pq not compressed: %d vs %d bytes", pqBytes, flatBytes)
+	}
+}
+
+func TestAblationCachePolicies(t *testing.T) {
+	rep, err := AblationCachePolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	rates := map[string]float64{}
+	for _, row := range rep.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		rates[row[0]] = v
+	}
+	// The weighted policy protects reuse-class hot entries from the cold
+	// scan; it must beat plain LRU on this stream.
+	if rates["weighted"] <= rates["lru"] {
+		t.Errorf("weighted %v not above lru %v", rates["weighted"], rates["lru"])
+	}
+}
+
+func TestAblationCacheThreshold(t *testing.T) {
+	rep, err := AblationCacheThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Hit rate and false-hit rate must both fall as the threshold rises.
+	prevHit, prevFalse := 2.0, 2.0
+	for _, row := range rep.Rows {
+		hit, _ := strconv.ParseFloat(row[1], 64)
+		fh, _ := strconv.ParseFloat(row[2], 64)
+		if hit > prevHit+1e-9 || fh > prevFalse+1e-9 {
+			t.Errorf("rates not monotone at threshold %s: hit %v (prev %v) false %v (prev %v)",
+				row[0], hit, prevHit, fh, prevFalse)
+		}
+		prevHit, prevFalse = hit, fh
+	}
+	// The loosest threshold must show false hits (the hazard exists); the
+	// strictest must not.
+	looseFalse, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+	strictFalse, _ := strconv.ParseFloat(rep.Rows[3][2], 64)
+	if looseFalse == 0 {
+		t.Error("loose threshold produced no false hits; the trade-off is invisible")
+	}
+	if strictFalse > 0.02 {
+		t.Errorf("strict threshold still false-hits at %v", strictFalse)
+	}
+}
+
+func TestAblationHybridOrders(t *testing.T) {
+	rep, err := AblationHybridOrders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// At 1% selectivity attribute-first scans far less; at 50% it scans
+	// more than vector-first.
+	a1, _ := strconv.Atoi(rep.Rows[0][1])
+	v1, _ := strconv.Atoi(rep.Rows[0][2])
+	if a1 >= v1 {
+		t.Errorf("at 1%% selectivity attribute-first scanned %d >= vector-first %d", a1, v1)
+	}
+	a50, _ := strconv.Atoi(rep.Rows[2][1])
+	v50, _ := strconv.Atoi(rep.Rows[2][2])
+	if a50 <= v50 {
+		t.Errorf("at 50%% selectivity attribute-first scanned %d <= vector-first %d", a50, v50)
+	}
+	// Both adaptive and learned should route extremes correctly.
+	if rep.Rows[0][3] != "attribute-first" || rep.Rows[0][4] != "attribute-first" {
+		t.Errorf("1%% selectivity routed %s/%s", rep.Rows[0][3], rep.Rows[0][4])
+	}
+	if rep.Rows[2][3] != "vector-first" || rep.Rows[2][4] != "vector-first" {
+		t.Errorf("50%% selectivity routed %s/%s", rep.Rows[2][3], rep.Rows[2][4])
+	}
+}
+
+func TestAblationDPSweep(t *testing.T) {
+	rep, err := AblationDPSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	advClean, _ := strconv.ParseFloat(rep.Rows[0][1], 64)
+	advHeavy, _ := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][1], 64)
+	mseClean, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+	mseHeavy, _ := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][2], 64)
+	if advHeavy >= advClean {
+		t.Errorf("heavy noise advantage %v not below clean %v", advHeavy, advClean)
+	}
+	if mseHeavy <= mseClean {
+		t.Errorf("heavy noise MSE %v not above clean %v (no utility cost shown)", mseHeavy, mseClean)
+	}
+}
+
+func TestExtRegistry(t *testing.T) {
+	ids := ExtIDs()
+	if len(ids) != 5 {
+		t.Fatalf("ext ids = %v", ids)
+	}
+	for _, id := range ids {
+		if ExtRegistry()[id] == nil {
+			t.Errorf("ext runner %s missing", id)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package exper
+
+import (
+	"testing"
+)
+
+func TestReportCSV(t *testing.T) {
+	rep := Report{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"plain", `with "quote", comma`}},
+	}
+	got := rep.CSV()
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

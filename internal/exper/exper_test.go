@@ -1,0 +1,351 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct converts "92.5%" to 92.5.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}
+
+// parseCost converts "$1.123" to 1.123.
+func parseCost(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimPrefix(s, "$"), 64)
+	if err != nil {
+		t.Fatalf("bad cost %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	rep, err := Table1Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	acc := make([]float64, 4)
+	cost := make([]float64, 4)
+	for i, row := range rep.Rows {
+		acc[i] = parsePct(t, row[1])
+		cost[i] = parseCost(t, row[2])
+	}
+	// Paper shape: accuracy strictly increases with model tier.
+	if !(acc[0] < acc[1] && acc[1] < acc[2]) {
+		t.Errorf("model accuracies not increasing: %v", acc)
+	}
+	// Small model near 27.5%, large near 92.5%.
+	if acc[0] > 45 {
+		t.Errorf("small model accuracy %.1f too high", acc[0])
+	}
+	if acc[2] < 85 {
+		t.Errorf("large model accuracy %.1f too low", acc[2])
+	}
+	// Cascade ≈ gpt-4 accuracy, much cheaper.
+	if acc[3] < acc[2]-7.6 {
+		t.Errorf("cascade accuracy %.1f too far below gpt-4 %.1f", acc[3], acc[2])
+	}
+	if cost[3] > cost[2]/2 {
+		t.Errorf("cascade cost %.3f not well below gpt-4 %.3f", cost[3], cost[2])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rep, err := Table2Decomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	accO := parsePct(t, rep.Rows[0][1])
+	accD := parsePct(t, rep.Rows[1][1])
+	accC := parsePct(t, rep.Rows[2][1])
+	costO := parseCost(t, rep.Rows[0][2])
+	costD := parseCost(t, rep.Rows[1][2])
+	costC := parseCost(t, rep.Rows[2][2])
+
+	// Paper shape: decomposition raises accuracy AND lowers cost;
+	// combination lowers cost further at equal accuracy.
+	if accD <= accO {
+		t.Errorf("decomposition accuracy %.1f not above origin %.1f", accD, accO)
+	}
+	if costD >= costO {
+		t.Errorf("decomposition cost %.3f not below origin %.3f", costD, costO)
+	}
+	if costC >= costD {
+		t.Errorf("combination cost %.3f not below decomposition %.3f", costC, costD)
+	}
+	if accC < accD-8 {
+		t.Errorf("combination accuracy %.1f fell too far from %.1f", accC, accD)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rep, err := Table3Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	accNo := parsePct(t, rep.Rows[0][1])
+	accO := parsePct(t, rep.Rows[1][1])
+	accA := parsePct(t, rep.Rows[2][1])
+	costNo := parseCost(t, rep.Rows[0][2])
+	costO := parseCost(t, rep.Rows[1][2])
+	costA := parseCost(t, rep.Rows[2][2])
+
+	// Paper shape: Cache(O) same accuracy as w/o cache, lower cost;
+	// Cache(A) higher accuracy than both at cost between Cache(O) and w/o.
+	if accO != accNo {
+		t.Errorf("Cache(O) accuracy %.1f differs from w/o %.1f (cached replays must match)", accO, accNo)
+	}
+	if accA <= accO {
+		t.Errorf("Cache(A) accuracy %.1f not above Cache(O) %.1f", accA, accO)
+	}
+	if costO >= costNo {
+		t.Errorf("Cache(O) cost %.3f not below w/o %.3f", costO, costNo)
+	}
+	if costA >= costNo {
+		t.Errorf("Cache(A) cost %.3f not below w/o %.3f", costA, costNo)
+	}
+}
+
+func TestFig6Sweep(t *testing.T) {
+	rep, err := Fig6CascadeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Threshold 0 = never escalate (cheapest, weakest); 1.01 = always
+	// escalate (most expensive, strongest).
+	accLo := parsePct(t, rep.Rows[0][1])
+	accHi := parsePct(t, rep.Rows[6][1])
+	costLo := parseCost(t, rep.Rows[0][2])
+	costHi := parseCost(t, rep.Rows[6][2])
+	if accLo >= accHi {
+		t.Errorf("frontier inverted: acc %.1f at tau 0 vs %.1f at tau 1", accLo, accHi)
+	}
+	if costLo >= costHi {
+		t.Errorf("cost inverted: %.3f at tau 0 vs %.3f at tau 1", costLo, costHi)
+	}
+	// Escalations per query are monotone in tau.
+	prev := -1.0
+	for i := 0; i < 7; i++ {
+		e, _ := strconv.ParseFloat(rep.Rows[i][3], 64)
+		if e < prev {
+			t.Errorf("escalations not monotone at row %d: %v after %v", i, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestFig7SharingGrows(t *testing.T) {
+	rep, err := Fig7Sharing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Calls saved must grow with batch size; unique sub-queries saturate.
+	savedFirst, _ := strconv.Atoi(rep.Rows[0][3])
+	savedLast, _ := strconv.Atoi(rep.Rows[len(rep.Rows)-1][3])
+	if savedLast <= savedFirst {
+		t.Errorf("sharing did not grow: %d -> %d", savedFirst, savedLast)
+	}
+	uniqueLast, _ := strconv.Atoi(rep.Rows[len(rep.Rows)-1][2])
+	totalLast, _ := strconv.Atoi(rep.Rows[len(rep.Rows)-1][1])
+	if uniqueLast >= totalLast/2 {
+		t.Errorf("at batch 80 sharing should halve calls: %d unique of %d", uniqueLast, totalLast)
+	}
+}
+
+func TestFig1PipelineStagesHealthy(t *testing.T) {
+	rep, err := Fig1Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Every stage metric should be strong with the large model.
+	if v := parsePct(t, rep.Rows[0][3]); v < 95 {
+		t.Errorf("generation executable %.1f%%", v)
+	}
+	if v, _ := strconv.ParseFloat(rep.Rows[1][3], 64); v < 0.9 {
+		t.Errorf("transformation accuracy %v", v)
+	}
+	if v, _ := strconv.ParseFloat(rep.Rows[2][3], 64); v < 0.5 {
+		t.Errorf("integration F1 %v", v)
+	}
+	if v := parsePct(t, rep.Rows[3][3]); v < 60 {
+		t.Errorf("exploration hit@1 %.1f%%", v)
+	}
+}
+
+func TestFig2ConstraintsHelpWeakModels(t *testing.T) {
+	rep, err := Fig2SQLGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Row 0: small model, constraints off; row 1: on.
+	offExec := parsePct(t, rep.Rows[0][2])
+	onExec := parsePct(t, rep.Rows[1][2])
+	if onExec <= offExec {
+		t.Errorf("constraint loop did not lift small-model executability: %.1f -> %.1f", offExec, onExec)
+	}
+	if onExec != 100 {
+		t.Errorf("MustExecute left %.1f%% executable", onExec)
+	}
+}
+
+func TestFig3QualityOrdering(t *testing.T) {
+	rep, err := Fig3TrainGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	qeSmall, _ := strconv.ParseFloat(rep.Rows[0][1], 64)
+	qeLarge, _ := strconv.ParseFloat(rep.Rows[2][1], 64)
+	if qeLarge >= qeSmall {
+		t.Errorf("large model q-error %.2f not below small %.2f", qeLarge, qeSmall)
+	}
+	impSmall := parsePct(t, rep.Rows[0][2])
+	impLarge := parsePct(t, rep.Rows[2][2])
+	if impLarge <= impSmall {
+		t.Errorf("large model imputation %.1f not above small %.1f", impLarge, impSmall)
+	}
+}
+
+func TestFig4SynthesisCheaperSameAccuracy(t *testing.T) {
+	rep, err := Fig4Transform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for i := 0; i < 6; i += 2 {
+		direct := rep.Rows[i]
+		synth := rep.Rows[i+1]
+		costD := parseCost(t, direct[4])
+		costS := parseCost(t, synth[4])
+		if costS >= costD {
+			t.Errorf("%s: synthesis cost %.4f not below direct %.4f", direct[0], costS, costD)
+		}
+		accD, _ := strconv.ParseFloat(direct[2], 64)
+		accS, _ := strconv.ParseFloat(synth[2], 64)
+		if accS < accD-0.05 {
+			t.Errorf("%s: synthesis accuracy %.3f fell below direct %.3f", direct[0], accS, accD)
+		}
+	}
+}
+
+func TestFig5Ablations(t *testing.T) {
+	rep, err := Fig5Challenges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(challenge, config, metric string) string {
+		for _, row := range rep.Rows {
+			if row[0] == challenge && row[1] == config && row[2] == metric {
+				return row[3]
+			}
+		}
+		t.Fatalf("row (%s, %s, %s) missing", challenge, config, metric)
+		return ""
+	}
+	simShare, _ := strconv.ParseFloat(get("prompt optimization", "similarity-only selection", "good-example share"), 64)
+	perfShare, _ := strconv.ParseFloat(get("prompt optimization", "performance-aware selection", "good-example share"), 64)
+	if perfShare <= simShare {
+		t.Errorf("performance-aware selection %.3f not above similarity-only %.3f", perfShare, simShare)
+	}
+
+	costO := parseCost(t, get("query optimization", "origin", "api cost"))
+	costD := parseCost(t, get("query optimization", "decomposition", "api cost"))
+	if costD >= costO {
+		t.Errorf("decomposition %.3f not cheaper than origin %.3f", costD, costO)
+	}
+
+	costNo := parseCost(t, get("cache optimization", "w/o cache", "api cost"))
+	costA := parseCost(t, get("cache optimization", "Cache(A)", "api cost"))
+	if costA >= costNo {
+		t.Errorf("cache %.3f not cheaper than none %.3f", costA, costNo)
+	}
+
+	advPlain, _ := strconv.ParseFloat(get("security & privacy", "undefended training", "MIA advantage"), 64)
+	advDP, _ := strconv.ParseFloat(get("security & privacy", "DP federated training", "MIA advantage"), 64)
+	if advDP >= advPlain {
+		t.Errorf("DP advantage %.3f not below undefended %.3f", advDP, advPlain)
+	}
+
+	rawAcc := parsePct(t, get("output validation", "accept everything", "accuracy"))
+	valAcc := parsePct(t, get("output validation", "self-consistency >= 0.8", "accuracy"))
+	if valAcc <= rawAcc {
+		t.Errorf("validated accuracy %.1f not above raw %.1f", valAcc, rawAcc)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 10 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if ids[0] != "table1" || ids[1] != "table2" || ids[2] != "table3" {
+		t.Errorf("tables not first: %v", ids)
+	}
+	for _, id := range ids {
+		if Registry()[id] == nil {
+			t.Errorf("runner for %s missing", id)
+		}
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	rep := Report{
+		ID:      "test",
+		Title:   "a test",
+		Headers: []string{"a", "bbbb"},
+		Rows:    [][]string{{"x", "y"}},
+		Notes:   []string{"hello"},
+	}
+	out := rep.Format()
+	for _, want := range []string{"TEST", "a test", "bbbb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	a, err := Table1Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Error("Table1 not deterministic across runs")
+	}
+}

@@ -1,0 +1,61 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// The golden tests pin the exact numbers committed in EXPERIMENTS.md.
+// Everything is seeded, so any drift means a substrate changed behaviour —
+// which must be a conscious decision that also updates the docs.
+
+func assertRows(t *testing.T, rep Report, want [][]string) {
+	t.Helper()
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("%s: rows = %d, want %d", rep.ID, len(rep.Rows), len(want))
+	}
+	for i, w := range want {
+		got := strings.Join(rep.Rows[i], " | ")
+		if got != strings.Join(w, " | ") {
+			t.Errorf("%s row %d:\n  got:  %s\n  want: %s\n(update EXPERIMENTS.md if this change is intentional)",
+				rep.ID, i, got, strings.Join(w, " | "))
+		}
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	rep, err := Table1Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, rep, [][]string{
+		{"babbage-002", "37.5%", "$0.010"},
+		{"gpt-3.5-turbo", "82.5%", "$0.027"},
+		{"gpt-4", "92.5%", "$0.817"},
+		{"LLM cascade", "92.5%", "$0.239"},
+	})
+}
+
+func TestGoldenTable2(t *testing.T) {
+	rep, err := Table2Decomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, rep, [][]string{
+		{"Origin", "77.0%", "$0.028", "100"},
+		{"Decomposition", "91.0%", "$0.008", "35"},
+		{"Decomposition+Combination", "91.0%", "$0.003", "35"},
+	})
+}
+
+func TestGoldenTable3(t *testing.T) {
+	rep, err := Table3Cache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, rep, [][]string{
+		{"w/o Cache", "80.0%", "$0.013", "20", "n/a"},
+		{"Cache(O)", "80.0%", "$0.006", "10", "50%"},
+		{"Cache(A)", "100.0%", "$0.006", "14", "36%"},
+	})
+}

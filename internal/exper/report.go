@@ -1,0 +1,135 @@
+// Package exper is the benchmark harness: one function per table and
+// figure in the paper's evaluation, each regenerating the corresponding
+// result rows on the synthetic substrate. cmd/llmdm-bench and the root
+// bench_test.go both drive this package, so the printed numbers and the
+// benchmarked code paths are identical.
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID      string // "table1", "fig6", ...
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes documents workload parameters and the paper values the shape
+	// is compared against.
+	Notes []string
+}
+
+// Format renders the report as an aligned text table.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", strings.ToUpper(r.ID), r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the report as RFC-4180-ish CSV (header row first). Cells
+// containing commas or quotes are quoted.
+func (r Report) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner func() (Report, error)
+
+// Registry maps experiment IDs to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": Table1Cascade,
+		"table2": Table2Decomposition,
+		"table3": Table3Cache,
+		"fig1":   Fig1Pipeline,
+		"fig2":   Fig2SQLGen,
+		"fig3":   Fig3TrainGen,
+		"fig4":   Fig4Transform,
+		"fig5":   Fig5Challenges,
+		"fig6":   Fig6CascadeSweep,
+		"fig7":   Fig7Sharing,
+	}
+}
+
+// IDs lists experiment IDs in presentation order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry()))
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ti, tj := strings.HasPrefix(ids[i], "table"), strings.HasPrefix(ids[j], "table")
+		if ti != tj {
+			return ti
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,281 @@
+package llm
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func testModel(cap float64) *SimModel {
+	return NewSim(SimConfig{
+		Name:       "test",
+		Capability: cap,
+		Price:      token.Price{InputPer1K: 1000, OutputPer1K: 2000},
+	})
+}
+
+func TestCompleteDeterministic(t *testing.T) {
+	m := testModel(0.6)
+	req := Request{Task: TaskQA, Prompt: "Q: where was X born?", Gold: "Lyon", Wrong: "Riga", Difficulty: 0.55}
+	a, err := m.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Complete(context.Background(), req)
+	if a.Text != b.Text || a.Confidence != b.Confidence || a.Cost != b.Cost {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompleteEmptyPrompt(t *testing.T) {
+	m := testModel(0.5)
+	if _, err := m.Complete(context.Background(), Request{}); err != ErrEmptyPrompt {
+		t.Errorf("err = %v, want ErrEmptyPrompt", err)
+	}
+}
+
+func TestCompleteCanceledContext(t *testing.T) {
+	m := testModel(0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Complete(ctx, Request{Prompt: "x"}); err == nil {
+		t.Error("canceled context succeeded")
+	}
+}
+
+func TestEasyAlwaysCorrect(t *testing.T) {
+	m := testModel(0.5)
+	r, err := m.Complete(context.Background(), Request{Prompt: "generate rows", Gold: "row1", Difficulty: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Correct || r.Text != "row1" {
+		t.Errorf("trivial request failed: %+v", r)
+	}
+}
+
+func TestHardQueryBeyondCapabilityFails(t *testing.T) {
+	m := testModel(0.2)
+	// Far above capability + max noise.
+	r, _ := m.Complete(context.Background(), Request{Prompt: "hard", Gold: "g", Wrong: "w", Difficulty: 0.95})
+	if r.Correct {
+		t.Error("impossible query answered correctly")
+	}
+	if r.Text != "w" {
+		t.Errorf("wrong answer text = %q", r.Text)
+	}
+}
+
+func TestAccuracyTracksCapability(t *testing.T) {
+	// Over a uniform-difficulty workload, accuracy ≈ capability. This is the
+	// calibration Table I depends on.
+	set := workload.GenQA(99, 400)
+	for _, cap := range []float64{0.3, 0.6, 0.9} {
+		m := testModel(cap)
+		correct := 0
+		for _, it := range set.Items {
+			r, err := m.Complete(context.Background(), Request{
+				Task: TaskQA, Prompt: it.Question, Gold: it.Answer, Wrong: it.Distractor,
+				Difficulty: it.Difficulty,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Correct {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(set.Items))
+		if math.Abs(acc-cap) > 0.12 {
+			t.Errorf("capability %.2f produced accuracy %.2f", cap, acc)
+		}
+	}
+}
+
+func TestConfidenceCorrelatesWithCorrectness(t *testing.T) {
+	set := workload.GenQA(123, 400)
+	m := testModel(0.6)
+	var sumC, sumW float64
+	var nC, nW int
+	for _, it := range set.Items {
+		r, _ := m.Complete(context.Background(), Request{
+			Prompt: it.Question, Gold: it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+		})
+		if r.Correct {
+			sumC += r.Confidence
+			nC++
+		} else {
+			sumW += r.Confidence
+			nW++
+		}
+	}
+	if nC == 0 || nW == 0 {
+		t.Fatal("degenerate outcome split")
+	}
+	if sumC/float64(nC) <= sumW/float64(nW)+0.1 {
+		t.Errorf("confidence not separating: correct %.3f vs wrong %.3f", sumC/float64(nC), sumW/float64(nW))
+	}
+}
+
+func TestBillingMatchesTokens(t *testing.T) {
+	m := testModel(0.9)
+	prompt := "one two three four five"
+	r, _ := m.Complete(context.Background(), Request{Prompt: prompt, Gold: "six seven"})
+	if r.InputTokens != token.Count(prompt) {
+		t.Errorf("input tokens = %d, want %d", r.InputTokens, token.Count(prompt))
+	}
+	want := m.Price().ForTokens(r.InputTokens, r.OutputTokens)
+	if r.Cost != want {
+		t.Errorf("cost = %v, want %v", r.Cost, want)
+	}
+	meter := m.Meter()
+	if meter.Calls != 1 || meter.Spend != r.Cost {
+		t.Errorf("meter = %+v", meter)
+	}
+	m.ResetMeter()
+	if m.Meter().Calls != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestConfidenceBounds(t *testing.T) {
+	m := testModel(0.5)
+	f := func(prompt string, d8 uint8) bool {
+		if prompt == "" {
+			return true
+		}
+		d := float64(d8) / 255
+		r, err := m.Complete(context.Background(), Request{Prompt: prompt, Gold: "g", Difficulty: d})
+		if err != nil {
+			return false
+		}
+		return r.Confidence >= 0.02 && r.Confidence <= 0.98
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseUnitUniformish(t *testing.T) {
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		u := noiseUnit("m", string(rune('a'+i%26))+string(rune(i)), "s")
+		if u < 0 || u >= 1 {
+			t.Fatalf("noise %v out of range", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("noise mean %.3f, want ~0.5", mean)
+	}
+}
+
+func TestDefaultFamily(t *testing.T) {
+	fam := DefaultFamily()
+	if len(fam) != 3 {
+		t.Fatalf("family size = %d", len(fam))
+	}
+	for i := 1; i < len(fam); i++ {
+		if fam[i].Capability() <= fam[i-1].Capability() {
+			t.Error("family not ordered by capability")
+		}
+		if fam[i].Price().InputPer1K <= fam[i-1].Price().InputPer1K {
+			t.Error("family not ordered by price")
+		}
+	}
+	if fam.ByName(NameLarge) == nil || fam.ByName("nope") != nil {
+		t.Error("ByName broken")
+	}
+	if fam.Largest().Name() != NameLarge {
+		t.Error("Largest wrong")
+	}
+}
+
+func TestFamilyAccuraciesMatchPaperShape(t *testing.T) {
+	// Table I shape: small ~27.5%, large ~92.5%, strictly increasing.
+	set := workload.GenQA(1, 40)
+	fam := DefaultFamily()
+	accs := make([]float64, len(fam))
+	for i, m := range fam {
+		correct := 0
+		for _, it := range set.Items {
+			r, _ := m.Complete(context.Background(), Request{
+				Prompt: "Context: " + it.ContextFor() + "\nQ: " + it.Question,
+				Gold:   it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+			})
+			if r.Correct {
+				correct++
+			}
+		}
+		accs[i] = float64(correct) / float64(len(set.Items))
+	}
+	if !(accs[0] < accs[1] && accs[1] < accs[2]) {
+		t.Errorf("accuracies not increasing: %v", accs)
+	}
+	if accs[0] > 0.5 {
+		t.Errorf("small model too strong: %.3f", accs[0])
+	}
+	if accs[2] < 0.85 {
+		t.Errorf("large model too weak: %.3f", accs[2])
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	fam := DefaultFamily()
+	req := Request{Prompt: "a reasonably long prompt with several words in it", Gold: "answer"}
+	rs, _ := fam[0].Complete(context.Background(), req)
+	rl, _ := fam[2].Complete(context.Background(), req)
+	if rs.Latency >= rl.Latency {
+		t.Errorf("small model latency %v >= large %v", rs.Latency, rl.Latency)
+	}
+}
+
+func BenchmarkComplete(b *testing.B) {
+	m := testModel(0.8)
+	req := Request{Prompt: "What are the names of stadiums that had concerts in 2014?", Gold: "x", Wrong: "y", Difficulty: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Complete(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNoiseKeyUnifiesRephrasings(t *testing.T) {
+	// Two prompts asking the same thing (different few-shot boilerplate)
+	// share a NoiseKey and must succeed or fail together; without the key
+	// they draw independently.
+	m := testModel(0.6)
+	mk := func(prompt, key string) Response {
+		r, err := m.Complete(context.Background(), Request{
+			Prompt: prompt, Gold: "g", Wrong: "w", Difficulty: 0.58, NoiseKey: key,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	agree := true
+	for i := 0; i < 40; i++ {
+		key := "q" + string(rune('a'+i%26)) + string(rune(i))
+		a := mk("header A\n"+key, key)
+		b := mk("much longer header with examples B\n"+key, key)
+		if a.Correct != b.Correct || a.Text != b.Text {
+			agree = false
+		}
+	}
+	if !agree {
+		t.Error("NoiseKey did not unify outcomes across prompt re-phrasings")
+	}
+	// Billing still follows the real prompt.
+	short := mk("x", "samekey")
+	long := mk("a much longer prompt with many more words in it", "samekey")
+	if long.InputTokens <= short.InputTokens {
+		t.Error("NoiseKey leaked into billing")
+	}
+}

@@ -1,0 +1,25 @@
+package llm
+
+import "hash/fnv"
+
+// noiseUnit maps (model, prompt, salt) to a deterministic uniform value in
+// [0, 1). It is the reproduction's replacement for API nondeterminism:
+// stable across runs, uncorrelated across prompts and models.
+func noiseUnit(model, prompt, salt string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(prompt))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	// A splitmix64 finalizer avalanches the FNV state — FNV alone mixes the
+	// high bits of short, suffix-varying inputs poorly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	// 53 bits give a uniform float in [0,1).
+	return float64(x>>11) / float64(1<<53)
+}

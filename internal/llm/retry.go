@@ -1,0 +1,99 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// ErrTransient marks a retryable upstream failure (rate limit, overload,
+// connection reset — the failures real LLM APIs surface routinely).
+var ErrTransient = errors.New("llm: transient upstream failure")
+
+// Flaky wraps a model and injects deterministic transient failures: the
+// call for (prompt, attempt) fails iff its hash-noise draw falls below
+// FailureRate. Retrying the same prompt draws fresh noise per attempt, so
+// persistence pays off — exactly the failure model a retry layer is built
+// against. Flaky is the repository's failure-injection harness.
+type Flaky struct {
+	Inner Model
+	// FailureRate in [0,1] is the per-attempt failure probability.
+	FailureRate float64
+
+	// attempt counts calls per prompt so consecutive retries of the same
+	// request see independent draws. Access is unsynchronized by design:
+	// tests drive Flaky from one goroutine; wrap it for concurrent use.
+	attempt map[string]int
+}
+
+// NewFlaky wraps a model with the given failure rate.
+func NewFlaky(inner Model, rate float64) *Flaky {
+	return &Flaky{Inner: inner, FailureRate: rate, attempt: make(map[string]int)}
+}
+
+// Name implements Model.
+func (f *Flaky) Name() string { return f.Inner.Name() }
+
+// Capability implements Model.
+func (f *Flaky) Capability() float64 { return f.Inner.Capability() }
+
+// Price implements Model.
+func (f *Flaky) Price() token.Price { return f.Inner.Price() }
+
+// Complete implements Model, failing transiently per the configured rate.
+func (f *Flaky) Complete(ctx context.Context, req Request) (Response, error) {
+	n := f.attempt[req.Prompt]
+	f.attempt[req.Prompt] = n + 1
+	u := noiseUnit(f.Inner.Name(), fmt.Sprintf("%s|attempt=%d", req.Prompt, n), "flaky")
+	if u < f.FailureRate {
+		return Response{}, fmt.Errorf("%w (attempt %d)", ErrTransient, n+1)
+	}
+	return f.Inner.Complete(ctx, req)
+}
+
+// Retry wraps a model with bounded retries on transient failures —
+// the client-side persistence layer every production LLM integration
+// carries. Non-transient errors propagate immediately.
+type Retry struct {
+	Inner Model
+	// Attempts is the total number of tries (>= 1). 0 means 3.
+	Attempts int
+}
+
+// NewRetry wraps a model with the given attempt budget.
+func NewRetry(inner Model, attempts int) *Retry {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	return &Retry{Inner: inner, Attempts: attempts}
+}
+
+// Name implements Model.
+func (r *Retry) Name() string { return r.Inner.Name() }
+
+// Capability implements Model.
+func (r *Retry) Capability() float64 { return r.Inner.Capability() }
+
+// Price implements Model.
+func (r *Retry) Price() token.Price { return r.Inner.Price() }
+
+// Complete implements Model.
+func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
+	var last error
+	for i := 0; i < r.Attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		resp, err := r.Inner.Complete(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return Response{}, err
+		}
+		last = err
+	}
+	return Response{}, fmt.Errorf("llm: %d attempts exhausted: %w", r.Attempts, last)
+}

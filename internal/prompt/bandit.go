@@ -1,0 +1,64 @@
+package prompt
+
+import (
+	"math"
+	"sort"
+)
+
+// BanditSelector layers an upper-confidence-bound policy over the example
+// store — the paper's Section III-A vision that "reinforcement learning
+// algorithms can be designed to determine the most promising prompts".
+//
+// Selection score = similarity + exploration bonus + exploitation term:
+//
+//	score = sim + c·sqrt(ln(total+1)/(uses+1)) + mean reward
+//
+// Unused examples get large bonuses (exploration); examples with proven
+// reward keep winning (exploitation); and similarity anchors relevance.
+type BanditSelector struct {
+	Store *Store
+	// C is the exploration coefficient. 0 uses 0.6.
+	C float64
+
+	totalPulls int
+}
+
+// NewBanditSelector wraps a store.
+func NewBanditSelector(s *Store) *BanditSelector {
+	return &BanditSelector{Store: s, C: 0.6}
+}
+
+// Select chooses up to k examples for the query under UCB and counts the
+// pull. Callers must report outcomes via Feedback for the policy to learn.
+func (b *BanditSelector) Select(query string, k int) []Selected {
+	c := b.C
+	if c == 0 {
+		c = 0.6
+	}
+	b.totalPulls++
+	// Over-fetch by similarity, then re-rank by UCB.
+	pool := b.Store.Select(query, k*6, BySimilarity)
+	lnT := math.Log(float64(b.totalPulls) + 1)
+	for i := range pool {
+		ex := pool[i].Example
+		bonus := c * math.Sqrt(lnT/float64(ex.Uses+1))
+		pool[i].Score = pool[i].Score + bonus + ex.MeanReward()
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Score != pool[j].Score {
+			return pool[i].Score > pool[j].Score
+		}
+		return pool[i].ID < pool[j].ID
+	})
+	if len(pool) > k {
+		pool = pool[:k]
+	}
+	return pool
+}
+
+// Feedback forwards the observed reward to the store.
+func (b *BanditSelector) Feedback(sel []Selected, reward float64) {
+	for _, s := range sel {
+		b.Store.Feedback(s.ID, reward)
+	}
+}

@@ -1,0 +1,87 @@
+package prompt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+func TestBanditExploresUnusedExamples(t *testing.T) {
+	s := NewStore(embed.New(embed.DefaultDim), 0)
+	// Two similar examples; one has been pulled a lot.
+	hot := s.Add(Example{Input: "stadiums with concerts in 2014", Output: "A"})
+	cold := s.Add(Example{Input: "stadiums with concerts in 2015", Output: "B"})
+	for i := 0; i < 50; i++ {
+		s.Feedback(hot, 0.6)
+	}
+	b := NewBanditSelector(s)
+	sel := b.Select("stadiums with concerts in 2016", 1)
+	if len(sel) != 1 || sel[0].ID != cold {
+		t.Errorf("bandit did not explore the unused arm: picked %v", sel)
+	}
+}
+
+func TestBanditConvergesToRewardingArm(t *testing.T) {
+	s := NewStore(embed.New(embed.DefaultDim), 0)
+	good := s.Add(Example{Input: "example question variant alpha", Output: "good"})
+	bad := s.Add(Example{Input: "example question variant beta", Output: "bad"})
+	b := NewBanditSelector(s)
+
+	// Simulated environment: using the good example yields reward 1,
+	// the bad one 0.
+	pickCounts := map[interface{}]int{}
+	for round := 0; round < 200; round++ {
+		sel := b.Select("example question variant gamma", 1)
+		if len(sel) != 1 {
+			t.Fatal("no selection")
+		}
+		reward := 0.0
+		if sel[0].ID == good {
+			reward = 1
+		}
+		b.Feedback(sel, reward)
+		if round >= 100 {
+			pickCounts[sel[0].ID]++
+		}
+	}
+	if pickCounts[good] <= pickCounts[bad] {
+		t.Errorf("bandit did not converge: good=%d bad=%d", pickCounts[good], pickCounts[bad])
+	}
+	if float64(pickCounts[good])/100 < 0.7 {
+		t.Errorf("good arm picked only %d/100 in the second half", pickCounts[good])
+	}
+}
+
+func TestBanditRespectsSimilarityAnchor(t *testing.T) {
+	s := NewStore(embed.New(embed.DefaultDim), 0)
+	relevant := s.Add(Example{Input: "predict execution time of join queries", Output: "x"})
+	s.Add(Example{Input: "completely unrelated poetry about rivers", Output: "y"})
+	b := NewBanditSelector(s)
+	// Even with equal (empty) reward history, the relevant example should
+	// dominate for an on-topic query after a few pulls stabilize bonuses.
+	wins := 0
+	for i := 0; i < 10; i++ {
+		sel := b.Select("predict execution time of scan queries", 1)
+		if len(sel) == 1 && sel[0].ID == relevant {
+			wins++
+		}
+		b.Feedback(sel, 0.5)
+	}
+	if wins < 6 {
+		t.Errorf("relevant example won only %d/10", wins)
+	}
+}
+
+func BenchmarkBanditSelect(b *testing.B) {
+	s := NewStore(embed.New(embed.DefaultDim), 0)
+	for i := 0; i < 300; i++ {
+		s.Add(Example{Input: fmt.Sprintf("stored example number %d about data", i), Output: "o"})
+	}
+	sel := NewBanditSelector(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Select("stored example about data processing", 4)
+	}
+}

@@ -1,0 +1,99 @@
+package proxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// CompletionRequest is the JSON body accepted by POST /v1/complete.
+// Gold/Wrong/Difficulty parameterize the simulated upstream (see
+// internal/llm); a deployment backed by a real API would drop them.
+type CompletionRequest struct {
+	Task       string  `json:"task,omitempty"`
+	Prompt     string  `json:"prompt"`
+	Gold       string  `json:"gold,omitempty"`
+	Wrong      string  `json:"wrong,omitempty"`
+	Difficulty float64 `json:"difficulty,omitempty"`
+}
+
+// CompletionResponse is the JSON reply of POST /v1/complete.
+type CompletionResponse struct {
+	Text       string  `json:"text"`
+	Model      string  `json:"model"`
+	Source     string  `json:"source"`
+	Confidence float64 `json:"confidence"`
+	CostMicro  int64   `json:"cost_micro_usd"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// Handler returns the proxy's HTTP mux:
+//
+//	POST /v1/complete  — serve one completion
+//	GET  /v1/stats     — lifetime counters
+//	GET  /healthz      — liveness
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req CompletionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Prompt == "" {
+			http.Error(w, "prompt is required", http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		ans, err := p.Complete(r.Context(), toLLMRequest(req))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(CompletionResponse{
+			Text:       ans.Text,
+			Model:      ans.Model,
+			Source:     ans.Source,
+			Confidence: ans.Confidence,
+			CostMicro:  int64(ans.Cost),
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		st := p.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"requests":        st.Requests,
+			"cache_hits":      st.CacheHits,
+			"coalesced":       st.Coalesced,
+			"model_calls":     st.ModelCalls,
+			"spend_micro_usd": int64(st.Spend),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func toLLMRequest(req CompletionRequest) llm.Request {
+	return llm.Request{
+		Task:       llm.Task(req.Task),
+		Prompt:     req.Prompt,
+		Gold:       req.Gold,
+		Wrong:      req.Wrong,
+		Difficulty: req.Difficulty,
+	}
+}

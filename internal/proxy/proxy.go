@@ -1,0 +1,174 @@
+// Package proxy implements the LLM serving proxy of the paper's Section
+// III-B: "a proxy connected to popular LLMs ... often receives multiple
+// simultaneous queries. Many of these queries may be similar, presenting an
+// opportunity to reduce LLM usage costs."
+//
+// The proxy stacks the paper's optimizations in front of the model family:
+//
+//  1. a semantic cache (Section III-C) answers repeated or near-duplicate
+//     queries without any model call;
+//  2. in-flight deduplication coalesces concurrent identical queries into
+//     one upstream call (the singleflight pattern);
+//  3. the LLM cascade (Section III-B1) routes what remains, starting cheap
+//     and escalating on low confidence.
+//
+// It is exposed over HTTP by cmd/llmdm-proxy and exercised with httptest in
+// the package tests.
+package proxy
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core/cascade"
+	"repro/internal/core/semcache"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// Answer is the proxy's response to one query.
+type Answer struct {
+	Text       string
+	Model      string  // "cache" when served from cache
+	Confidence float64 // 1.0 for cache hits
+	// Source explains how the answer was produced: "cache", "coalesced",
+	// or "cascade".
+	Source string
+	Cost   token.Cost
+}
+
+// Stats are the proxy's lifetime counters.
+type Stats struct {
+	Requests   int64
+	CacheHits  int64
+	Coalesced  int64
+	ModelCalls int64
+	Spend      token.Cost
+}
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Models is the cascade chain, cheapest first. Defaults to the standard
+	// family.
+	Models []llm.Model
+	// Threshold is the cascade decision threshold. Defaults to 0.62.
+	Threshold float64
+	// CacheCapacity bounds the semantic cache (0 = unbounded).
+	CacheCapacity int
+	// CacheThreshold is the semantic-hit similarity bound. Defaults to 0.97.
+	CacheThreshold float64
+	// DisableCache turns the cache off (for ablations).
+	DisableCache bool
+}
+
+// Proxy is the serving front end. Proxy is safe for concurrent use.
+type Proxy struct {
+	casc  *cascade.Cascade
+	cache *semcache.Cache
+
+	mu       sync.Mutex
+	stats    Stats
+	inflight map[string]*call
+}
+
+// call is one in-flight upstream request being awaited by >= 1 clients.
+type call struct {
+	done chan struct{}
+	ans  Answer
+	err  error
+}
+
+// New builds a Proxy.
+func New(cfg Config) *Proxy {
+	models := cfg.Models
+	if len(models) == 0 {
+		fam := llm.DefaultFamily()
+		models = make([]llm.Model, len(fam))
+		for i, m := range fam {
+			models[i] = m
+		}
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.62
+	}
+	p := &Proxy{
+		casc:     cascade.New(cascade.Threshold{Tau: cfg.Threshold}, models...),
+		inflight: make(map[string]*call),
+	}
+	if !cfg.DisableCache {
+		th := cfg.CacheThreshold
+		if th == 0 {
+			th = 0.97
+		}
+		p.cache = semcache.New(semcache.Config{
+			Embedder:  embed.New(embed.DefaultDim),
+			Capacity:  cfg.CacheCapacity,
+			Threshold: th,
+			Policy:    semcache.Weighted,
+		})
+	}
+	return p
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Complete serves one request through cache → coalescing → cascade.
+func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
+	p.mu.Lock()
+	p.stats.Requests++
+
+	// 1. Cache.
+	if p.cache != nil {
+		if hit, ok := p.cache.Lookup(req.Prompt); ok {
+			p.stats.CacheHits++
+			p.mu.Unlock()
+			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: 1, Source: "cache"}, nil
+		}
+	}
+
+	// 2. In-flight dedup: join an identical pending request.
+	key := req.Prompt
+	if c, ok := p.inflight[key]; ok {
+		p.stats.Coalesced++
+		p.mu.Unlock()
+		select {
+		case <-c.done:
+			ans := c.ans
+			if c.err == nil {
+				ans.Source = "coalesced"
+				ans.Cost = 0 // the first caller paid
+			}
+			return ans, c.err
+		case <-ctx.Done():
+			return Answer{}, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	p.inflight[key] = c
+	p.mu.Unlock()
+
+	// 3. Cascade (outside the lock).
+	resp, trace, err := p.casc.Complete(ctx, req)
+
+	p.mu.Lock()
+	delete(p.inflight, key)
+	if err == nil {
+		p.stats.ModelCalls += int64(len(trace.Steps))
+		p.stats.Spend += trace.TotalCost
+		if p.cache != nil {
+			p.cache.Put(req.Prompt, resp.Text, semcache.Original, semcache.Reuse)
+		}
+	}
+	p.mu.Unlock()
+
+	c.ans = Answer{Text: resp.Text, Model: resp.Model, Confidence: resp.Confidence, Source: "cascade", Cost: trace.TotalCost}
+	c.err = err
+	close(c.done)
+	return c.ans, c.err
+}

@@ -1,0 +1,358 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func newTestProxy(cfg Config) *Proxy {
+	if len(cfg.Models) == 0 {
+		cfg.Models = []llm.Model{
+			llm.NewSim(llm.SimConfig{Name: "small", Capability: 0.3, Price: token.Price{InputPer1K: 400, OutputPer1K: 400}}),
+			llm.NewSim(llm.SimConfig{Name: "large", Capability: 0.95, Price: token.Price{InputPer1K: 30000, OutputPer1K: 60000}}),
+		}
+	}
+	return New(cfg)
+}
+
+func TestCompleteBasic(t *testing.T) {
+	p := newTestProxy(Config{})
+	ans, err := p.Complete(context.Background(), llm.Request{
+		Prompt: "an easy labeling question", Gold: "yes", Difficulty: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text != "yes" || ans.Source != "cascade" {
+		t.Errorf("answer = %+v", ans)
+	}
+	st := p.Stats()
+	if st.Requests != 1 || st.ModelCalls == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheHitSecondTime(t *testing.T) {
+	p := newTestProxy(Config{})
+	req := llm.Request{Prompt: "what is the capital of Florin", Gold: "Esbjerg", Difficulty: 0.2}
+	first, err := p.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != "cache" || second.Text != first.Text || second.Cost != 0 {
+		t.Errorf("second = %+v", second)
+	}
+	if p.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d", p.Stats().CacheHits)
+	}
+}
+
+func TestDisableCache(t *testing.T) {
+	p := newTestProxy(Config{DisableCache: true})
+	req := llm.Request{Prompt: "repeatable", Gold: "g", Difficulty: 0.2}
+	p.Complete(context.Background(), req)
+	second, _ := p.Complete(context.Background(), req)
+	if second.Source == "cache" {
+		t.Error("cache served despite being disabled")
+	}
+}
+
+func TestConcurrentIdenticalCoalesce(t *testing.T) {
+	p := newTestProxy(Config{DisableCache: true}) // isolate coalescing
+	req := llm.Request{Prompt: "identical concurrent question", Gold: "g", Difficulty: 0.2}
+	const n = 16
+	var wg sync.WaitGroup
+	answers := make([]Answer, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, err := p.Complete(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			answers[i] = ans
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if answers[i].Text != answers[0].Text {
+			t.Fatal("coalesced answers differ")
+		}
+	}
+	st := p.Stats()
+	// At least some goroutines must have joined an in-flight call, and the
+	// upstream must have been called far fewer than n times.
+	if st.Coalesced == 0 {
+		t.Skip("no overlap achieved on this run (scheduling)")
+	}
+	if st.ModelCalls >= n*2 {
+		t.Errorf("model calls %d too high for %d coalescible requests", st.ModelCalls, n)
+	}
+}
+
+func TestProxySavesMoneyOnRepeatedWorkload(t *testing.T) {
+	// The headline claim: cache + cascade beats always-call-the-big-model.
+	set := workload.GenQA(5, 30)
+	p := newTestProxy(Config{})
+	for round := 0; round < 2; round++ {
+		for _, it := range set.Items {
+			_, err := p.Complete(context.Background(), llm.Request{
+				Prompt: "Context: " + it.ContextFor() + "\nQ: " + it.Question,
+				Gold:   it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.CacheHits < 25 {
+		t.Errorf("round 2 should hit cache: %d hits", st.CacheHits)
+	}
+
+	// Baseline: big model for every occurrence.
+	big := llm.NewSim(llm.SimConfig{Name: "big-base", Capability: 0.95, Price: token.Price{InputPer1K: 30000, OutputPer1K: 60000}})
+	var baseline token.Cost
+	for round := 0; round < 2; round++ {
+		for _, it := range set.Items {
+			r, _ := big.Complete(context.Background(), llm.Request{
+				Prompt: "Context: " + it.ContextFor() + "\nQ: " + it.Question,
+				Gold:   it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+			})
+			baseline += r.Cost
+		}
+	}
+	if st.Spend >= baseline/2 {
+		t.Errorf("proxy spend %v not well below big-model baseline %v", st.Spend, baseline)
+	}
+}
+
+// --- HTTP layer ---
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body interface{}) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPComplete(t *testing.T) {
+	p := newTestProxy(Config{})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv, "/v1/complete", CompletionRequest{
+		Prompt: "label this row", Gold: "retail", Difficulty: 0.1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out CompletionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Text != "retail" || out.Source != "cascade" {
+		t.Errorf("response = %+v", out)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	p := newTestProxy(Config{})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	// Missing prompt.
+	resp := postJSON(t, srv, "/v1/complete", CompletionRequest{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty prompt status = %d", resp.StatusCode)
+	}
+	// Bad JSON.
+	r2, err := http.Post(srv.URL+"/v1/complete", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", r2.StatusCode)
+	}
+	// Wrong method.
+	r3, err := http.Get(srv.URL + "/v1/complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", r3.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	p := newTestProxy(Config{})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	postJSON(t, srv, "/v1/complete", CompletionRequest{Prompt: "q", Gold: "a"}).Body.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["requests"].(float64) != 1 {
+		t.Errorf("stats = %v", st)
+	}
+
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Errorf("health = %d", h.StatusCode)
+	}
+}
+
+func BenchmarkProxyCached(b *testing.B) {
+	p := newTestProxy(Config{})
+	req := llm.Request{Prompt: "a frequently repeated analytics question", Gold: "g", Difficulty: 0.2}
+	p.Complete(context.Background(), req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Complete(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProxyUncached(b *testing.B) {
+	p := newTestProxy(Config{DisableCache: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := llm.Request{Prompt: fmt.Sprintf("unique question %d", i), Gold: "g", Difficulty: 0.2}
+		if _, err := p.Complete(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestUpstreamErrorPropagatesAndClearsInflight(t *testing.T) {
+	// An always-failing upstream: errors must reach callers and must not
+	// wedge the in-flight table.
+	fail := llm.NewFlaky(llm.NewSim(llm.SimConfig{Name: "f", Capability: 0.9,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 1000}}), 1.0)
+	p := New(Config{Models: []llm.Model{fail}})
+	if _, err := p.Complete(context.Background(), llm.Request{Prompt: "doomed", Gold: "g"}); err == nil {
+		t.Fatal("upstream failure swallowed")
+	}
+	// The same prompt must be retryable (not stuck as in-flight).
+	if _, err := p.Complete(context.Background(), llm.Request{Prompt: "doomed", Gold: "g"}); err == nil {
+		t.Fatal("second attempt swallowed")
+	}
+	st := p.Stats()
+	if st.Requests != 2 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.Spend != 0 {
+		t.Errorf("failed calls were billed: %v", st.Spend)
+	}
+}
+
+func TestProxyWithRetryLayerRecovers(t *testing.T) {
+	// Production stack: proxy -> retry -> flaky upstream.
+	flaky := llm.NewFlaky(llm.NewSim(llm.SimConfig{Name: "r", Capability: 0.9,
+		Price: token.Price{InputPer1K: 1000, OutputPer1K: 1000}}), 0.5)
+	p := New(Config{Models: []llm.Model{llm.NewRetry(flaky, 10)}})
+	ok := 0
+	for i := 0; i < 50; i++ {
+		ans, err := p.Complete(context.Background(), llm.Request{
+			Prompt: fmt.Sprintf("flaky question %d", i), Gold: "g", Difficulty: 0.2,
+		})
+		if err == nil && ans.Text == "g" {
+			ok++
+		}
+	}
+	if ok < 48 {
+		t.Errorf("only %d/50 recovered through the retry layer", ok)
+	}
+}
+
+func TestCoalescedWaiterHonorsContext(t *testing.T) {
+	// A waiter whose context dies while coalesced must return promptly.
+	slowGate := make(chan struct{})
+	slow := modelFunc(func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		<-slowGate
+		return llm.Response{Text: "late"}, nil
+	})
+	p := New(Config{Models: []llm.Model{slow}, DisableCache: true})
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		p.Complete(context.Background(), llm.Request{Prompt: "shared", Gold: "g"})
+	}()
+	<-started
+	// Give the first caller a moment to register as in-flight.
+	for i := 0; i < 100; i++ {
+		p.mu.Lock()
+		n := len(p.inflight)
+		p.mu.Unlock()
+		if n == 1 {
+			break
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Complete(ctx, llm.Request{Prompt: "shared", Gold: "g"})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		// Either the waiter was coalesced and returned ctx.Err(), or it won
+		// the race and became a (blocked) first caller — in that case the
+		// gate below unblocks it and err is nil. Both are acceptable; what
+		// is not acceptable is hanging.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	close(slowGate)
+}
+
+// modelFunc adapts a function to llm.Model for test doubles.
+type modelFunc func(ctx context.Context, req llm.Request) (llm.Response, error)
+
+func (f modelFunc) Name() string        { return "func" }
+func (f modelFunc) Capability() float64 { return 1 }
+func (f modelFunc) Price() token.Price  { return token.Price{} }
+func (f modelFunc) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return f(ctx, req)
+}

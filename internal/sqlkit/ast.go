@@ -1,0 +1,553 @@
+package sqlkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// SQL renders the statement back to text. Parsing the rendition yields
+	// an equivalent statement (tested property).
+	SQL() string
+}
+
+// Expr is any expression node.
+type Expr interface {
+	expr()
+	SQL() string
+}
+
+// --- Statements ---
+
+// SelectStmt is a SELECT, possibly the left side of a set operation chain.
+type SelectStmt struct {
+	Distinct bool
+	Exprs    []SelectExpr // empty means *
+	From     []TableRef
+	Joins    []Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 means no limit
+	// Setop chains this select with another: UNION/INTERSECT/EXCEPT.
+	Setop *SetOp
+}
+
+// SetOp is a set operation linking two selects.
+type SetOp struct {
+	Kind  SetOpKind
+	All   bool
+	Right *SelectStmt
+}
+
+// SetOpKind enumerates set operations.
+type SetOpKind int
+
+const (
+	Union SetOpKind = iota
+	Intersect
+	Except
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case Union:
+		return "UNION"
+	case Intersect:
+		return "INTERSECT"
+	case Except:
+		return "EXCEPT"
+	default:
+		return "?"
+	}
+}
+
+// SelectExpr is one projected expression with an optional alias.
+type SelectExpr struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a table or sub-query in FROM.
+type TableRef struct {
+	Name  string      // table name, empty when Sub is set
+	Sub   *SelectStmt // derived table
+	Alias string
+}
+
+// JoinKind enumerates join types.
+type JoinKind int
+
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+)
+
+// Join is one JOIN clause.
+type Join struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO t (cols...) VALUES (...), (...) or
+// INSERT INTO t (cols...) SELECT ...
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+	// Query, when set, supplies the rows instead of VALUES.
+	Query *SelectStmt
+}
+
+// UpdateStmt is UPDATE t SET col = expr, ... WHERE ...
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET clause.
+type Assignment struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM t WHERE ...
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col type, ...).
+type CreateTableStmt struct {
+	Table string
+	Cols  []ColumnDef
+}
+
+// ColumnDef declares one column.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+// ColType enumerates declared column types.
+type ColType int
+
+const (
+	TInt ColType = iota
+	TFloat
+	TText
+	TBool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TText:
+		return "TEXT"
+	case TBool:
+		return "BOOL"
+	default:
+		return "?"
+	}
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct{ Table string }
+
+// TxStmt is BEGIN, COMMIT or ROLLBACK.
+type TxStmt struct{ Kind TxKind }
+
+// TxKind enumerates transaction control statements.
+type TxKind int
+
+const (
+	TxBegin TxKind = iota
+	TxCommit
+	TxRollback
+)
+
+func (k TxKind) String() string {
+	switch k {
+	case TxBegin:
+		return "BEGIN"
+	case TxCommit:
+		return "COMMIT"
+	case TxRollback:
+		return "ROLLBACK"
+	default:
+		return "?"
+	}
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*TxStmt) stmt()          {}
+
+// --- Expressions ---
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+	OpLike
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpLike:
+		return "LIKE"
+	default:
+		return "?"
+	}
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary is NOT or unary minus.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// FuncCall is a function or aggregate call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// InExpr is x IN (list) or x IN (subquery), with optional negation.
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+// ExistsExpr is EXISTS (subquery), with optional negation.
+type ExistsExpr struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+// SubqueryExpr is a scalar sub-query.
+type SubqueryExpr struct{ Sub *SelectStmt }
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// BetweenExpr is x BETWEEN lo AND hi, with optional negation.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Literal) expr()      {}
+func (*ColRef) expr()       {}
+func (*Binary) expr()       {}
+func (*Unary) expr()        {}
+func (*FuncCall) expr()     {}
+func (*InExpr) expr()       {}
+func (*ExistsExpr) expr()   {}
+func (*SubqueryExpr) expr() {}
+func (*IsNullExpr) expr()   {}
+func (*BetweenExpr) expr()  {}
+
+// --- SQL rendering ---
+
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(s.Exprs) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, e := range s.Exprs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.Expr.SQL())
+			if e.Alias != "" {
+				b.WriteString(" AS " + e.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.SQL())
+		}
+	}
+	for _, j := range s.Joins {
+		if j.Kind == LeftJoin {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		b.WriteString(j.Table.SQL())
+		b.WriteString(" ON " + j.On.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Expr.SQL())
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Setop != nil {
+		b.WriteString(" " + s.Setop.Kind.String())
+		if s.Setop.All {
+			b.WriteString(" ALL")
+		}
+		b.WriteString(" " + s.Setop.Right.SQL())
+	}
+	return b.String()
+}
+
+func (t TableRef) SQL() string {
+	var s string
+	if t.Sub != nil {
+		s = "(" + t.Sub.SQL() + ")"
+	} else {
+		s = t.Name
+	}
+	if t.Alias != "" {
+		s += " AS " + t.Alias
+	}
+	return s
+}
+
+func (s *InsertStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + s.Table)
+	if len(s.Cols) > 0 {
+		b.WriteString(" (" + strings.Join(s.Cols, ", ") + ")")
+	}
+	if s.Query != nil {
+		b.WriteString(" " + s.Query.SQL())
+		return b.String()
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func (s *UpdateStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE " + s.Table + " SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Col + " = " + a.Expr.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	return b.String()
+}
+
+func (s *DeleteStmt) SQL() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+func (s *CreateTableStmt) SQL() string {
+	cols := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = c.Name + " " + c.Type.String()
+	}
+	return "CREATE TABLE " + s.Table + " (" + strings.Join(cols, ", ") + ")"
+}
+
+func (s *DropTableStmt) SQL() string { return "DROP TABLE " + s.Table }
+
+func (s *TxStmt) SQL() string { return s.Kind.String() }
+
+func (e *Literal) SQL() string { return e.Val.String() }
+
+func (e *ColRef) SQL() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e *Binary) SQL() string {
+	return "(" + e.L.SQL() + " " + e.Op.String() + " " + e.R.SQL() + ")"
+}
+
+func (e *Unary) SQL() string {
+	if e.Op == "NOT" {
+		return "(NOT " + e.X.SQL() + ")"
+	}
+	return "(-" + e.X.SQL() + ")"
+}
+
+func (e *FuncCall) SQL() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.SQL()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+func (e *InExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	if e.Sub != nil {
+		return "(" + e.X.SQL() + not + " IN (" + e.Sub.SQL() + "))"
+	}
+	items := make([]string, len(e.List))
+	for i, x := range e.List {
+		items[i] = x.SQL()
+	}
+	return "(" + e.X.SQL() + not + " IN (" + strings.Join(items, ", ") + "))"
+}
+
+func (e *ExistsExpr) SQL() string {
+	if e.Not {
+		return "(NOT EXISTS (" + e.Sub.SQL() + "))"
+	}
+	return "(EXISTS (" + e.Sub.SQL() + "))"
+}
+
+func (e *SubqueryExpr) SQL() string { return "(" + e.Sub.SQL() + ")" }
+
+func (e *IsNullExpr) SQL() string {
+	if e.Not {
+		return "(" + e.X.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.X.SQL() + " IS NULL)"
+}
+
+func (e *BetweenExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return "(" + e.X.SQL() + not + " BETWEEN " + e.Lo.SQL() + " AND " + e.Hi.SQL() + ")"
+}

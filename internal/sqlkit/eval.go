@@ -1,0 +1,387 @@
+package sqlkit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// eval evaluates an expression in an environment (nil env means constants
+// only). SQL three-valued logic: unknown propagates as NULL.
+func (ex *executor) eval(e Expr, en *env) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColRef:
+		if en == nil {
+			return Value{}, fmt.Errorf("sqlkit: column %s referenced without a row", x.SQL())
+		}
+		v, ok := en.lookup(x.Table, x.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("sqlkit: unknown column %s", x.SQL())
+		}
+		return v, nil
+	case *Binary:
+		return ex.evalBinary(x, en)
+	case *Unary:
+		v, err := ex.eval(x.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "NOT" {
+			if v.IsNull() {
+				return Null(), nil
+			}
+			if v.Kind != KindBool {
+				return Value{}, fmt.Errorf("sqlkit: NOT over non-boolean %s", v)
+			}
+			return BoolVal(!v.Bool), nil
+		}
+		switch v.Kind {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			return IntVal(-v.Int), nil
+		case KindFloat:
+			return FloatVal(-v.Float), nil
+		default:
+			return Value{}, fmt.Errorf("sqlkit: unary minus over %s", v.Kind)
+		}
+	case *FuncCall:
+		return ex.evalFunc(x, en)
+	case *IsNullExpr:
+		v, err := ex.eval(x.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(v.IsNull() != x.Not), nil
+	case *BetweenExpr:
+		v, err := ex.eval(x.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := ex.eval(x.Lo, en)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := ex.eval(x.Hi, en)
+		if err != nil {
+			return Value{}, err
+		}
+		c1, ok1 := Compare(v, lo)
+		c2, ok2 := Compare(v, hi)
+		if !ok1 || !ok2 {
+			return Null(), nil
+		}
+		in := c1 >= 0 && c2 <= 0
+		return BoolVal(in != x.Not), nil
+	case *InExpr:
+		return ex.evalIn(x, en)
+	case *ExistsExpr:
+		_, rel, err := ex.selectChain(x.Sub, en)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal((len(rel.rows) > 0) != x.Not), nil
+	case *SubqueryExpr:
+		_, rel, err := ex.selectChain(x.Sub, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(rel.rows) == 0 {
+			return Null(), nil
+		}
+		if len(rel.rows) > 1 {
+			return Value{}, fmt.Errorf("sqlkit: scalar sub-query returned %d rows", len(rel.rows))
+		}
+		if len(rel.rows[0]) != 1 {
+			return Value{}, fmt.Errorf("sqlkit: scalar sub-query returned %d columns", len(rel.rows[0]))
+		}
+		return rel.rows[0][0], nil
+	default:
+		return Value{}, fmt.Errorf("sqlkit: cannot evaluate %T", e)
+	}
+}
+
+func (ex *executor) evalBinary(x *Binary, en *env) (Value, error) {
+	// AND/OR implement three-valued logic with short-circuit where sound.
+	if x.Op == OpAnd || x.Op == OpOr {
+		l, err := ex.eval(x.L, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == OpAnd && l.Kind == KindBool && !l.Bool {
+			return BoolVal(false), nil
+		}
+		if x.Op == OpOr && l.Kind == KindBool && l.Bool {
+			return BoolVal(true), nil
+		}
+		r, err := ex.eval(x.R, en)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, lNull := l.Bool, l.IsNull()
+		rb, rNull := r.Bool, r.IsNull()
+		if !lNull && l.Kind != KindBool || !rNull && r.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqlkit: %s over non-boolean operands", x.Op)
+		}
+		if x.Op == OpAnd {
+			switch {
+			case !lNull && !rNull:
+				return BoolVal(lb && rb), nil
+			case (!lNull && !lb) || (!rNull && !rb):
+				return BoolVal(false), nil
+			default:
+				return Null(), nil
+			}
+		}
+		switch {
+		case !lNull && !rNull:
+			return BoolVal(lb || rb), nil
+		case (!lNull && lb) || (!rNull && rb):
+			return BoolVal(true), nil
+		default:
+			return Null(), nil
+		}
+	}
+
+	l, err := ex.eval(x.L, en)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ex.eval(x.R, en)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+
+	switch x.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		c, ok := Compare(l, r)
+		if !ok {
+			return Null(), nil
+		}
+		switch x.Op {
+		case OpEq:
+			return BoolVal(c == 0), nil
+		case OpNe:
+			return BoolVal(c != 0), nil
+		case OpLt:
+			return BoolVal(c < 0), nil
+		case OpLe:
+			return BoolVal(c <= 0), nil
+		case OpGt:
+			return BoolVal(c > 0), nil
+		default:
+			return BoolVal(c >= 0), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if l.Kind == KindString && r.Kind == KindString && x.Op == OpAdd {
+			return StringVal(l.Str + r.Str), nil
+		}
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return Value{}, fmt.Errorf("sqlkit: arithmetic over non-numeric %s and %s", l.Kind, r.Kind)
+		}
+		bothInt := l.Kind == KindInt && r.Kind == KindInt
+		switch x.Op {
+		case OpAdd:
+			if bothInt {
+				return IntVal(l.Int + r.Int), nil
+			}
+			return FloatVal(lf + rf), nil
+		case OpSub:
+			if bothInt {
+				return IntVal(l.Int - r.Int), nil
+			}
+			return FloatVal(lf - rf), nil
+		case OpMul:
+			if bothInt {
+				return IntVal(l.Int * r.Int), nil
+			}
+			return FloatVal(lf * rf), nil
+		default:
+			if rf == 0 {
+				return Null(), nil // SQL engines vary; NULL keeps generated queries executable
+			}
+			if bothInt && l.Int%r.Int == 0 {
+				return IntVal(l.Int / r.Int), nil
+			}
+			return FloatVal(lf / rf), nil
+		}
+	case OpLike:
+		if l.Kind != KindString || r.Kind != KindString {
+			return Value{}, fmt.Errorf("sqlkit: LIKE over non-string operands")
+		}
+		return BoolVal(likeMatch(l.Str, r.Str)), nil
+	default:
+		return Value{}, fmt.Errorf("sqlkit: unknown operator %s", x.Op)
+	}
+}
+
+func (ex *executor) evalIn(x *InExpr, en *env) (Value, error) {
+	v, err := ex.eval(x.X, en)
+	if err != nil {
+		return Value{}, err
+	}
+	var candidates []Value
+	if x.Sub != nil {
+		_, rel, err := ex.selectChain(x.Sub, en)
+		if err != nil {
+			return Value{}, err
+		}
+		for _, row := range rel.rows {
+			if len(row) != 1 {
+				return Value{}, fmt.Errorf("sqlkit: IN sub-query must return one column")
+			}
+			candidates = append(candidates, row[0])
+		}
+	} else {
+		for _, le := range x.List {
+			cv, err := ex.eval(le, en)
+			if err != nil {
+				return Value{}, err
+			}
+			candidates = append(candidates, cv)
+		}
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	sawNull := false
+	for _, c := range candidates {
+		if c.IsNull() {
+			sawNull = true
+			continue
+		}
+		if eq, ok := Equal(v, c); ok && eq {
+			return BoolVal(!x.Not), nil
+		}
+	}
+	if sawNull {
+		return Null(), nil
+	}
+	return BoolVal(x.Not), nil
+}
+
+// evalFunc handles scalar functions and aggregate references (which resolve
+// from the grouped environment).
+func (ex *executor) evalFunc(x *FuncCall, en *env) (Value, error) {
+	if aggregateNames[x.Name] {
+		for s := en; s != nil; s = s.outer {
+			if s.aggs != nil {
+				if v, ok := s.aggs[x]; ok {
+					return v, nil
+				}
+			}
+		}
+		return Value{}, fmt.Errorf("sqlkit: aggregate %s used outside a grouped query", x.Name)
+	}
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ex.eval(a, en)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sqlkit: %s takes %d argument(s)", x.Name, n)
+		}
+		return nil
+	}
+	switch x.Name {
+	case "UPPER":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return StringVal(strings.ToUpper(args[0].Str)), nil
+	case "LOWER":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return StringVal(strings.ToLower(args[0].Str)), nil
+	case "LENGTH":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return IntVal(int64(len(args[0].Str))), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		v := args[0]
+		switch v.Kind {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			if v.Int < 0 {
+				return IntVal(-v.Int), nil
+			}
+			return v, nil
+		case KindFloat:
+			return FloatVal(math.Abs(v.Float)), nil
+		default:
+			return Value{}, fmt.Errorf("sqlkit: ABS over %s", v.Kind)
+		}
+	case "COALESCE":
+		for _, v := range args {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null(), nil
+	case "ROUND":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			if args[0].IsNull() {
+				return Null(), nil
+			}
+			return Value{}, fmt.Errorf("sqlkit: ROUND over %s", args[0].Kind)
+		}
+		return IntVal(int64(math.Round(f))), nil
+	default:
+		return Value{}, fmt.Errorf("sqlkit: unknown function %q", x.Name)
+	}
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively
+// (matching common collations and keeping generated workloads forgiving).
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}

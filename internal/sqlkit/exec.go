@@ -1,0 +1,697 @@
+package sqlkit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// qcol is a qualified column label inside the executor.
+type qcol struct {
+	table string // lower-cased alias or table name
+	name  string // lower-cased column name
+}
+
+// env is one evaluation scope: a row with qualified column labels, chained
+// to an outer scope for correlated sub-queries.
+type env struct {
+	cols  []qcol
+	row   []Value
+	outer *env
+	// aggs binds computed aggregate values when evaluating grouped output.
+	aggs map[*FuncCall]Value
+	// groupRows holds the group's rows for aggregate computation.
+}
+
+// lookup resolves a column reference walking outward through scopes.
+func (e *env) lookup(table, name string) (Value, bool) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	for s := e; s != nil; s = s.outer {
+		for i, c := range s.cols {
+			if c.name == name && (table == "" || c.table == table) {
+				return s.row[i], true
+			}
+		}
+	}
+	return Value{}, false
+}
+
+// relation is an intermediate result: labeled columns and rows.
+type relation struct {
+	cols []qcol
+	rows [][]Value
+}
+
+// executor runs SELECT evaluation against a DB (whose mutex the caller holds).
+type executor struct {
+	db *DB
+}
+
+// selectResult executes a (possibly set-op chained) select and renders a
+// Result with output column names.
+func (ex *executor) selectResult(s *SelectStmt, outer *env) (*Result, error) {
+	names, rel, err := ex.selectChain(s, outer)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: names, Rows: rel.rows}, nil
+}
+
+// selectChain evaluates s and any set-operation chain hanging off it.
+func (ex *executor) selectChain(s *SelectStmt, outer *env) ([]string, *relation, error) {
+	names, rel, err := ex.selectCore(s, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	for op := s.Setop; op != nil; op = op.Right.Setop {
+		_, right, err := ex.selectCore(op.Right, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(right.cols) != len(rel.cols) {
+			return nil, nil, fmt.Errorf("sqlkit: set operation arity mismatch: %d vs %d", len(rel.cols), len(right.cols))
+		}
+		rel = applySetOp(op.Kind, op.All, rel, right)
+	}
+	return names, rel, nil
+}
+
+func applySetOp(kind SetOpKind, all bool, left, right *relation) *relation {
+	out := &relation{cols: left.cols}
+	switch kind {
+	case Union:
+		out.rows = append(append([][]Value{}, left.rows...), right.rows...)
+		if !all {
+			out.rows = dedupeRows(out.rows)
+		}
+	case Intersect:
+		rk := rowMultiset(right.rows)
+		for _, r := range left.rows {
+			k := rowKey(r)
+			if rk[k] > 0 {
+				out.rows = append(out.rows, r)
+				if !all {
+					rk[k] = 0
+				} else {
+					rk[k]--
+				}
+			}
+		}
+		if !all {
+			out.rows = dedupeRows(out.rows)
+		}
+	case Except:
+		rk := rowMultiset(right.rows)
+		for _, r := range left.rows {
+			k := rowKey(r)
+			if rk[k] > 0 {
+				if all {
+					rk[k]--
+				}
+				continue
+			}
+			out.rows = append(out.rows, r)
+		}
+		if !all {
+			out.rows = dedupeRows(out.rows)
+		}
+	}
+	return out
+}
+
+func rowKey(r []Value) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.key()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func rowMultiset(rows [][]Value) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, r := range rows {
+		m[rowKey(r)]++
+	}
+	return m
+}
+
+func dedupeRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := rowKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// selectCore evaluates one SELECT block (no set ops).
+func (ex *executor) selectCore(s *SelectStmt, outer *env) ([]string, *relation, error) {
+	var src *relation
+	if def, val, ok := ex.db.indexScanEligible(s); ok {
+		// Index scan: probe the hash index, keep only matching rows. The
+		// full WHERE still runs below (the index conjunct re-passes).
+		t := ex.db.tables[def.table]
+		rel, err := ex.tableRelation(s.From[0], outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows := make([][]Value, 0)
+		for _, ri := range def.payload[val.key()] {
+			rows = append(rows, t.Rows[ri])
+		}
+		src = &relation{cols: rel.cols, rows: rows}
+	} else {
+		var err error
+		src, err = ex.buildSource(s, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		filtered := src.rows[:0:0]
+		for _, row := range src.rows {
+			e := &env{cols: src.cols, row: row, outer: outer}
+			v, err := ex.eval(s.Where, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v.IsTrue() {
+				filtered = append(filtered, row)
+			}
+		}
+		src = &relation{cols: src.cols, rows: filtered}
+	}
+
+	aggs := collectAggregates(s)
+	grouped := len(s.GroupBy) > 0 || len(aggs) > 0
+
+	names := outputNames(s, src)
+
+	type outRow struct {
+		proj []Value
+		keys []Value // order-by keys
+	}
+	var outs []outRow
+
+	orderExprs := make([]Expr, len(s.OrderBy))
+	for i, k := range s.OrderBy {
+		orderExprs[i] = resolveOrderExpr(k.Expr, s)
+	}
+
+	project := func(e *env) (outRow, error) {
+		var r outRow
+		if len(s.Exprs) == 0 {
+			r.proj = append([]Value(nil), e.row...)
+		} else {
+			r.proj = make([]Value, len(s.Exprs))
+			for i, se := range s.Exprs {
+				v, err := ex.eval(se.Expr, e)
+				if err != nil {
+					return r, err
+				}
+				r.proj[i] = v
+			}
+		}
+		r.keys = make([]Value, len(orderExprs))
+		for i, oe := range orderExprs {
+			v, err := ex.eval(oe, e)
+			if err != nil {
+				return r, err
+			}
+			r.keys[i] = v
+		}
+		return r, nil
+	}
+
+	if grouped {
+		groups, order, err := ex.groupRows(s, src, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, gk := range order {
+			g := groups[gk]
+			aggVals := make(map[*FuncCall]Value, len(aggs))
+			for _, a := range aggs {
+				v, err := ex.computeAggregate(a, src.cols, g, outer)
+				if err != nil {
+					return nil, nil, err
+				}
+				aggVals[a] = v
+			}
+			var rep []Value
+			if len(g) > 0 {
+				rep = g[0]
+			} else {
+				rep = make([]Value, len(src.cols))
+			}
+			e := &env{cols: src.cols, row: rep, outer: outer, aggs: aggVals}
+			if s.Having != nil {
+				hv, err := ex.eval(s.Having, e)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !hv.IsTrue() {
+					continue
+				}
+			}
+			r, err := project(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs = append(outs, r)
+		}
+	} else {
+		for _, row := range src.rows {
+			e := &env{cols: src.cols, row: row, outer: outer}
+			r, err := project(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs = append(outs, r)
+		}
+	}
+
+	// ORDER BY (stable, honoring DESC per key, NULLs last).
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k := range s.OrderBy {
+				a, b := outs[i].keys[k], outs[j].keys[k]
+				if a.IsNull() && b.IsNull() {
+					continue
+				}
+				if a.IsNull() {
+					return false
+				}
+				if b.IsNull() {
+					return true
+				}
+				c, ok := Compare(a, b)
+				if !ok || c == 0 {
+					continue
+				}
+				if s.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	rows := make([][]Value, len(outs))
+	for i, o := range outs {
+		rows[i] = o.proj
+	}
+	if s.Distinct {
+		rows = dedupeRows(rows)
+	}
+	if s.Limit >= 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+
+	outCols := make([]qcol, len(names))
+	for i, n := range names {
+		outCols[i] = qcol{name: strings.ToLower(n)}
+	}
+	return names, &relation{cols: outCols, rows: rows}, nil
+}
+
+// outputNames derives the result column names.
+func outputNames(s *SelectStmt, src *relation) []string {
+	if len(s.Exprs) == 0 {
+		names := make([]string, len(src.cols))
+		for i, c := range src.cols {
+			names[i] = c.name
+		}
+		return names
+	}
+	names := make([]string, len(s.Exprs))
+	for i, se := range s.Exprs {
+		switch {
+		case se.Alias != "":
+			names[i] = se.Alias
+		default:
+			if c, ok := se.Expr.(*ColRef); ok {
+				names[i] = c.Name
+			} else {
+				names[i] = fmt.Sprintf("col%d", i+1)
+			}
+		}
+	}
+	return names
+}
+
+// resolveOrderExpr maps an ORDER BY expression that names a select alias to
+// the aliased expression.
+func resolveOrderExpr(e Expr, s *SelectStmt) Expr {
+	c, ok := e.(*ColRef)
+	if !ok || c.Table != "" {
+		return e
+	}
+	for _, se := range s.Exprs {
+		if se.Alias != "" && strings.EqualFold(se.Alias, c.Name) {
+			return se.Expr
+		}
+	}
+	return e
+}
+
+// groupRows partitions src by the GROUP BY keys, preserving first-seen order.
+// With no GROUP BY (pure aggregate query) everything is one group.
+func (ex *executor) groupRows(s *SelectStmt, src *relation, outer *env) (map[string][][]Value, []string, error) {
+	groups := make(map[string][][]Value)
+	var order []string
+	if len(s.GroupBy) == 0 {
+		groups[""] = src.rows
+		return groups, []string{""}, nil
+	}
+	for _, row := range src.rows {
+		e := &env{cols: src.cols, row: row, outer: outer}
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			v, err := ex.eval(g, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			parts[i] = v.key()
+		}
+		k := strings.Join(parts, "\x00")
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	return groups, order, nil
+}
+
+// computeAggregate evaluates one aggregate call over a group.
+func (ex *executor) computeAggregate(a *FuncCall, cols []qcol, rows [][]Value, outer *env) (Value, error) {
+	if a.Star {
+		if a.Name != "COUNT" {
+			return Value{}, fmt.Errorf("sqlkit: %s(*) is not valid", a.Name)
+		}
+		return IntVal(int64(len(rows))), nil
+	}
+	if len(a.Args) != 1 {
+		return Value{}, fmt.Errorf("sqlkit: aggregate %s takes one argument", a.Name)
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range rows {
+		e := &env{cols: cols, row: row, outer: outer}
+		v, err := ex.eval(a.Args[0], e)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if a.Distinct {
+			k := v.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch a.Name {
+	case "COUNT":
+		return IntVal(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		var sum float64
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return Value{}, fmt.Errorf("sqlkit: %s over non-numeric value %s", a.Name, v)
+			}
+			if v.Kind != KindInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if a.Name == "AVG" {
+			return FloatVal(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return IntVal(int64(sum)), nil
+		}
+		return FloatVal(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, ok := Compare(v, best)
+			if !ok {
+				return Value{}, fmt.Errorf("sqlkit: %s over incomparable values", a.Name)
+			}
+			if (a.Name == "MIN" && c < 0) || (a.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Value{}, fmt.Errorf("sqlkit: unknown aggregate %q", a.Name)
+	}
+}
+
+// aggregateNames is the set of recognized aggregate functions.
+var aggregateNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// collectAggregates finds aggregate calls in the select list, HAVING and
+// ORDER BY of s (not descending into sub-queries).
+func collectAggregates(s *SelectStmt) []*FuncCall {
+	var out []*FuncCall
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *FuncCall:
+			if aggregateNames[x.Name] {
+				out = append(out, x)
+				return
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Unary:
+			walk(x.X)
+		case *IsNullExpr:
+			walk(x.X)
+		case *BetweenExpr:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *InExpr:
+			walk(x.X)
+			for _, v := range x.List {
+				walk(v)
+			}
+		}
+	}
+	for _, se := range s.Exprs {
+		walk(se.Expr)
+	}
+	if s.Having != nil {
+		walk(s.Having)
+	}
+	for _, k := range s.OrderBy {
+		walk(resolveOrderExpr(k.Expr, s))
+	}
+	return out
+}
+
+// buildSource assembles the FROM/JOIN row source.
+func (ex *executor) buildSource(s *SelectStmt, outer *env) (*relation, error) {
+	if len(s.From) == 0 {
+		// SELECT without FROM: one empty row.
+		return &relation{rows: [][]Value{{}}}, nil
+	}
+	rel, err := ex.tableRelation(s.From[0], outer)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range s.From[1:] {
+		r, err := ex.tableRelation(tr, outer)
+		if err != nil {
+			return nil, err
+		}
+		rel = crossProduct(rel, r)
+	}
+	for _, j := range s.Joins {
+		right, err := ex.tableRelation(j.Table, outer)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = ex.join(rel, right, j, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// tableRelation materializes one FROM item.
+func (ex *executor) tableRelation(tr TableRef, outer *env) (*relation, error) {
+	if tr.Sub != nil {
+		names, rel, err := ex.selectChain(tr.Sub, outer)
+		if err != nil {
+			return nil, err
+		}
+		alias := strings.ToLower(tr.Alias)
+		cols := make([]qcol, len(names))
+		for i, n := range names {
+			cols[i] = qcol{table: alias, name: strings.ToLower(n)}
+		}
+		return &relation{cols: cols, rows: rel.rows}, nil
+	}
+	t, ok := ex.db.tables[strings.ToLower(tr.Name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlkit: unknown table %q", tr.Name)
+	}
+	label := strings.ToLower(tr.Name)
+	if tr.Alias != "" {
+		label = strings.ToLower(tr.Alias)
+	}
+	cols := make([]qcol, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = qcol{table: label, name: strings.ToLower(c.Name)}
+	}
+	return &relation{cols: cols, rows: t.Rows}, nil
+}
+
+func crossProduct(a, b *relation) *relation {
+	out := &relation{cols: append(append([]qcol{}, a.cols...), b.cols...)}
+	for _, ra := range a.rows {
+		for _, rb := range b.rows {
+			row := make([]Value, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// join evaluates one JOIN clause. Simple equi-joins between a left column
+// and a right column use a hash join; everything else falls back to a
+// nested-loop join.
+func (ex *executor) join(left, right *relation, j Join, outer *env) (*relation, error) {
+	out := &relation{cols: append(append([]qcol{}, left.cols...), right.cols...)}
+
+	// Try hash join: ON <colref> = <colref> with one side in each input.
+	if b, ok := j.On.(*Binary); ok && b.Op == OpEq {
+		lc, lok := b.L.(*ColRef)
+		rc, rok := b.R.(*ColRef)
+		if lok && rok {
+			li, inLeft := findCol(left.cols, lc)
+			ri, inRight := findCol(right.cols, rc)
+			if !inLeft || !inRight {
+				// Maybe written reversed: right.col = left.col.
+				li2, inLeft2 := findCol(left.cols, rc)
+				ri2, inRight2 := findCol(right.cols, lc)
+				if inLeft2 && inRight2 {
+					li, ri, inLeft, inRight = li2, ri2, true, true
+				}
+			}
+			if inLeft && inRight {
+				return hashJoin(left, right, li, ri, j.Kind), nil
+			}
+		}
+	}
+
+	// Nested loop.
+	for _, ra := range left.rows {
+		matched := false
+		for _, rb := range right.rows {
+			row := make([]Value, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			e := &env{cols: out.cols, row: row, outer: outer}
+			v, err := ex.eval(j.On, e)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				matched = true
+				out.rows = append(out.rows, row)
+			}
+		}
+		if !matched && j.Kind == LeftJoin {
+			row := make([]Value, 0, len(ra)+len(right.cols))
+			row = append(row, ra...)
+			for range right.cols {
+				row = append(row, Null())
+			}
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// findCol locates a ColRef among qualified columns; unqualified references
+// match any table label, qualified ones must match it.
+func findCol(cols []qcol, c *ColRef) (int, bool) {
+	table := strings.ToLower(c.Table)
+	name := strings.ToLower(c.Name)
+	for i, q := range cols {
+		if q.name == name && (table == "" || q.table == table) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func hashJoin(left, right *relation, li, ri int, kind JoinKind) *relation {
+	out := &relation{cols: append(append([]qcol{}, left.cols...), right.cols...)}
+	index := make(map[string][]int)
+	for i, rb := range right.rows {
+		v := rb[ri]
+		if v.IsNull() {
+			continue
+		}
+		index[v.key()] = append(index[v.key()], i)
+	}
+	for _, ra := range left.rows {
+		v := ra[li]
+		var matches []int
+		if !v.IsNull() {
+			matches = index[v.key()]
+		}
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				row := make([]Value, 0, len(ra)+len(right.cols))
+				row = append(row, ra...)
+				for range right.cols {
+					row = append(row, Null())
+				}
+				out.rows = append(out.rows, row)
+			}
+			continue
+		}
+		for _, mi := range matches {
+			rb := right.rows[mi]
+			row := make([]Value, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}

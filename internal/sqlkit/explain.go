@@ -1,0 +1,122 @@
+package sqlkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the logical plan the executor would run for a SELECT:
+// which tables are scanned, which join algorithm each JOIN clause gets
+// (hash join for simple equi-joins, nested loop otherwise), and which
+// post-processing stages apply. It makes the engine's one real physical
+// choice — hash vs nested-loop join — observable and testable.
+func (db *DB) Explain(sql string) (string, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sqlkit: EXPLAIN supports SELECT only, got %T", st)
+	}
+	var b strings.Builder
+	db.explainSelect(&b, sel, 0)
+	return b.String(), nil
+}
+
+func indentln(b *strings.Builder, depth int, format string, args ...interface{}) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, format, args...)
+	b.WriteByte('\n')
+}
+
+func (db *DB) explainSelect(b *strings.Builder, s *SelectStmt, depth int) {
+	proj := "*"
+	if len(s.Exprs) > 0 {
+		parts := make([]string, len(s.Exprs))
+		for i, se := range s.Exprs {
+			parts[i] = se.Expr.SQL()
+		}
+		proj = strings.Join(parts, ", ")
+	}
+	distinct := ""
+	if s.Distinct {
+		distinct = " DISTINCT"
+	}
+	indentln(b, depth, "PROJECT%s %s", distinct, proj)
+	if s.Limit >= 0 {
+		indentln(b, depth, "LIMIT %d", s.Limit)
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			dir := "ASC"
+			if k.Desc {
+				dir = "DESC"
+			}
+			keys[i] = k.Expr.SQL() + " " + dir
+		}
+		indentln(b, depth, "SORT %s", strings.Join(keys, ", "))
+	}
+	if len(s.GroupBy) > 0 || len(collectAggregates(s)) > 0 {
+		gb := "(all rows)"
+		if len(s.GroupBy) > 0 {
+			parts := make([]string, len(s.GroupBy))
+			for i, g := range s.GroupBy {
+				parts[i] = g.SQL()
+			}
+			gb = strings.Join(parts, ", ")
+		}
+		indentln(b, depth, "AGGREGATE BY %s", gb)
+		if s.Having != nil {
+			indentln(b, depth, "  HAVING %s", s.Having.SQL())
+		}
+	}
+	if s.Where != nil {
+		indentln(b, depth, "FILTER %s", s.Where.SQL())
+	}
+	for i := len(s.Joins) - 1; i >= 0; i-- {
+		j := s.Joins[i]
+		algo := "NESTED LOOP"
+		if db.joinUsesHash(s, i) {
+			algo = "HASH JOIN"
+		}
+		kind := "INNER"
+		if j.Kind == LeftJoin {
+			kind = "LEFT"
+		}
+		indentln(b, depth, "%s %s JOIN %s ON %s", algo, kind, j.Table.SQL(), j.On.SQL())
+	}
+	if def, val, ok := db.indexScanEligible(s); ok {
+		indentln(b, depth, "INDEX SCAN %s USING %s (%s = %s)", s.From[0].SQL(), def.name, def.column, val.String())
+	} else {
+		for _, tr := range s.From {
+			if tr.Sub != nil {
+				indentln(b, depth, "SCAN derived table %s:", tr.Alias)
+				db.explainSelect(b, tr.Sub, depth+1)
+				continue
+			}
+			rows := "?"
+			if t := db.Table(tr.Name); t != nil {
+				rows = fmt.Sprintf("%d", len(t.Rows))
+			}
+			indentln(b, depth, "SCAN %s (%s rows)", tr.SQL(), rows)
+		}
+	}
+	if s.Setop != nil {
+		indentln(b, depth, "%s:", s.Setop.Kind)
+		db.explainSelect(b, s.Setop.Right, depth+1)
+	}
+}
+
+// joinUsesHash mirrors the executor's hash-join eligibility test: the ON
+// clause is a bare equality between two column references.
+func (db *DB) joinUsesHash(s *SelectStmt, joinIdx int) bool {
+	bin, ok := s.Joins[joinIdx].On.(*Binary)
+	if !ok || bin.Op != OpEq {
+		return false
+	}
+	_, lok := bin.L.(*ColRef)
+	_, rok := bin.R.(*ColRef)
+	return lok && rok
+}

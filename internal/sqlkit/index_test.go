@@ -1,0 +1,178 @@
+package sqlkit
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func indexedDB(t testing.TB, n int) *DB {
+	t.Helper()
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE events (id INT, kind TEXT, year INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		db.InsertRow("events", []Value{
+			IntVal(int64(i)),
+			StringVal([]string{"concert", "meeting", "expo"}[i%3]),
+			IntVal(int64(2010 + i%10)),
+		})
+	}
+	if _, err := db.Exec("CREATE INDEX idx_kind ON events (kind)"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestIndexScanMatchesFullScan(t *testing.T) {
+	db := indexedDB(t, 300)
+	indexed, err := db.Exec("SELECT id FROM events WHERE kind = 'concert' AND year > 2014 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same query against an identical un-indexed database.
+	plain := NewDB()
+	plain.Exec("CREATE TABLE events (id INT, kind TEXT, year INT)")
+	for i := 0; i < 300; i++ {
+		plain.InsertRow("events", []Value{
+			IntVal(int64(i)),
+			StringVal([]string{"concert", "meeting", "expo"}[i%3]),
+			IntVal(int64(2010 + i%10)),
+		})
+	}
+	want, err := plain.Exec("SELECT id FROM events WHERE kind = 'concert' AND year > 2014 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexed.EqualOrdered(want) {
+		t.Errorf("index scan results diverge: %d vs %d rows", indexed.NumRows(), want.NumRows())
+	}
+}
+
+func TestIndexScanInExplain(t *testing.T) {
+	db := indexedDB(t, 50)
+	plan, err := db.Explain("SELECT id FROM events WHERE kind = 'meeting'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "INDEX SCAN events USING idx_kind (kind = 'meeting')") {
+		t.Errorf("plan does not use index:\n%s", plan)
+	}
+	// Joins and non-equality predicates fall back to full scans.
+	plan, _ = db.Explain("SELECT id FROM events WHERE kind > 'a'")
+	if strings.Contains(plan, "INDEX SCAN") {
+		t.Errorf("range predicate used an index:\n%s", plan)
+	}
+	plan, _ = db.Explain("SELECT a.id FROM events AS a JOIN events AS b ON a.id = b.id WHERE a.kind = 'expo'")
+	if strings.Contains(plan, "INDEX SCAN") {
+		t.Errorf("join query used the single-table index path:\n%s", plan)
+	}
+}
+
+func TestIndexInvalidatedByWrites(t *testing.T) {
+	db := indexedDB(t, 30)
+	before, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'expo'")
+	db.Exec("INSERT INTO events VALUES (999, 'expo', 2030)")
+	after, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'expo'")
+	if after.Rows[0][0].Int != before.Rows[0][0].Int+1 {
+		t.Errorf("stale index after insert: %v -> %v", before.Rows[0][0], after.Rows[0][0])
+	}
+	db.Exec("DELETE FROM events WHERE id = 999")
+	final, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'expo'")
+	if final.Rows[0][0].Int != before.Rows[0][0].Int {
+		t.Errorf("stale index after delete: %v", final.Rows[0][0])
+	}
+	db.Exec("UPDATE events SET kind = 'concert' WHERE id = 0")
+	upd, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'concert'")
+	plain, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'concert' OR 1 = 0") // OR defeats the index
+	if upd.Rows[0][0].Int != plain.Rows[0][0].Int {
+		t.Errorf("index %v disagrees with full scan %v after update", upd.Rows[0][0], plain.Rows[0][0])
+	}
+}
+
+func TestIndexSurvivesTransactionRollback(t *testing.T) {
+	db := indexedDB(t, 30)
+	base, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'concert'")
+	db.Exec("BEGIN")
+	db.Exec("DELETE FROM events WHERE kind = 'concert'")
+	mid, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'concert'")
+	if mid.Rows[0][0].Int != 0 {
+		t.Errorf("in-tx count = %v", mid.Rows[0][0])
+	}
+	db.Exec("ROLLBACK")
+	after, _ := db.Exec("SELECT COUNT(*) FROM events WHERE kind = 'concert'")
+	if after.Rows[0][0].Int != base.Rows[0][0].Int {
+		t.Errorf("post-rollback index count %v, want %v", after.Rows[0][0], base.Rows[0][0])
+	}
+}
+
+func TestCreateDropIndexErrors(t *testing.T) {
+	db := indexedDB(t, 5)
+	if _, err := db.Exec("CREATE INDEX idx_kind ON events (kind)"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := db.Exec("CREATE INDEX i2 ON nope (kind)"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Exec("CREATE INDEX i3 ON events (nope)"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Exec("DROP INDEX nope"); err == nil {
+		t.Error("unknown index dropped")
+	}
+	if _, err := db.Exec("DROP INDEX idx_kind"); err != nil {
+		t.Errorf("drop failed: %v", err)
+	}
+	plan, _ := db.Explain("SELECT id FROM events WHERE kind = 'expo'")
+	if strings.Contains(plan, "INDEX SCAN") {
+		t.Error("dropped index still used")
+	}
+}
+
+func TestDropTableDropsIndexes(t *testing.T) {
+	db := indexedDB(t, 5)
+	db.Exec("DROP TABLE events")
+	db.Exec("CREATE TABLE events (id INT, kind TEXT, year INT)")
+	// The old index must be gone; recreating under the same name works.
+	if _, err := db.Exec("CREATE INDEX idx_kind ON events (kind)"); err != nil {
+		t.Errorf("recreate index after drop table: %v", err)
+	}
+}
+
+func TestCreateIndexSQLRoundTrip(t *testing.T) {
+	for _, sql := range []string{"CREATE INDEX i ON t (c)", "DROP INDEX i"} {
+		st := mustParse(t, sql)
+		if st.SQL() != sql {
+			t.Errorf("round trip: %q -> %q", sql, st.SQL())
+		}
+	}
+}
+
+func BenchmarkPointLookupIndexed(b *testing.B) {
+	db := indexedDB(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(fmt.Sprintf("SELECT COUNT(*) FROM events WHERE kind = 'concert' AND year = %d", 2010+i%10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointLookupFullScan(b *testing.B) {
+	db := NewDB()
+	db.Exec("CREATE TABLE events (id INT, kind TEXT, year INT)")
+	for i := 0; i < 5000; i++ {
+		db.InsertRow("events", []Value{
+			IntVal(int64(i)), StringVal([]string{"concert", "meeting", "expo"}[i%3]), IntVal(int64(2010 + i%10)),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(fmt.Sprintf("SELECT COUNT(*) FROM events WHERE kind = 'concert' AND year = %d", 2010+i%10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sqlkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// tok is one lexical token.
+type tok struct {
+	kind tokKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int    // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"JOIN": true, "LEFT": true, "INNER": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "ALL": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INDEX": true,
+	"INT": true, "INTEGER": true, "FLOAT": true, "REAL": true,
+	"TEXT": true, "VARCHAR": true, "BOOL": true, "BOOLEAN": true,
+	"TRUE": true, "FALSE": true, "ASC": true, "DESC": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex tokenizes SQL input.
+func lex(input string) ([]tok, error) {
+	var out []tok
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlkit: unterminated string at offset %d", start)
+			}
+			out = append(out, tok{tokString, b.String(), start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n && (input[i] >= '0' && input[i] <= '9' || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			out = append(out, tok{tokNumber, input[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				out = append(out, tok{tokKeyword, up, start})
+			} else {
+				out = append(out, tok{tokIdent, word, start})
+			}
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<>", "<=", ">=", "!=":
+					out = append(out, tok{tokSymbol, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+				out = append(out, tok{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlkit: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	out = append(out, tok{tokEOF, "", n})
+	return out, nil
+}
+
+// Identifiers are ASCII-only: the lexer scans bytes, so admitting
+// non-ASCII "letters" byte-by-byte would tear multi-byte runes apart
+// (found by FuzzParse). Non-ASCII bytes outside string literals are
+// rejected with a clean parse error instead.
+func isIdentStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || (r >= '0' && r <= '9')
+}

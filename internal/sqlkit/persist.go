@@ -1,0 +1,178 @@
+package sqlkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// JSON snapshot format. Values use natural JSON for strings, bools and
+// NULL; numbers are tagged so the int/float distinction survives the round
+// trip ({"k":"i","v":"42"} / {"k":"f","v":"1.5"}).
+
+type dbJSON struct {
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Name string              `json:"name"`
+	Cols []columnJSON        `json:"cols"`
+	Rows [][]json.RawMessage `json:"rows"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func encodeValue(v Value) (json.RawMessage, error) {
+	switch v.Kind {
+	case KindNull:
+		return json.RawMessage("null"), nil
+	case KindBool:
+		return json.Marshal(v.Bool)
+	case KindString:
+		return json.Marshal(v.Str)
+	case KindInt:
+		return json.Marshal(map[string]string{"k": "i", "v": strconv.FormatInt(v.Int, 10)})
+	case KindFloat:
+		return json.Marshal(map[string]string{"k": "f", "v": strconv.FormatFloat(v.Float, 'g', -1, 64)})
+	default:
+		return nil, fmt.Errorf("sqlkit: cannot encode value kind %v", v.Kind)
+	}
+}
+
+func decodeValue(raw json.RawMessage) (Value, error) {
+	if string(raw) == "null" {
+		return Null(), nil
+	}
+	var b bool
+	if err := json.Unmarshal(raw, &b); err == nil {
+		return BoolVal(b), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return StringVal(s), nil
+	}
+	var tagged map[string]string
+	if err := json.Unmarshal(raw, &tagged); err != nil {
+		return Value{}, fmt.Errorf("sqlkit: bad value encoding %s", raw)
+	}
+	switch tagged["k"] {
+	case "i":
+		i, err := strconv.ParseInt(tagged["v"], 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("sqlkit: bad int encoding %s: %w", raw, err)
+		}
+		return IntVal(i), nil
+	case "f":
+		f, err := strconv.ParseFloat(tagged["v"], 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("sqlkit: bad float encoding %s: %w", raw, err)
+		}
+		return FloatVal(f), nil
+	default:
+		return Value{}, fmt.Errorf("sqlkit: unknown value tag in %s", raw)
+	}
+}
+
+func colTypeFromString(s string) (ColType, error) {
+	switch s {
+	case "INT":
+		return TInt, nil
+	case "FLOAT":
+		return TFloat, nil
+	case "TEXT":
+		return TText, nil
+	case "BOOL":
+		return TBool, nil
+	default:
+		return 0, fmt.Errorf("sqlkit: unknown column type %q", s)
+	}
+}
+
+// SaveJSON writes a snapshot of the database (tables in sorted name order,
+// so output is deterministic).
+func (db *DB) SaveJSON(w io.Writer) error {
+	var out dbJSON
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		tj := tableJSON{Name: t.Name}
+		for _, c := range t.Cols {
+			tj.Cols = append(tj.Cols, columnJSON{Name: c.Name, Type: c.Type.String()})
+		}
+		for _, row := range t.Rows {
+			rj := make([]json.RawMessage, len(row))
+			for i, v := range row {
+				raw, err := encodeValue(v)
+				if err != nil {
+					return err
+				}
+				rj[i] = raw
+			}
+			tj.Rows = append(tj.Rows, rj)
+		}
+		out.Tables = append(out.Tables, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a snapshot into a fresh database.
+func LoadJSON(r io.Reader) (*DB, error) {
+	var in dbJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sqlkit: decode snapshot: %w", err)
+	}
+	db := NewDB()
+	for _, tj := range in.Tables {
+		cols := make([]Column, len(tj.Cols))
+		for i, cj := range tj.Cols {
+			ct, err := colTypeFromString(cj.Type)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = Column{Name: cj.Name, Type: ct}
+		}
+		if err := db.CreateTable(tj.Name, cols); err != nil {
+			return nil, err
+		}
+		for _, rj := range tj.Rows {
+			row := make([]Value, len(rj))
+			for i, raw := range rj {
+				v, err := decodeValue(raw)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			if err := db.InsertRow(tj.Name, row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// SaveFile snapshots the database to path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.SaveJSON(f)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadJSON(f)
+}

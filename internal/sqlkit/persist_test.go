@@ -1,0 +1,166 @@
+package sqlkit
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := stadiumDB(t)
+	db.Exec("CREATE TABLE mixed (i INT, f FLOAT, s TEXT, b BOOL)")
+	db.Exec("INSERT INTO mixed VALUES (42, 1.5, 'hello ''quoted''', TRUE), (NULL, NULL, NULL, FALSE), (2, 2.0, '', TRUE)")
+
+	var buf bytes.Buffer
+	if err := db.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every table matches row for row.
+	for _, name := range db.TableNames() {
+		orig, _ := db.Exec("SELECT * FROM " + name)
+		got, err := loaded.Exec("SELECT * FROM " + name)
+		if err != nil {
+			t.Fatalf("loaded db missing table %s: %v", name, err)
+		}
+		if !orig.EqualOrdered(got) {
+			t.Errorf("table %s does not round trip", name)
+		}
+	}
+
+	// The int/float distinction survives: 2 (int) vs 2.0 (float).
+	got, _ := loaded.Exec("SELECT i, f FROM mixed WHERE b = TRUE AND i = 2")
+	if got.Rows[0][0].Kind != KindInt || got.Rows[0][1].Kind != KindFloat {
+		t.Errorf("kinds lost: %v %v", got.Rows[0][0].Kind, got.Rows[0][1].Kind)
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	db := stadiumDB(t)
+	var a, b bytes.Buffer
+	db.SaveJSON(&a)
+	db.SaveJSON(&b)
+	if a.String() != b.String() {
+		t.Error("snapshot not deterministic")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := stadiumDB(t)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := loaded.Exec("SELECT COUNT(*) FROM stadium")
+	if err != nil || r.Rows[0][0].Int != 5 {
+		t.Errorf("loaded count = %v err = %v", r, err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON loaded")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"tables":[{"name":"t","cols":[{"name":"a","type":"BLOB"}]}]}`)); err == nil {
+		t.Error("unknown column type loaded")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"tables":[{"name":"t","cols":[{"name":"a","type":"INT"}],"rows":[[{"k":"x","v":"1"}]]}]}`)); err == nil {
+		t.Error("unknown value tag loaded")
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	db := stadiumDB(t)
+	if _, err := db.Exec("CREATE TABLE big_stadiums (name TEXT, capacity INT)"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Exec("INSERT INTO big_stadiums (name, capacity) SELECT name, capacity FROM stadium WHERE capacity > 80000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Errorf("affected = %d, want 2", r.Affected)
+	}
+	got, _ := db.Exec("SELECT name FROM big_stadiums ORDER BY name")
+	if len(got.Rows) != 2 || got.Rows[0][0].Display() != "Camp Nou" {
+		t.Errorf("rows = %v", got.Rows)
+	}
+}
+
+func TestInsertSelectArityMismatch(t *testing.T) {
+	db := stadiumDB(t)
+	db.Exec("CREATE TABLE narrow (name TEXT)")
+	if _, err := db.Exec("INSERT INTO narrow SELECT name, capacity FROM stadium"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestInsertSelectRoundTripSQL(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a) SELECT x FROM u WHERE x > 1")
+	r1 := st.SQL()
+	st2, err := Parse(r1)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", r1, err)
+	}
+	if st2.SQL() != r1 {
+		t.Errorf("round trip unstable: %q vs %q", r1, st2.SQL())
+	}
+}
+
+func TestInsertSelectArchivePattern(t *testing.T) {
+	// The archival pattern: snapshot old rows into a history table, then
+	// delete them — all through the SQL surface, inside a transaction.
+	db := stadiumDB(t)
+	script := `CREATE TABLE concert_archive (concert_id INT, stadium_id INT, year INT, attendance INT);
+BEGIN;
+INSERT INTO concert_archive SELECT * FROM concert WHERE year < 2014;
+DELETE FROM concert WHERE year < 2014;
+COMMIT;`
+	if _, err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := db.Exec("SELECT COUNT(*) FROM concert")
+	archived, _ := db.Exec("SELECT COUNT(*) FROM concert_archive")
+	if archived.Rows[0][0].Int != 1 { // one 2013 concert in the fixture
+		t.Errorf("archived = %v", archived.Rows[0][0])
+	}
+	if live.Rows[0][0].Int != 5 {
+		t.Errorf("live = %v", live.Rows[0][0])
+	}
+}
+
+// Property: every representable Value survives the JSON encoding.
+func TestValueJSONRoundTripProperty(t *testing.T) {
+	vals := []Value{
+		Null(), BoolVal(true), BoolVal(false),
+		IntVal(0), IntVal(-42), IntVal(1 << 60),
+		FloatVal(0), FloatVal(2.0), FloatVal(-1.5e-9),
+		StringVal(""), StringVal("with \"quotes\" and 'apostrophes'"),
+		StringVal("unicode 日本語"), StringVal("null"), StringVal("42"),
+	}
+	for _, v := range vals {
+		raw, err := encodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, err := decodeValue(raw)
+		if err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		if got.Kind != v.Kind || got.key() != v.key() {
+			t.Errorf("round trip %v -> %s -> %v", v, raw, got)
+		}
+	}
+}

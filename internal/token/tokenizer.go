@@ -1,0 +1,93 @@
+// Package token provides deterministic tokenization and cost accounting for
+// the simulated LLM stack.
+//
+// The tokenizer is a word-piece style tokenizer: input text is split into
+// words, numbers and punctuation runs, and long words are further split into
+// fixed-size pieces. It is not byte-pair encoding, but it produces stable,
+// realistic token counts (roughly 1.3 tokens per English word), which is all
+// the billing and benchmarking layers need.
+package token
+
+import (
+	"strings"
+	"unicode"
+)
+
+// MaxPiece is the maximum length, in runes, of a single word piece. Words
+// longer than MaxPiece are split into consecutive pieces of at most this
+// length, mirroring how sub-word tokenizers fragment rare words.
+const MaxPiece = 6
+
+// Tokenizer splits text into word pieces. The zero value is ready to use.
+type Tokenizer struct{}
+
+// Tokenize returns the word pieces of text, in order.
+func (Tokenizer) Tokenize(text string) []string {
+	var out []string
+	for _, w := range splitWords(text) {
+		out = append(out, splitPieces(w)...)
+	}
+	return out
+}
+
+// Count returns the number of tokens in text without materializing them.
+func (Tokenizer) Count(text string) int {
+	n := 0
+	for _, w := range splitWords(text) {
+		r := []rune(w)
+		n += (len(r) + MaxPiece - 1) / MaxPiece
+	}
+	return n
+}
+
+// Count is a convenience wrapper around Tokenizer.Count using the default
+// tokenizer.
+func Count(text string) int { return Tokenizer{}.Count(text) }
+
+// Tokenize is a convenience wrapper around Tokenizer.Tokenize using the
+// default tokenizer.
+func Tokenize(text string) []string { return Tokenizer{}.Tokenize(text) }
+
+// splitWords breaks text into maximal runs of letters/digits and single
+// punctuation marks. Whitespace is discarded.
+func splitWords(text string) []string {
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			words = append(words, string(r))
+		}
+	}
+	flush()
+	return words
+}
+
+// splitPieces fragments a single word into pieces of at most MaxPiece runes.
+func splitPieces(w string) []string {
+	r := []rune(w)
+	if len(r) <= MaxPiece {
+		return []string{w}
+	}
+	var pieces []string
+	for len(r) > 0 {
+		n := MaxPiece
+		if len(r) < n {
+			n = len(r)
+		}
+		pieces = append(pieces, string(r[:n]))
+		r = r[n:]
+	}
+	return pieces
+}

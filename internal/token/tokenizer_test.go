@@ -1,0 +1,107 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("Show the names of stadiums")
+	want := []string{"show", "the", "names", "of", "stadiu", "ms"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizePunctuation(t *testing.T) {
+	got := Tokenize("a,b.c")
+	want := []string{"a", ",", "b", ".", "c"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("Tokenize(%q) = %v, want %v", "a,b.c", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v, want empty", got)
+	}
+	if got := Count("   \t\n "); got != 0 {
+		t.Errorf("Count(whitespace) = %d, want 0", got)
+	}
+}
+
+func TestTokenizeLongWordSplit(t *testing.T) {
+	got := Tokenize("internationalization")
+	// 20 runes -> pieces of 6,6,6,2.
+	if len(got) != 4 {
+		t.Fatalf("Tokenize long word: got %d pieces %v, want 4", len(got), got)
+	}
+	if strings.Join(got, "") != "internationalization" {
+		t.Errorf("pieces do not reassemble the word: %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("日本語 test")
+	if len(got) == 0 {
+		t.Fatal("Tokenize unicode returned no tokens")
+	}
+}
+
+func TestCountMatchesTokenize(t *testing.T) {
+	f := func(s string) bool {
+		return Count(s) == len(Tokenize(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeDeterministic(t *testing.T) {
+	f := func(s string) bool {
+		a := Tokenize(s)
+		b := Tokenize(s)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeCaseInsensitive(t *testing.T) {
+	a := Tokenize("SELECT Name FROM Stadium")
+	b := Tokenize("select name from stadium")
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Errorf("tokenization is case sensitive: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("What are the names of stadiums that had concerts in 2014? ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	text := strings.Repeat("What are the names of stadiums that had concerts in 2014? ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(text)
+	}
+}

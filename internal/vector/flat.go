@@ -1,0 +1,109 @@
+package vector
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/embed"
+)
+
+// Flat is a brute-force exact index: Search scans every stored vector. It is
+// the accuracy baseline the approximate indexes are validated against, and
+// the right choice for small collections such as the semantic cache.
+// Flat is safe for concurrent use.
+type Flat struct {
+	mu     sync.RWMutex
+	metric Metric
+	dim    int
+	items  []Item
+	byID   map[ID]int
+}
+
+// NewFlat returns an empty flat index over dim-dimensional vectors.
+func NewFlat(dim int, metric Metric) *Flat {
+	if dim <= 0 {
+		panic("vector: non-positive dimension")
+	}
+	return &Flat{metric: metric, dim: dim, byID: make(map[ID]int)}
+}
+
+// Add implements Index.
+func (f *Flat) Add(items ...Item) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, it := range items {
+		if len(it.Vec) != f.dim {
+			return fmt.Errorf("%w: item %d has dim %d, index dim %d", ErrDimMismatch, it.ID, len(it.Vec), f.dim)
+		}
+		if _, ok := f.byID[it.ID]; ok {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, it.ID)
+		}
+		f.byID[it.ID] = len(f.items)
+		f.items = append(f.items, it)
+	}
+	return nil
+}
+
+// Remove deletes the item with the given ID, reporting whether it existed.
+func (f *Flat) Remove(id ID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i, ok := f.byID[id]
+	if !ok {
+		return false
+	}
+	last := len(f.items) - 1
+	f.items[i] = f.items[last]
+	f.byID[f.items[i].ID] = i
+	f.items = f.items[:last]
+	delete(f.byID, id)
+	return true
+}
+
+// Get returns the stored item for id.
+func (f *Flat) Get(id ID) (Item, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	i, ok := f.byID[id]
+	if !ok {
+		return Item{}, false
+	}
+	return f.items[i], true
+}
+
+// Search implements Index.
+func (f *Flat) Search(q embed.Vector, k int) []Result {
+	return f.SearchFiltered(q, k, nil)
+}
+
+// SearchFiltered is Search restricted to items whose attributes satisfy
+// keep. A nil keep admits everything.
+func (f *Flat) SearchFiltered(q embed.Vector, k int, keep func(attrs map[string]string) bool) []Result {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	t := newTopK(k)
+	for _, it := range f.items {
+		if keep != nil && !keep(it.Attrs) {
+			continue
+		}
+		t.offer(Result{ID: it.ID, Score: f.metric.Score(q, it.Vec)})
+	}
+	return t.results()
+}
+
+// Len implements Index.
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.items)
+}
+
+// Items returns a copy of the stored items in insertion-ish order. Intended
+// for tests and for building derived indexes.
+func (f *Flat) Items() []Item {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]Item, len(f.items))
+	copy(out, f.items)
+	return out
+}

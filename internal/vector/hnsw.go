@@ -1,0 +1,324 @@
+package vector
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/embed"
+)
+
+// HNSW is a hierarchical navigable small world graph index, the structure
+// behind most production approximate-nearest-neighbor systems. Inserts build
+// a multi-layer proximity graph; queries greedily descend from the sparse
+// top layer and then run a best-first beam search on the base layer.
+// HNSW is safe for concurrent use.
+type HNSW struct {
+	mu     sync.RWMutex
+	metric Metric
+	dim    int
+	m      int // max neighbors per node per upper layer (2m at layer 0)
+	efCons int
+	efSrch int
+	levelP float64
+	rng    *rand.Rand
+
+	nodes []hnswNode
+	byID  map[ID]int
+	entry int // index into nodes of the entry point, -1 if empty
+	maxL  int
+}
+
+type hnswNode struct {
+	item  Item
+	level int
+	// neighbors[l] lists node indexes adjacent at layer l.
+	neighbors [][]int
+}
+
+// HNSWConfig parameterizes an HNSW index.
+type HNSWConfig struct {
+	Dim    int
+	Metric Metric
+	// M is the graph degree parameter. Defaults to 8.
+	M int
+	// EfConstruction is the construction beam width. Defaults to 64.
+	EfConstruction int
+	// EfSearch is the query beam width. Defaults to 32.
+	EfSearch int
+	// Seed drives random level assignment; fixed for reproducibility.
+	Seed int64
+}
+
+// NewHNSW returns an empty HNSW index.
+func NewHNSW(cfg HNSWConfig) *HNSW {
+	if cfg.Dim <= 0 {
+		panic("vector: non-positive dimension")
+	}
+	if cfg.M <= 0 {
+		cfg.M = 8
+	}
+	if cfg.EfConstruction <= 0 {
+		cfg.EfConstruction = 64
+	}
+	if cfg.EfSearch <= 0 {
+		cfg.EfSearch = 32
+	}
+	return &HNSW{
+		metric: cfg.Metric,
+		dim:    cfg.Dim,
+		m:      cfg.M,
+		efCons: cfg.EfConstruction,
+		efSrch: cfg.EfSearch,
+		levelP: 1 / math.E,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byID:   make(map[ID]int),
+		entry:  -1,
+	}
+}
+
+// dist is the search distance: lower is closer, for any metric.
+func (h *HNSW) dist(a, b embed.Vector) float64 { return -h.metric.Score(a, b) }
+
+// randomLevel draws a level from the standard HNSW geometric distribution.
+func (h *HNSW) randomLevel() int {
+	lvl := 0
+	for h.rng.Float64() < h.levelP && lvl < 32 {
+		lvl++
+	}
+	return lvl
+}
+
+// Add implements Index.
+func (h *HNSW) Add(items ...Item) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, it := range items {
+		if len(it.Vec) != h.dim {
+			return fmt.Errorf("%w: item %d has dim %d, index dim %d", ErrDimMismatch, it.ID, len(it.Vec), h.dim)
+		}
+		if _, ok := h.byID[it.ID]; ok {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, it.ID)
+		}
+		h.insertLocked(it)
+	}
+	return nil
+}
+
+func (h *HNSW) insertLocked(it Item) {
+	level := h.randomLevel()
+	n := hnswNode{item: it, level: level, neighbors: make([][]int, level+1)}
+	idx := len(h.nodes)
+	h.nodes = append(h.nodes, n)
+	h.byID[it.ID] = idx
+
+	if h.entry == -1 {
+		h.entry = idx
+		h.maxL = level
+		return
+	}
+
+	cur := h.entry
+	// Greedy descent through layers above the new node's level.
+	for l := h.maxL; l > level; l-- {
+		cur = h.greedyClosestLocked(it.Vec, cur, l)
+	}
+	// Insert with beam search on each layer from min(level, maxL) down to 0.
+	top := level
+	if top > h.maxL {
+		top = h.maxL
+	}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayerLocked(it.Vec, cur, h.efCons, l)
+		max := h.m
+		if l == 0 {
+			max = 2 * h.m
+		}
+		sel := cands
+		if len(sel) > max {
+			sel = sel[:max]
+		}
+		for _, c := range sel {
+			h.nodes[idx].neighbors[l] = append(h.nodes[idx].neighbors[l], c.node)
+			h.nodes[c.node].neighbors[l] = append(h.nodes[c.node].neighbors[l], idx)
+			h.pruneLocked(c.node, l)
+		}
+		if len(cands) > 0 {
+			cur = cands[0].node
+		}
+	}
+	if level > h.maxL {
+		h.maxL = level
+		h.entry = idx
+	}
+}
+
+// pruneLocked trims node's neighbor list at layer l back to the degree bound,
+// keeping the closest neighbors.
+func (h *HNSW) pruneLocked(node, l int) {
+	max := h.m
+	if l == 0 {
+		max = 2 * h.m
+	}
+	nb := h.nodes[node].neighbors[l]
+	if len(nb) <= max {
+		return
+	}
+	v := h.nodes[node].item.Vec
+	type nd struct {
+		n int
+		d float64
+	}
+	ds := make([]nd, len(nb))
+	for i, x := range nb {
+		ds[i] = nd{x, h.dist(v, h.nodes[x].item.Vec)}
+	}
+	// Selection by distance, deterministic tie-break on node index.
+	for i := 0; i < max; i++ {
+		best := i
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j].d < ds[best].d || (ds[j].d == ds[best].d && ds[j].n < ds[best].n) {
+				best = j
+			}
+		}
+		ds[i], ds[best] = ds[best], ds[i]
+	}
+	out := make([]int, max)
+	for i := 0; i < max; i++ {
+		out[i] = ds[i].n
+	}
+	h.nodes[node].neighbors[l] = out
+}
+
+// greedyClosestLocked walks layer l greedily from start toward q.
+func (h *HNSW) greedyClosestLocked(q embed.Vector, start, l int) int {
+	cur := start
+	curD := h.dist(q, h.nodes[cur].item.Vec)
+	for {
+		improved := false
+		for _, nb := range h.nodes[cur].neighbors[l] {
+			if d := h.dist(q, h.nodes[nb].item.Vec); d < curD {
+				cur, curD = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+type hnswCand struct {
+	node int
+	d    float64
+}
+
+// candHeap is a min-heap by distance.
+type candHeap []hnswCand
+
+func (c candHeap) Len() int            { return len(c) }
+func (c candHeap) Less(i, j int) bool  { return c[i].d < c[j].d }
+func (c candHeap) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
+func (c *candHeap) Push(x interface{}) { *c = append(*c, x.(hnswCand)) }
+func (c *candHeap) Pop() interface{} {
+	old := *c
+	n := len(old)
+	x := old[n-1]
+	*c = old[:n-1]
+	return x
+}
+
+// farHeap is a max-heap by distance (worst of the current beam on top).
+type farHeap []hnswCand
+
+func (c farHeap) Len() int            { return len(c) }
+func (c farHeap) Less(i, j int) bool  { return c[i].d > c[j].d }
+func (c farHeap) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
+func (c *farHeap) Push(x interface{}) { *c = append(*c, x.(hnswCand)) }
+func (c *farHeap) Pop() interface{} {
+	old := *c
+	n := len(old)
+	x := old[n-1]
+	*c = old[:n-1]
+	return x
+}
+
+// searchLayerLocked runs the HNSW best-first beam search on layer l and
+// returns up to ef candidates sorted by ascending distance.
+func (h *HNSW) searchLayerLocked(q embed.Vector, start, ef, l int) []hnswCand {
+	visited := map[int]bool{start: true}
+	d0 := h.dist(q, h.nodes[start].item.Vec)
+	cands := candHeap{{start, d0}}
+	best := farHeap{{start, d0}}
+	for len(cands) > 0 {
+		c := heap.Pop(&cands).(hnswCand)
+		if len(best) >= ef && c.d > best[0].d {
+			break
+		}
+		for _, nb := range h.nodes[c.node].neighbors[l] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := h.dist(q, h.nodes[nb].item.Vec)
+			if len(best) < ef || d < best[0].d {
+				heap.Push(&cands, hnswCand{nb, d})
+				heap.Push(&best, hnswCand{nb, d})
+				if len(best) > ef {
+					heap.Pop(&best)
+				}
+			}
+		}
+	}
+	out := make([]hnswCand, len(best))
+	copy(out, best)
+	// Sort ascending by distance, tie-break on node for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].d < out[j-1].d || (out[j].d == out[j-1].d && out[j].node < out[j-1].node)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Search implements Index.
+func (h *HNSW) Search(q embed.Vector, k int) []Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.entry == -1 || k <= 0 {
+		return nil
+	}
+	cur := h.entry
+	for l := h.maxL; l > 0; l-- {
+		cur = h.greedyClosestLocked(q, cur, l)
+	}
+	ef := h.efSrch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayerLocked(q, cur, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: h.nodes[c.node].item.ID, Score: -c.d}
+	}
+	return out
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.nodes)
+}
+
+// MaxLevel reports the current top layer (for tests and diagnostics).
+func (h *HNSW) MaxLevel() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.maxL
+}

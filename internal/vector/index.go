@@ -1,0 +1,141 @@
+// Package vector implements in-memory vector indexes — brute-force flat,
+// IVF (inverted file with a k-means coarse quantizer) and HNSW — plus hybrid
+// attribute+vector search with selectable filtering order.
+//
+// These are the storage and retrieval substrate for the paper's prompt store
+// (Section III-A), semantic cache (Section III-C) and multi-modal data lake
+// (Sections II-D, III-B2).
+package vector
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/embed"
+)
+
+// Metric selects how similarity is scored.
+type Metric int
+
+const (
+	// Cosine scores by cosine similarity (higher is closer).
+	Cosine Metric = iota
+	// Dot scores by inner product (higher is closer).
+	Dot
+	// L2 scores by negative Euclidean distance (higher is closer), so that
+	// all metrics sort the same way.
+	L2
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Dot:
+		return "dot"
+	case L2:
+		return "l2"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Score returns the similarity of a and b under m; higher is always closer.
+func (m Metric) Score(a, b embed.Vector) float64 {
+	switch m {
+	case Cosine:
+		return embed.Cosine(a, b)
+	case Dot:
+		return embed.Dot(a, b)
+	case L2:
+		return -embed.L2(a, b)
+	default:
+		panic("vector: unknown metric")
+	}
+}
+
+// ID identifies one stored item.
+type ID int64
+
+// Item is a stored vector with optional filterable attributes.
+type Item struct {
+	ID    ID
+	Vec   embed.Vector
+	Attrs map[string]string
+}
+
+// Result is one search hit.
+type Result struct {
+	ID    ID
+	Score float64
+}
+
+// Index is the common contract of all vector indexes in this package.
+type Index interface {
+	// Add inserts items. Adding an ID that already exists is an error.
+	Add(items ...Item) error
+	// Search returns up to k nearest items to q, best first.
+	Search(q embed.Vector, k int) []Result
+	// Len reports the number of stored items.
+	Len() int
+}
+
+// ErrDuplicateID is returned when an item with an existing ID is added.
+var ErrDuplicateID = errors.New("vector: duplicate item ID")
+
+// ErrDimMismatch is returned when a vector's length does not match the index.
+var ErrDimMismatch = errors.New("vector: dimension mismatch")
+
+// resultHeap is a min-heap on Score used to keep the best k results.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// topK maintains the best k results seen so far.
+type topK struct {
+	k int
+	h resultHeap
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) offer(r Result) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		heap.Push(&t.h, r)
+		return
+	}
+	if r.Score > t.h[0].Score || (r.Score == t.h[0].Score && r.ID < t.h[0].ID) {
+		t.h[0] = r
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// results returns the collected hits, best first, with deterministic
+// tie-breaking on ID.
+func (t *topK) results() []Result {
+	out := make([]Result, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

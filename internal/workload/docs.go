@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+)
+
+// Doc is one semi-structured document for the table-transformation workload
+// (paper Figure 4): the same records serialized as XML, JSON or a
+// spreadsheet-like grid, plus the gold relational rows.
+type Doc struct {
+	ID     int
+	Format string // "xml", "json", "sheet"
+	Body   string
+	// Gold is the relational content: one Row per record, all sharing Cols.
+	Cols []string
+	Gold []Row
+}
+
+// patientRecord mirrors the paper's healthcare motivation: diagnostic
+// reports arriving as XML/JSON that should become relational rows.
+type patientRecord struct {
+	XMLName   xml.Name `xml:"patient" json:"-"`
+	PatientID string   `xml:"patient_id" json:"patient_id"`
+	Name      string   `xml:"name" json:"name"`
+	Age       int      `xml:"age" json:"age"`
+	Diagnosis string   `xml:"diagnosis" json:"diagnosis"`
+	LabValue  float64  `xml:"lab_value" json:"lab_value"`
+}
+
+type patientList struct {
+	XMLName  xml.Name        `xml:"patients"`
+	Patients []patientRecord `xml:"patient"`
+}
+
+var diagnoses = []string{"hypertension", "diabetes", "asthma", "arrhythmia", "anemia", "migraine"}
+
+// GenDocs generates n documents cycling through the three source formats.
+// Each document holds several patient records.
+func GenDocs(seed int64, n int) []Doc {
+	rng := rand.New(rand.NewSource(seed))
+	kb := GenKB(seed + 13)
+	var out []Doc
+	for i := 0; i < n; i++ {
+		nrec := 2 + rng.Intn(4)
+		var recs []patientRecord
+		var gold []Row
+		for j := 0; j < nrec; j++ {
+			p := kb.People[rng.Intn(len(kb.People))]
+			r := patientRecord{
+				PatientID: fmt.Sprintf("P%03d-%d", i, j),
+				Name:      p.Name,
+				Age:       18 + rng.Intn(70),
+				Diagnosis: diagnoses[rng.Intn(len(diagnoses))],
+				LabValue:  float64(rng.Intn(2000)) / 10,
+			}
+			recs = append(recs, r)
+			gold = append(gold, Row{
+				"patient_id": r.PatientID,
+				"name":       r.Name,
+				"age":        fmt.Sprintf("%d", r.Age),
+				"diagnosis":  r.Diagnosis,
+				"lab_value":  fmt.Sprintf("%g", r.LabValue),
+			})
+		}
+		d := Doc{ID: i, Cols: []string{"patient_id", "name", "age", "diagnosis", "lab_value"}, Gold: gold}
+		switch i % 3 {
+		case 0:
+			d.Format = "xml"
+			b, err := xml.MarshalIndent(patientList{Patients: recs}, "", "  ")
+			if err != nil {
+				panic(err)
+			}
+			d.Body = string(b)
+		case 1:
+			d.Format = "json"
+			b, err := json.MarshalIndent(recs, "", "  ")
+			if err != nil {
+				panic(err)
+			}
+			d.Body = string(b)
+		default:
+			d.Format = "sheet"
+			d.Body = sheetBody(recs, rng)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// sheetBody renders records as a spreadsheet-style grid with the
+// non-relational clutter real sheets have: a title row, a blank row, a
+// header row, then data (paper: "spreadsheets ... may contain hierarchical
+// structure, or redundant rows and columns").
+func sheetBody(recs []patientRecord, rng *rand.Rand) string {
+	out := "Patient Lab Report\n\n"
+	out += "patient_id\tname\tage\tdiagnosis\tlab_value\n"
+	for _, r := range recs {
+		out += fmt.Sprintf("%s\t%s\t%d\t%s\t%g\n", r.PatientID, r.Name, r.Age, r.Diagnosis, r.LabValue)
+	}
+	if rng.Float64() < 0.5 {
+		out += "TOTAL\t\t\t\t-\n" // redundant footer row
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+// Package workload generates the synthetic datasets the paper's experiments
+// run on: a multi-hop question-answering benchmark standing in for HotpotQA
+// (Table I, Table III), a Spider-style NL2SQL suite over the concert/stadium
+// domain (Table II), tabular data with quality defects for the integration
+// and transformation applications (Sections II-B, II-C), semi-structured
+// XML/JSON documents (Figure 4), and an AI4DB training-data workload of
+// <query, execution_time> pairs (Figure 3).
+//
+// All generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// QAItem is one question with its gold answer and supporting facts.
+// Difficulty in [0,1] drives the simulated LLM's capability calibration:
+// multi-hop questions are harder than single-hop ones, matching HotpotQA's
+// structure.
+type QAItem struct {
+	ID         int
+	Question   string
+	Answer     string
+	Hops       int
+	Difficulty float64
+	// Facts are the knowledge-base sentences that support the answer; they
+	// form the retrieval context a RAG pipeline would supply.
+	Facts []string
+	// Distractor is a plausible wrong answer of the same type, used by the
+	// simulated LLM when it errs.
+	Distractor string
+	// Subs decomposes a multi-hop question into single-hop sub-questions
+	// (empty for 1-hop items). The final sub-question's answer is the
+	// item's answer; answering via the chain is easier per step — the
+	// mechanism behind sub-query caching in Table III.
+	Subs []QASub
+	// Sub2Template rebuilds the second-hop question from the first hop's
+	// answer (e.g. "In which country is the city %s?"), so a chained
+	// answerer that got hop 1 wrong genuinely asks about the wrong entity.
+	Sub2Template string
+	// Context is the retrieval context a RAG pipeline would supply: the
+	// supporting paragraphs plus distractor paragraphs, shuffled — the
+	// 10-paragraph structure of HotpotQA, and the bulk of the prompt's
+	// token cost.
+	Context []string
+}
+
+// ResolveSecondHop answers a second-hop question about the named entity
+// from the knowledge base: the true country of a city, or the true HQ city
+// of an organization. ok is false when the entity does not exist (e.g. the
+// first hop hallucinated it).
+func (kb *KnowledgeBase) ResolveSecondHop(template, entity string) (answer, distractor string, ok bool) {
+	switch {
+	case strings.Contains(template, "country is the city"):
+		for _, c := range kb.Cities {
+			if c.Name == entity {
+				return c.Country, otherCountryDet(c.Country), true
+			}
+		}
+	case strings.Contains(template, "headquartered"):
+		for _, o := range kb.Orgs {
+			if o.Name == entity {
+				hq := kb.Cities[o.HQ].Name
+				return hq, otherCityDet(kb, hq), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// otherCountryDet returns a deterministic different country.
+func otherCountryDet(not string) string {
+	for _, c := range countries {
+		if c != not {
+			return c
+		}
+	}
+	return countries[0]
+}
+
+// otherCityDet returns a deterministic different city name.
+func otherCityDet(kb *KnowledgeBase, not string) string {
+	for _, c := range kb.Cities {
+		if c.Name != not {
+			return c.Name
+		}
+	}
+	return kb.Cities[0].Name
+}
+
+// QASub is one single-hop sub-question of a multi-hop item.
+type QASub struct {
+	Question   string
+	Answer     string
+	Distractor string
+	Difficulty float64
+	// Context is the (smaller) retrieval context for the sub-question: its
+	// supporting paragraph plus a few distractors. Sub-question prompts
+	// being shorter than the original's is part of the cache experiment's
+	// cost accounting.
+	Context string
+}
+
+// QASet is a generated QA benchmark plus the knowledge base it was drawn
+// from.
+type QASet struct {
+	Items []QAItem
+	KB    *KnowledgeBase
+}
+
+// KnowledgeBase is a tiny entity-relation store: people born in cities,
+// cities in countries, people employed by organizations headquartered in
+// cities.
+type KnowledgeBase struct {
+	People []Person
+	Cities []City
+	Orgs   []Org
+}
+
+// Person is one person entity.
+type Person struct {
+	Name     string
+	BornIn   int // index into Cities
+	WorksFor int // index into Orgs
+	Field    string
+}
+
+// City is one city entity.
+type City struct {
+	Name    string
+	Country string
+}
+
+// Org is one organization entity.
+type Org struct {
+	Name    string
+	HQ      int // index into Cities
+	Founded int
+}
+
+var (
+	firstNames = []string{"Alice", "Bruno", "Chen", "Dana", "Elif", "Farid", "Grace", "Hiro", "Ines", "Jonas", "Kira", "Liam", "Mei", "Nadia", "Omar", "Priya", "Quinn", "Rosa", "Santiago", "Tara"}
+	lastNames  = []string{"Anderson", "Baptiste", "Costa", "Dubois", "Eriksen", "Fernandez", "Garcia", "Hansen", "Ivanov", "Jensen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov", "Quintero", "Rossi", "Silva", "Tanaka"}
+	cityNames  = []string{"Arlington", "Bergen", "Cusco", "Dresden", "Esbjerg", "Fukuoka", "Ghent", "Haifa", "Izmir", "Jaipur", "Kyoto", "Lyon", "Malmo", "Nantes", "Odense", "Porto", "Quebec", "Riga", "Seville", "Turin"}
+	countries  = []string{"Atlantia", "Borduria", "Carpathia", "Dalmatia", "Elbonia", "Florin", "Genovia", "Hyrkania"}
+	orgStems   = []string{"Apex", "Borealis", "Cobalt", "Deltaic", "Ember", "Fjord", "Granite", "Helix", "Iris", "Juniper", "Krypton", "Lumen", "Meridian", "Nimbus", "Onyx", "Pinnacle"}
+	orgKinds   = []string{"Labs", "Systems", "Analytics", "Dynamics", "Institute", "Group"}
+	fields     = []string{"databases", "genomics", "astrophysics", "linguistics", "materials science", "economics"}
+)
+
+// GenKB builds a deterministic knowledge base.
+func GenKB(seed int64) *KnowledgeBase {
+	rng := rand.New(rand.NewSource(seed))
+	kb := &KnowledgeBase{}
+	for _, name := range cityNames {
+		kb.Cities = append(kb.Cities, City{Name: name, Country: countries[rng.Intn(len(countries))]})
+	}
+	for _, stem := range orgStems {
+		kb.Orgs = append(kb.Orgs, Org{
+			Name:    stem + " " + orgKinds[rng.Intn(len(orgKinds))],
+			HQ:      rng.Intn(len(kb.Cities)),
+			Founded: 1900 + rng.Intn(120),
+		})
+	}
+	used := map[string]bool{}
+	for _, f := range firstNames {
+		l := lastNames[rng.Intn(len(lastNames))]
+		name := f + " " + l
+		for used[name] {
+			l = lastNames[rng.Intn(len(lastNames))]
+			name = f + " " + l
+		}
+		used[name] = true
+		kb.People = append(kb.People, Person{
+			Name:     name,
+			BornIn:   rng.Intn(len(kb.Cities)),
+			WorksFor: rng.Intn(len(kb.Orgs)),
+			Field:    fields[rng.Intn(len(fields))],
+		})
+	}
+	return kb
+}
+
+// Facts renders the knowledge base as natural-language sentences — the
+// corpus a retrieval layer indexes.
+func (kb *KnowledgeBase) Facts() []string {
+	var out []string
+	for _, c := range kb.Cities {
+		out = append(out, fmt.Sprintf("%s is a city in %s.", c.Name, c.Country))
+	}
+	for _, o := range kb.Orgs {
+		out = append(out, fmt.Sprintf("%s is headquartered in %s and was founded in %d.", o.Name, kb.Cities[o.HQ].Name, o.Founded))
+	}
+	for _, p := range kb.People {
+		out = append(out, fmt.Sprintf("%s was born in %s and researches %s at %s.", p.Name, kb.Cities[p.BornIn].Name, p.Field, kb.Orgs[p.WorksFor].Name))
+	}
+	return out
+}
+
+// GenQA generates n QA items over a fresh knowledge base. Roughly half the
+// questions are single-hop (easy) and half multi-hop (hard), matching the
+// HotpotQA profile of Table I's 40-query sample.
+func GenQA(seed int64, n int) *QASet {
+	kb := GenKB(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	set := &QASet{KB: kb}
+	for i := 0; i < n; i++ {
+		p := kb.People[rng.Intn(len(kb.People))]
+		born := kb.Cities[p.BornIn]
+		org := kb.Orgs[p.WorksFor]
+		hq := kb.Cities[org.HQ]
+
+		var it QAItem
+		it.ID = i
+		switch i % 4 {
+		case 0: // 1-hop: birth city
+			it.Question = fmt.Sprintf("In which city was %s born?", p.Name)
+			it.Answer = born.Name
+			it.Hops = 1
+			it.Facts = []string{personFact(kb, p)}
+			it.Distractor = otherCity(kb, rng, p.BornIn)
+		case 1: // 1-hop: employer
+			it.Question = fmt.Sprintf("Which organization does %s work for?", p.Name)
+			it.Answer = org.Name
+			it.Hops = 1
+			it.Facts = []string{personFact(kb, p)}
+			it.Distractor = otherOrg(kb, rng, p.WorksFor)
+		case 2: // 2-hop: country of birth city
+			it.Question = fmt.Sprintf("In which country was %s born?", p.Name)
+			it.Answer = born.Country
+			it.Hops = 2
+			it.Facts = []string{personFact(kb, p), cityFact(born)}
+			it.Distractor = otherCountry(rng, born.Country)
+			it.Subs = []QASub{
+				{
+					Question:   fmt.Sprintf("In which city was %s born?", p.Name),
+					Answer:     born.Name,
+					Distractor: otherCity(kb, rng, p.BornIn),
+					Difficulty: 0.42 + 0.36*rng.Float64(),
+				},
+				{
+					Question:   fmt.Sprintf("In which country is the city %s?", born.Name),
+					Answer:     born.Country,
+					Distractor: otherCountry(rng, born.Country),
+					Difficulty: 0.42 + 0.36*rng.Float64(),
+				},
+			}
+			it.Sub2Template = "In which country is the city %s?"
+		default: // 2-hop: HQ city of employer
+			it.Question = fmt.Sprintf("In which city is the organization %s works for headquartered?", p.Name)
+			it.Answer = hq.Name
+			it.Hops = 2
+			it.Facts = []string{personFact(kb, p), orgFact(kb, org)}
+			it.Distractor = otherCity(kb, rng, org.HQ)
+			it.Subs = []QASub{
+				{
+					Question:   fmt.Sprintf("Which organization does %s work for?", p.Name),
+					Answer:     org.Name,
+					Distractor: otherOrg(kb, rng, p.WorksFor),
+					Difficulty: 0.42 + 0.36*rng.Float64(),
+				},
+				{
+					Question:   fmt.Sprintf("In which city is %s headquartered?", org.Name),
+					Answer:     hq.Name,
+					Distractor: otherCity(kb, rng, org.HQ),
+					Difficulty: 0.42 + 0.36*rng.Float64(),
+				},
+			}
+			it.Sub2Template = "In which city is %s headquartered?"
+		}
+		// Difficulty: 1-hop questions span [0.05, 0.45], 2-hop [0.45, 0.95].
+		// A uniform spread makes a model with capability c score ~c overall.
+		if it.Hops == 1 {
+			it.Difficulty = 0.05 + 0.40*rng.Float64()
+		} else {
+			it.Difficulty = 0.45 + 0.50*rng.Float64()
+		}
+		// Retrieval context: supporting paragraphs first (so grounding
+		// checks hold), then distractor paragraphs up to 10 total.
+		paras := goldParagraphs(kb, it, p)
+		for len(paras) < 10 {
+			paras = append(paras, randomParagraph(kb, rng))
+		}
+		it.Context = paras
+		for si := range it.Subs {
+			sub := paras[0]
+			if si > 0 && len(paras) > 1 {
+				sub = paras[1]
+			}
+			it.Subs[si].Context = sub + " " + randomParagraph(kb, rng) + " " + randomParagraph(kb, rng) +
+				" " + randomParagraph(kb, rng) + " " + randomParagraph(kb, rng)
+		}
+		set.Items = append(set.Items, it)
+	}
+	return set
+}
+
+func personFact(kb *KnowledgeBase, p Person) string {
+	return fmt.Sprintf("%s was born in %s and researches %s at %s.", p.Name, kb.Cities[p.BornIn].Name, p.Field, kb.Orgs[p.WorksFor].Name)
+}
+
+func cityFact(c City) string {
+	return fmt.Sprintf("%s is a city in %s.", c.Name, c.Country)
+}
+
+func orgFact(kb *KnowledgeBase, o Org) string {
+	return fmt.Sprintf("%s is headquartered in %s and was founded in %d.", o.Name, kb.Cities[o.HQ].Name, o.Founded)
+}
+
+func otherCity(kb *KnowledgeBase, rng *rand.Rand, not int) string {
+	for {
+		i := rng.Intn(len(kb.Cities))
+		if i != not {
+			return kb.Cities[i].Name
+		}
+	}
+}
+
+func otherOrg(kb *KnowledgeBase, rng *rand.Rand, not int) string {
+	for {
+		i := rng.Intn(len(kb.Orgs))
+		if i != not {
+			return kb.Orgs[i].Name
+		}
+	}
+}
+
+func otherCountry(rng *rand.Rand, not string) string {
+	for {
+		c := countries[rng.Intn(len(countries))]
+		if c != not {
+			return c
+		}
+	}
+}
+
+// ContextFor returns the retrieval context joined into one prompt block:
+// the full paragraph context when present, else the bare supporting facts.
+func (it QAItem) ContextFor() string {
+	if len(it.Context) > 0 {
+		return strings.Join(it.Context, " ")
+	}
+	return strings.Join(it.Facts, " ")
+}
+
+// goldParagraphs renders the supporting paragraphs of an item, aligned
+// with it.Facts (person paragraph first, then the second-hop paragraph).
+func goldParagraphs(kb *KnowledgeBase, it QAItem, p Person) []string {
+	out := []string{personParagraph(kb, p)}
+	if it.Hops == 2 {
+		if strings.Contains(it.Sub2Template, "country") {
+			out = append(out, cityParagraph(kb.Cities[p.BornIn]))
+		} else {
+			out = append(out, orgParagraph(kb, kb.Orgs[p.WorksFor]))
+		}
+	}
+	return out
+}
+
+// The paragraph builders pad each entity fact into a multi-sentence
+// passage, giving prompts the token weight of real retrieval contexts.
+func personParagraph(kb *KnowledgeBase, p Person) string {
+	born := kb.Cities[p.BornIn]
+	org := kb.Orgs[p.WorksFor]
+	return fmt.Sprintf("%s was born in %s and researches %s at %s. "+
+		"Colleagues describe %s as a meticulous investigator whose publications in %s are widely cited across the field. "+
+		"After an early career spent between visiting appointments, %s settled into a permanent position at %s and has remained there since.",
+		p.Name, born.Name, p.Field, org.Name, p.Name, p.Field, p.Name, org.Name)
+}
+
+func cityParagraph(c City) string {
+	return fmt.Sprintf("%s is a city in %s. "+
+		"The city is known for its riverside markets, a compact old quarter, and a technical institute that anchors the local economy. "+
+		"Regional rail connects %s to the rest of %s within a few hours.",
+		c.Name, c.Country, c.Name, c.Country)
+}
+
+func orgParagraph(kb *KnowledgeBase, o Org) string {
+	hq := kb.Cities[o.HQ]
+	return fmt.Sprintf("%s is headquartered in %s and was founded in %d. "+
+		"The organization grew from a small research outfit into an institution with several hundred staff, and its annual symposium draws visitors from across the continent. "+
+		"Its main campus sits near the center of %s.",
+		o.Name, hq.Name, o.Founded, hq.Name)
+}
+
+// randomParagraph draws a distractor paragraph about a random entity.
+func randomParagraph(kb *KnowledgeBase, rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return personParagraph(kb, kb.People[rng.Intn(len(kb.People))])
+	case 1:
+		return cityParagraph(kb.Cities[rng.Intn(len(kb.Cities))])
+	default:
+		return orgParagraph(kb, kb.Orgs[rng.Intn(len(kb.Orgs))])
+	}
+}

@@ -1,0 +1,351 @@
+package workload
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestGenKBDeterministic(t *testing.T) {
+	a, b := GenKB(1), GenKB(1)
+	if len(a.People) != len(b.People) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.People {
+		if a.People[i] != b.People[i] {
+			t.Fatalf("person %d differs", i)
+		}
+	}
+	c := GenKB(2)
+	same := true
+	for i := range a.People {
+		if a.People[i] != c.People[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical KBs")
+	}
+}
+
+func TestGenQAStructure(t *testing.T) {
+	set := GenQA(42, 40)
+	if len(set.Items) != 40 {
+		t.Fatalf("items = %d", len(set.Items))
+	}
+	hops1, hops2 := 0, 0
+	for _, it := range set.Items {
+		if it.Question == "" || it.Answer == "" {
+			t.Errorf("item %d incomplete: %+v", it.ID, it)
+		}
+		if it.Answer == it.Distractor {
+			t.Errorf("item %d distractor equals answer", it.ID)
+		}
+		if it.Difficulty < 0 || it.Difficulty > 1 {
+			t.Errorf("item %d difficulty %v out of range", it.ID, it.Difficulty)
+		}
+		switch it.Hops {
+		case 1:
+			hops1++
+			if it.Difficulty > 0.45 {
+				t.Errorf("1-hop item %d too hard: %v", it.ID, it.Difficulty)
+			}
+		case 2:
+			hops2++
+			if it.Difficulty < 0.45 {
+				t.Errorf("2-hop item %d too easy: %v", it.ID, it.Difficulty)
+			}
+		default:
+			t.Errorf("item %d has %d hops", it.ID, it.Hops)
+		}
+		if len(it.Facts) != it.Hops {
+			t.Errorf("item %d: %d facts for %d hops", it.ID, len(it.Facts), it.Hops)
+		}
+	}
+	if hops1 != 20 || hops2 != 20 {
+		t.Errorf("hop mix %d/%d, want 20/20", hops1, hops2)
+	}
+}
+
+func TestQAAnswersSupportedByFacts(t *testing.T) {
+	set := GenQA(7, 60)
+	for _, it := range set.Items {
+		ctx := it.ContextFor()
+		if !strings.Contains(ctx, it.Answer) {
+			t.Errorf("item %d: answer %q not in context %q", it.ID, it.Answer, ctx)
+		}
+	}
+}
+
+func TestKBFactsCoverEntities(t *testing.T) {
+	kb := GenKB(3)
+	facts := strings.Join(kb.Facts(), "\n")
+	for _, p := range kb.People {
+		if !strings.Contains(facts, p.Name) {
+			t.Errorf("facts missing person %s", p.Name)
+		}
+	}
+}
+
+func TestConcertDBQueryable(t *testing.T) {
+	db := ConcertDB(5)
+	r, err := db.Exec("SELECT COUNT(*) FROM stadium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int != 18 {
+		t.Errorf("stadiums = %v", r.Rows[0][0])
+	}
+	r, err = db.Exec("SELECT COUNT(*) FROM concert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int == 0 {
+		t.Error("no concerts generated")
+	}
+}
+
+func TestGenNL2SQLGoldExecutes(t *testing.T) {
+	db := ConcertDB(5)
+	qs := GenNL2SQL(11, 50)
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	classes := map[QueryClass]int{}
+	for _, q := range qs {
+		classes[q.Class]++
+		r, err := db.Exec(q.GoldSQL)
+		if err != nil {
+			t.Errorf("gold SQL for %q does not execute: %v\n  %s", q.Text, err, q.GoldSQL)
+			continue
+		}
+		_ = r
+		if q.Text == "" || !strings.HasSuffix(q.Text, "?") {
+			t.Errorf("NL text malformed: %q", q.Text)
+		}
+	}
+	if classes[Compound] == 0 || classes[Simple] == 0 || classes[Superlative] == 0 {
+		t.Errorf("class mix incomplete: %v", classes)
+	}
+	if classes[Compound] < classes[Simple] {
+		t.Errorf("compound should dominate: %v", classes)
+	}
+}
+
+func TestNL2SQLSharedSubqueries(t *testing.T) {
+	// The small atom vocabulary must yield shared atoms across queries —
+	// the precondition for Figure 7's sharing experiment.
+	qs := GenNL2SQL(11, 40)
+	seen := map[string]int{}
+	for _, q := range qs {
+		for _, a := range q.Atoms {
+			seen[a.Phrase()]++
+		}
+	}
+	shared := 0
+	for _, n := range seen {
+		if n > 1 {
+			shared++
+		}
+	}
+	if shared < 5 {
+		t.Errorf("only %d atoms shared across queries; sharing experiment would be vacuous", shared)
+	}
+}
+
+func TestAtomSQLForms(t *testing.T) {
+	db := ConcertDB(5)
+	atoms := []Atom{
+		{Kind: "event", Event: "concerts", Year: 2014},
+		{Kind: "event", Event: "sports meetings", Year: 2015},
+		{Kind: "most", Event: "concerts", Year: 2014},
+		{Kind: "capacity", CapOp: ">", CapN: 60000},
+	}
+	for _, a := range atoms {
+		if _, err := db.Exec(a.SQL()); err != nil {
+			t.Errorf("atom %v SQL fails: %v", a, err)
+		}
+		if a.Phrase() == "?" {
+			t.Errorf("atom %v has no phrase", a)
+		}
+	}
+	most := atoms[2]
+	r, _ := db.Exec(most.SQL())
+	if len(r.Rows) != 1 {
+		t.Errorf("superlative returned %d rows, want 1", len(r.Rows))
+	}
+}
+
+func TestGenCustomersDefects(t *testing.T) {
+	set := GenCustomers(21, 100, 0.1, 0.2)
+	if len(set.Rows) != 120 {
+		t.Fatalf("rows = %d, want 120", len(set.Rows))
+	}
+	if len(set.DuplicatePairs) != 20 {
+		t.Errorf("dup pairs = %d, want 20", len(set.DuplicatePairs))
+	}
+	if len(set.MissingCells) == 0 {
+		t.Error("no missing cells injected")
+	}
+	for _, mc := range set.MissingCells {
+		if set.Rows[mc.Row][mc.Col] != "" {
+			t.Errorf("cell (%d,%s) not blanked", mc.Row, mc.Col)
+		}
+		if mc.Gold == "" {
+			t.Errorf("cell (%d,%s) has empty gold", mc.Row, mc.Col)
+		}
+	}
+	for _, dp := range set.DuplicatePairs {
+		a, b := set.Rows[dp[0]], set.Rows[dp[1]]
+		if a["customer_id"] == b["customer_id"] {
+			t.Error("duplicate pair shares key")
+		}
+		if a["country"] != b["country"] {
+			t.Error("duplicate pair should share country")
+		}
+	}
+}
+
+func TestDateFormats(t *testing.T) {
+	if got := FormatDateWords(2023, 8, 14); got != "Aug 14 2023" {
+		t.Errorf("words = %q", got)
+	}
+	if got := FormatDateSlash(2023, 8, 14); got != "8/14/2023" {
+		t.Errorf("slash = %q", got)
+	}
+	if got := FormatDateISO(2023, 8, 14); got != "2023-08-14" {
+		t.Errorf("iso = %q", got)
+	}
+	y, m, d, ok := parseWordsDate("Aug 14 2023")
+	if !ok || y != 2023 || m != 8 || d != 14 {
+		t.Errorf("parse = %d %d %d %v", y, m, d, ok)
+	}
+}
+
+func TestGenColumnTypeBench(t *testing.T) {
+	cols := GenColumnTypeBench(31, 30)
+	if len(cols) != 30 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	golds := map[string]bool{}
+	for _, c := range cols {
+		if len(c.Values) < 3 {
+			t.Errorf("column has %d values", len(c.Values))
+		}
+		golds[c.Gold] = true
+	}
+	for _, want := range []string{"country", "person", "date", "movie", "sports", "city"} {
+		if !golds[want] {
+			t.Errorf("gold label %q never generated", want)
+		}
+	}
+}
+
+func TestGenDocsFormatsParse(t *testing.T) {
+	docs := GenDocs(41, 9)
+	formats := map[string]int{}
+	for _, d := range docs {
+		formats[d.Format]++
+		if len(d.Gold) == 0 {
+			t.Errorf("doc %d has no gold rows", d.ID)
+		}
+		switch d.Format {
+		case "xml":
+			var pl patientList
+			if err := xml.Unmarshal([]byte(d.Body), &pl); err != nil {
+				t.Errorf("doc %d xml invalid: %v", d.ID, err)
+			}
+			if len(pl.Patients) != len(d.Gold) {
+				t.Errorf("doc %d: %d xml records vs %d gold", d.ID, len(pl.Patients), len(d.Gold))
+			}
+		case "json":
+			var recs []patientRecord
+			if err := json.Unmarshal([]byte(d.Body), &recs); err != nil {
+				t.Errorf("doc %d json invalid: %v", d.ID, err)
+			}
+		case "sheet":
+			if !strings.Contains(d.Body, "\t") {
+				t.Errorf("doc %d sheet has no tabs", d.ID)
+			}
+		}
+	}
+	if formats["xml"] != 3 || formats["json"] != 3 || formats["sheet"] != 3 {
+		t.Errorf("format mix = %v", formats)
+	}
+}
+
+func TestGenQueryWorkload(t *testing.T) {
+	qs := GenQueryWorkload(51, 200)
+	if len(qs) != 200 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	// Execution time must grow with joins on average (the signal the
+	// training-data generation experiment predicts).
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for _, q := range qs {
+		if q.ExecTimeMS <= 0 {
+			t.Errorf("query %d nonpositive time", q.ID)
+		}
+		if len(q.Features()) != 4 {
+			t.Errorf("feature size wrong")
+		}
+		sum[q.NumJoins] += q.ExecTimeMS
+		cnt[q.NumJoins]++
+	}
+	if cnt[0] == 0 || cnt[3] == 0 {
+		t.Skip("join mix degenerate for this seed")
+	}
+	if sum[3]/float64(cnt[3]) <= sum[0]/float64(cnt[0]) {
+		t.Error("3-join queries not slower than 0-join queries on average")
+	}
+}
+
+func BenchmarkGenQA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenQA(int64(i), 40)
+	}
+}
+
+func BenchmarkConcertDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ConcertDB(int64(i))
+	}
+}
+
+func TestEmployeeDBAndQuestions(t *testing.T) {
+	db := EmployeeDB(3)
+	r, err := db.Exec("SELECT COUNT(*) FROM employee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int != 16 {
+		t.Errorf("employees = %v", r.Rows[0][0])
+	}
+	for _, tbl := range []string{"project_assignment", "training_session"} {
+		r, err := db.Exec("SELECT COUNT(*) FROM " + tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[0][0].Int == 0 {
+			t.Errorf("%s empty", tbl)
+		}
+	}
+	qs := EmployeeQuestions(5, 30)
+	if len(qs) != 30 {
+		t.Fatalf("questions = %d", len(qs))
+	}
+	compound := 0
+	for _, q := range qs {
+		if _, err := db.Exec(q.GoldSQL); err != nil {
+			t.Errorf("gold SQL for %q fails: %v", q.Text, err)
+		}
+		if q.Class == Compound {
+			compound++
+		}
+	}
+	if compound == 0 {
+		t.Error("no compound employee questions")
+	}
+}

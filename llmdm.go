@@ -1,0 +1,215 @@
+// Package llmdm is an offline, stdlib-only reproduction of "Applications
+// and Challenges for Large Language Models: From Data Management
+// Perspective" (Zhang et al., ICDE 2024).
+//
+// It packages the paper's four application categories — data generation,
+// data transformation, data integration and data exploration — and its five
+// challenge remedies — prompt optimization, query optimization (cascade,
+// decomposition, combination), semantic caching, privacy-preserving
+// training and output validation — on top of a simulated LLM family, a real
+// in-memory SQL engine and a real vector store. See DESIGN.md for the full
+// system inventory and EXPERIMENTS.md for the paper-vs-measured results.
+//
+// The facade exposes the pieces most users need: a Client bundling the
+// model family with the application toolkits, the end-to-end Pipeline of
+// the paper's Figure 1, and the experiment harness regenerating every table
+// and figure.
+package llmdm
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core/cascade"
+	"repro/internal/core/datagen"
+	"repro/internal/core/explore"
+	"repro/internal/core/integrate"
+	"repro/internal/core/qopt"
+	"repro/internal/core/semcache"
+	"repro/internal/core/transform"
+	"repro/internal/embed"
+	"repro/internal/exper"
+	"repro/internal/llm"
+	"repro/internal/proxy"
+	"repro/internal/sqlkit"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Aliases re-exporting the core vocabulary so downstream code can work
+// entirely through this package.
+type (
+	// Report is one regenerated experiment table.
+	Report = exper.Report
+	// Model is a simulated LLM.
+	Model = llm.Model
+	// Cost is an amount of money in micro-dollars.
+	Cost = token.Cost
+	// DB is the in-memory SQL engine.
+	DB = sqlkit.DB
+)
+
+// Model tier names, mirroring the paper's Table I.
+const (
+	ModelSmall  = llm.NameSmall
+	ModelMedium = llm.NameMedium
+	ModelLarge  = llm.NameLarge
+)
+
+// Client bundles the model family with the application toolkits.
+type Client struct {
+	family llm.Family
+	emb    *embed.Embedder
+}
+
+// NewClient returns a Client over the default three-tier model family.
+func NewClient() *Client {
+	return &Client{family: llm.DefaultFamily(), emb: embed.New(embed.DefaultDim)}
+}
+
+// Model returns the named tier (ModelSmall, ModelMedium, ModelLarge).
+func (c *Client) Model(name string) (Model, error) {
+	m := c.family.ByName(name)
+	if m == nil {
+		return nil, fmt.Errorf("llmdm: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Spend reports the total spend across all tiers since the last reset.
+func (c *Client) Spend() Cost { return c.family.TotalSpend() }
+
+// ResetSpend zeroes the usage meters.
+func (c *Client) ResetSpend() { c.family.ResetMeters() }
+
+// Cascade returns an LLM cascade over the whole family with the given
+// confidence threshold (paper Figure 6).
+func (c *Client) Cascade(threshold float64) *cascade.Cascade {
+	models := make([]llm.Model, len(c.family))
+	for i, m := range c.family {
+		models[i] = m
+	}
+	return cascade.New(cascade.Threshold{Tau: threshold}, models...)
+}
+
+// Translator returns the NL2SQL translator on the named tier.
+func (c *Client) Translator(model string) (*transform.Translator, error) {
+	m, err := c.Model(model)
+	if err != nil {
+		return nil, err
+	}
+	return transform.NewTranslator(m), nil
+}
+
+// Planner returns the batched NL2SQL query optimizer (decomposition +
+// combination, paper Table II) on the named tier.
+func (c *Client) Planner(model string) (*qopt.Planner, error) {
+	tr, err := c.Translator(model)
+	if err != nil {
+		return nil, err
+	}
+	return qopt.NewPlanner(tr), nil
+}
+
+// SemanticCache returns a semantic LLM cache (paper Table III).
+func (c *Client) SemanticCache(capacity int, threshold float64) *semcache.Cache {
+	return semcache.New(semcache.Config{
+		Embedder:  c.emb,
+		Capacity:  capacity,
+		Threshold: threshold,
+		Policy:    semcache.Weighted,
+	})
+}
+
+// Lake returns an empty multi-modal data lake (paper Section II-D).
+func (c *Client) Lake() *explore.Lake { return explore.NewLake(c.emb) }
+
+// Proxy returns the serving proxy of the paper's Section III-B — semantic
+// cache, in-flight deduplication and the cascade stacked in front of this
+// client's model family. Serve it with net/http via its Handler method.
+func (c *Client) Proxy(cacheCapacity int, cascadeThreshold float64) *proxy.Proxy {
+	models := make([]llm.Model, len(c.family))
+	for i, m := range c.family {
+		models[i] = m
+	}
+	return proxy.New(proxy.Config{
+		Models:        models,
+		Threshold:     cascadeThreshold,
+		CacheCapacity: cacheCapacity,
+	})
+}
+
+// SQLGenerator returns the constraint-aware SQL generator over db (paper
+// Figure 2).
+func (c *Client) SQLGenerator(db *DB, model string, seed int64) (*datagen.Generator, error) {
+	m, err := c.Model(model)
+	if err != nil {
+		return nil, err
+	}
+	return datagen.NewGenerator(db, m, seed), nil
+}
+
+// Resolver returns an entity resolver on the named tier (paper Section
+// II-C).
+func (c *Client) Resolver(model string, threshold float64, compareCols []string, blockCol string) (*integrate.Resolver, error) {
+	m, err := c.Model(model)
+	if err != nil {
+		return nil, err
+	}
+	return &integrate.Resolver{Model: m, Threshold: threshold, CompareCols: compareCols, BlockCol: blockCol}, nil
+}
+
+// RunExperiment regenerates one paper table or figure by ID ("table1",
+// "table2", "table3", "fig1" ... "fig7"), or one of this repository's own
+// ablation studies ("ab-index", "ab-cache-policy", "ab-cache-threshold",
+// "ab-hybrid", "ab-dp").
+func RunExperiment(id string) (Report, error) {
+	if r, ok := exper.Registry()[id]; ok {
+		return r()
+	}
+	if r, ok := exper.ExtRegistry()[id]; ok {
+		return r()
+	}
+	return Report{}, fmt.Errorf("llmdm: unknown experiment %q (have %v and %v)", id, exper.IDs(), exper.ExtIDs())
+}
+
+// ExperimentIDs lists the paper-artifact experiment IDs in presentation
+// order.
+func ExperimentIDs() []string { return exper.IDs() }
+
+// AblationIDs lists the design-choice ablation experiment IDs.
+func AblationIDs() []string { return exper.ExtIDs() }
+
+// StageResult is one pipeline stage's outcome.
+type StageResult struct {
+	Stage  string
+	Metric string
+	Value  string
+}
+
+// Pipeline runs the paper's Figure 1 flow — generation → transformation →
+// integration → exploration — on the built-in scenario and returns one
+// quality metric per stage. It is the quickest way to see every subsystem
+// work together.
+func (c *Client) Pipeline(ctx context.Context) ([]StageResult, error) {
+	rep, err := exper.Fig1Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StageResult, len(rep.Rows))
+	for i, row := range rep.Rows {
+		out[i] = StageResult{Stage: row[0], Metric: row[2], Value: row[3]}
+	}
+	_ = ctx
+	return out, nil
+}
+
+// ConcertDB returns the Spider-style concert/stadium demo database.
+func ConcertDB(seed int64) *DB { return workload.ConcertDB(seed) }
+
+// DemoKnowledgeBase returns the entity knowledge base behind the QA and
+// exploration demos.
+func DemoKnowledgeBase(seed int64) *workload.KnowledgeBase { return workload.GenKB(seed) }

@@ -1,0 +1,156 @@
+package llmdm
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core/datagen"
+	"repro/internal/llm"
+)
+
+// llmRequestForTest builds a minimal completion request.
+func llmRequestForTest() llm.Request {
+	return llm.Request{Prompt: "label this obvious case", Gold: "yes", Difficulty: 0.05}
+}
+
+func TestClientModels(t *testing.T) {
+	c := NewClient()
+	for _, name := range []string{ModelSmall, ModelMedium, ModelLarge} {
+		m, err := c.Model(name)
+		if err != nil {
+			t.Fatalf("Model(%s): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("Model(%s).Name() = %s", name, m.Name())
+		}
+	}
+	if _, err := c.Model("gpt-99"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestClientSpendAccounting(t *testing.T) {
+	c := NewClient()
+	tr, err := c.Translator(ModelMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Spend()
+	if _, _, err := tr.Translate(context.Background(), "Show the names of stadiums that had concerts in 2014?"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Spend() <= before {
+		t.Error("spend did not grow after a call")
+	}
+	c.ResetSpend()
+	if c.Spend() != 0 {
+		t.Error("reset did not zero spend")
+	}
+}
+
+func TestClientCascade(t *testing.T) {
+	c := NewClient()
+	casc := c.Cascade(0.62)
+	if len(casc.Models) != 3 {
+		t.Errorf("cascade has %d models", len(casc.Models))
+	}
+}
+
+func TestClientSemanticCache(t *testing.T) {
+	c := NewClient()
+	sc := c.SemanticCache(10, 0.9)
+	sc.Put("a question about stadiums", "an answer", 0, 0)
+	if _, ok := sc.Lookup("a question about stadiums"); !ok {
+		t.Error("cache miss on exact key")
+	}
+}
+
+func TestClientLakeAndKB(t *testing.T) {
+	c := NewClient()
+	lake := c.Lake()
+	kb := DemoKnowledgeBase(1)
+	for _, f := range kb.Facts()[:10] {
+		lake.AddText("fact", f, nil)
+	}
+	if lake.Len() != 10 {
+		t.Errorf("lake len = %d", lake.Len())
+	}
+	if len(lake.Search(kb.Cities[0].Name, 1)) != 1 {
+		t.Error("lake search returned nothing")
+	}
+}
+
+func TestClientSQLGenerator(t *testing.T) {
+	c := NewClient()
+	db := ConcertDB(1)
+	g, err := c.SQLGenerator(db, ModelLarge, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := g.Generate(context.Background(), 6, datagen.Constraints{MustExecute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 || st.Executable != 6 {
+		t.Errorf("generated %d, executable %d", len(out), st.Executable)
+	}
+}
+
+func TestClientResolver(t *testing.T) {
+	c := NewClient()
+	if _, err := c.Resolver("nope", 0.5, nil, ""); err == nil {
+		t.Error("unknown model accepted")
+	}
+	r, err := c.Resolver(ModelLarge, 0.5, []string{"name"}, "")
+	if err != nil || r == nil {
+		t.Fatalf("resolver: %v", err)
+	}
+}
+
+func TestPipelineFacade(t *testing.T) {
+	c := NewClient()
+	stages, err := c.Pipeline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	want := []string{"generation", "transformation", "integration", "exploration"}
+	for i, s := range stages {
+		if s.Stage != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, s.Stage, want[i])
+		}
+		if s.Value == "" {
+			t.Errorf("stage %s has empty value", s.Stage)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("table9"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 10 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestClientProxy(t *testing.T) {
+	c := NewClient()
+	p := c.Proxy(100, 0.62)
+	if p == nil || p.Handler() == nil {
+		t.Fatal("proxy not constructed")
+	}
+	ans, err := p.Complete(context.Background(), llmRequestForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text == "" {
+		t.Error("empty answer")
+	}
+}
