@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments ablations clean
+.PHONY: all build vet test race race-concurrent cover bench fuzz experiments ablations telemetry clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The serving-path packages that run concurrent under load; the CI race
+# gate covers exactly these.
+race-concurrent:
+	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/
 
 cover:
 	$(GO) test -cover ./...
@@ -37,6 +42,13 @@ experiments:
 
 ablations:
 	$(GO) run ./cmd/llmdm-bench -exp ablations
+
+# Demo the instrumented bench: each experiment's table followed by its
+# internal/obs telemetry delta (model calls, tokens, spend, cache hits,
+# cascade escalations).
+telemetry:
+	$(GO) run ./cmd/llmdm-bench -exp table1 -telemetry
+	$(GO) run ./cmd/llmdm-bench -exp table3 -telemetry
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,12 @@
 //	llmdm-bench              # run everything
 //	llmdm-bench -exp table2  # run one experiment
 //	llmdm-bench -list        # list experiment IDs
+//	llmdm-bench -telemetry   # append each experiment's telemetry delta
+//
+// With -telemetry, the internal/obs default registry is snapshotted around
+// each experiment and the delta — model calls, tokens, spend, cache hits,
+// cascade escalations, decomposition savings — is printed after the
+// experiment's table.
 package main
 
 import (
@@ -14,12 +20,14 @@ import (
 	"os"
 
 	llmdm "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment ID (table1..table3, fig1..fig7, ab-*), 'all' (paper artifacts), or 'ablations'")
 	format := flag.String("format", "table", "output format: table or csv")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	telemetry := flag.Bool("telemetry", false, "print a per-experiment telemetry summary (obs registry delta)")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +50,7 @@ func main() {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
+		before := obs.Default.Snapshot()
 		rep, err := llmdm.RunExperiment(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llmdm-bench: %s: %v\n", id, err)
@@ -52,6 +61,10 @@ func main() {
 			fmt.Print(rep.CSV())
 		default:
 			fmt.Println(rep.Format())
+		}
+		if *telemetry {
+			delta := obs.Default.Snapshot().Delta(before)
+			fmt.Printf("telemetry (%s):\n%s\n", id, delta.Summary("  "))
 		}
 	}
 }

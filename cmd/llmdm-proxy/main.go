@@ -1,10 +1,13 @@
 // Command llmdm-proxy serves the LLM proxy of the paper's Section III-B
 // over HTTP: a semantic cache, in-flight deduplication, and the model
-// cascade stacked in front of the simulated model family.
+// cascade stacked in front of the simulated model family — fully
+// instrumented with the internal/obs metrics registry and request tracing.
 //
 //	llmdm-proxy -addr :8080
 //	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","difficulty":0.3}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics        # Prometheus text exposition
+//	curl -s localhost:8080/debug/traces   # recent request span trees (JSON)
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"log"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/proxy"
 )
 
@@ -20,13 +24,17 @@ func main() {
 	threshold := flag.Float64("threshold", 0.62, "cascade confidence threshold")
 	capacity := flag.Int("cache-capacity", 10000, "semantic cache capacity (0 = unbounded)")
 	noCache := flag.Bool("no-cache", false, "disable the semantic cache")
+	traces := flag.Int("traces", obs.DefaultTraceCapacity, "request traces retained for /debug/traces")
 	flag.Parse()
 
 	p := proxy.New(proxy.Config{
 		Threshold:     *threshold,
 		CacheCapacity: *capacity,
 		DisableCache:  *noCache,
+		Tracer:        obs.NewTracer(*traces),
 	})
-	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f)", *addr, !*noCache, *threshold)
+	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, trace ring=%d)",
+		*addr, !*noCache, *threshold, *traces)
+	log.Printf("endpoints: POST /v1/complete · GET /v1/stats /metrics /debug/traces /healthz")
 	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
 }

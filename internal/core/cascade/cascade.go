@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/token"
 )
 
@@ -110,6 +111,17 @@ type Trace struct {
 type Cascade struct {
 	Models []llm.Model
 	Decide Decision
+	// Obs receives the cascade's step/escalation/error counters. Nil means
+	// obs.Default.
+	Obs *obs.Registry
+}
+
+// reg returns the effective metrics registry.
+func (c *Cascade) reg() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default
 }
 
 // ErrNoModels is returned when a cascade has no models.
@@ -127,17 +139,36 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 	if len(c.Models) == 0 {
 		return llm.Response{}, Trace{}, ErrNoModels
 	}
+	reg := c.reg()
 	var tr Trace
 	var last llm.Response
 	for i, m := range c.Models {
-		resp, err := m.Complete(ctx, req)
+		stepCtx, sp := obs.StartSpan(ctx, "cascade.step")
+		sp.SetAttr("model", m.Name())
+		sp.SetAttr("tier", i)
+		resp, err := m.Complete(stepCtx, req)
 		if err != nil {
+			sp.SetAttr("outcome", "error")
+			sp.End()
+			reg.Counter("cascade_errors_total", "model", m.Name()).Inc()
+			reg.Counter("cascade_escalations_total").Add(int64(len(tr.Steps)))
 			return llm.Response{}, tr, err
 		}
 		last = resp
 		tr.TotalCost += resp.Cost
 		final := i == len(c.Models)-1
 		accepted := final || c.Decide.Accept(resp)
+		outcome := "reject"
+		if accepted {
+			outcome = "accept"
+		}
+		reg.Counter("cascade_steps_total", "model", m.Name(), "outcome", outcome).Inc()
+		sp.SetAttr("confidence", resp.Confidence)
+		sp.SetAttr("outcome", outcome)
+		sp.SetAttr("tokens_in", resp.InputTokens)
+		sp.SetAttr("tokens_out", resp.OutputTokens)
+		sp.SetAttr("cost_microusd", int64(resp.Cost))
+		sp.End()
 		tr.Steps = append(tr.Steps, Step{
 			Model:      m.Name(),
 			Confidence: resp.Confidence,
@@ -145,9 +176,12 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 			Cost:       resp.Cost,
 		})
 		if accepted {
-			return resp, tr, nil
+			break
 		}
 	}
+	reg.Counter("cascade_requests_total").Inc()
+	reg.Counter("cascade_escalations_total").Add(int64(tr.Escalations()))
+	reg.Counter("cascade_final_model_total", "model", last.Model).Inc()
 	return last, tr, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core/transform"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/token"
 	"repro/internal/workload"
 )
@@ -89,6 +90,9 @@ func (s BatchStats) CallsSaved() int { return s.TotalSubQueries - s.UniqueSubQue
 // strategies Table II compares.
 type Planner struct {
 	Translator *transform.Translator
+	// Obs receives per-strategy call/token/cost/savings counters. Nil means
+	// obs.Default.
+	Obs *obs.Registry
 }
 
 // NewPlanner wraps a translator.
@@ -101,11 +105,34 @@ func addResp(st *BatchStats, resp llm.Response) {
 	st.Cost += resp.Cost
 }
 
+// observe records a finished (or failed) batch's spend and savings under
+// the strategy label and closes its span. Called via defer so partial
+// spend on an errored batch is still accounted.
+func (p *Planner) observe(strategy string, st *BatchStats, sp *obs.Span) {
+	reg := p.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Counter("qopt_batches_total", "strategy", strategy).Inc()
+	reg.Counter("qopt_llm_calls_total", "strategy", strategy).Add(int64(st.LLMCalls))
+	reg.Counter("qopt_tokens_total", "strategy", strategy, "direction", "input").Add(int64(st.InputTokens))
+	reg.Counter("qopt_tokens_total", "strategy", strategy, "direction", "output").Add(int64(st.OutputTokens))
+	reg.Counter("qopt_cost_microusd_total", "strategy", strategy).Add(int64(st.Cost))
+	reg.Counter("qopt_calls_saved_total", "strategy", strategy).Add(int64(st.CallsSaved()))
+	sp.SetAttr("llm_calls", st.LLMCalls)
+	sp.SetAttr("cost_microusd", int64(st.Cost))
+	sp.SetAttr("calls_saved", st.CallsSaved())
+	sp.End()
+}
+
 // RunOrigin translates each question with one whole-query LLM call — the
 // Table II "Origin" column.
 func (p *Planner) RunOrigin(ctx context.Context, questions []string) ([]Translated, BatchStats, error) {
 	var out []Translated
 	var st BatchStats
+	ctx, sp := obs.StartSpan(ctx, "qopt.batch")
+	sp.SetAttr("strategy", "origin")
+	defer p.observe("origin", &st, sp)
 	for _, q := range questions {
 		sql, resp, err := p.Translator.Translate(ctx, q)
 		if err != nil {
@@ -123,6 +150,9 @@ func (p *Planner) RunOrigin(ctx context.Context, questions []string) ([]Translat
 func (p *Planner) RunDecomposed(ctx context.Context, questions []string) ([]Translated, BatchStats, error) {
 	decomps := make([]Decomposition, len(questions))
 	var st BatchStats
+	ctx, sp := obs.StartSpan(ctx, "qopt.batch")
+	sp.SetAttr("strategy", "decomposed")
+	defer p.observe("decomposed", &st, sp)
 	for i, q := range questions {
 		d, err := Decompose(q)
 		if err != nil {
@@ -177,6 +207,9 @@ func (p *Planner) RunDecomposedCombined(ctx context.Context, questions []string,
 	}
 	decomps := make([]Decomposition, len(questions))
 	var st BatchStats
+	ctx, sp := obs.StartSpan(ctx, "qopt.batch")
+	sp.SetAttr("strategy", "combined")
+	defer p.observe("combined", &st, sp)
 	for i, q := range questions {
 		d, err := Decompose(q)
 		if err != nil {
@@ -289,6 +322,9 @@ func (p *Planner) RunPlanned(ctx context.Context, questions []string) ([]Transla
 		return nil, BatchStats{}, err
 	}
 	var st BatchStats
+	ctx, sp := obs.StartSpan(ctx, "qopt.batch")
+	sp.SetAttr("strategy", "planned")
+	defer p.observe("planned", &st, sp)
 	type subResult struct {
 		sql  string
 		gold bool

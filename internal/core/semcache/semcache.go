@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/embed"
+	"repro/internal/obs"
 	"repro/internal/vector"
 )
 
@@ -113,6 +114,11 @@ type Cache struct {
 	admission Admission
 	// ttl expires entries older than this many logical ticks (0 = never).
 	ttl int64
+
+	// Metric handles, resolved once at construction.
+	mLookups, mHitExact, mHitSemantic, mMisses *obs.Counter
+	mEvictions, mExpired, mAdmitRejects, mPuts *obs.Counter
+	hSimilarity                                *obs.Histogram
 }
 
 // Config parameterizes a Cache.
@@ -126,6 +132,9 @@ type Config struct {
 	Threshold float64
 	// Policy selects eviction. Defaults to Weighted.
 	Policy Policy
+	// Obs receives the cache's hit/miss/evict/admission counters and the
+	// hit-similarity histogram. Nil means obs.Default.
+	Obs *obs.Registry
 }
 
 // New returns an empty cache.
@@ -136,6 +145,10 @@ func New(cfg Config) *Cache {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.85
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
 	return &Cache{
 		emb:       cfg.Embedder,
 		idx:       vector.NewFlat(cfg.Embedder.Dim(), vector.Cosine),
@@ -144,6 +157,16 @@ func New(cfg Config) *Cache {
 		capacity:  cfg.Capacity,
 		threshold: cfg.Threshold,
 		policy:    cfg.Policy,
+
+		mLookups:      reg.Counter("semcache_lookups_total"),
+		mHitExact:     reg.Counter("semcache_hits_total", "kind", "exact"),
+		mHitSemantic:  reg.Counter("semcache_hits_total", "kind", "semantic"),
+		mMisses:       reg.Counter("semcache_misses_total"),
+		mEvictions:    reg.Counter("semcache_evictions_total"),
+		mExpired:      reg.Counter("semcache_expired_total"),
+		mAdmitRejects: reg.Counter("semcache_admission_rejects_total"),
+		mPuts:         reg.Counter("semcache_puts_total"),
+		hSimilarity:   reg.Histogram("semcache_hit_similarity", obs.SimilarityBuckets),
 	}
 }
 
@@ -168,16 +191,20 @@ func (c *Cache) Lookup(query string) (Hit, bool) {
 	defer c.mu.Unlock()
 	c.clock++
 	c.stats.Lookups++
+	c.mLookups.Inc()
 
 	if id, ok := c.byExact[query]; ok {
 		e := c.entries[id]
 		if c.expiredLocked(e) {
 			c.removeLocked(id)
+			c.mExpired.Inc()
 		} else {
 			e.Hits++
 			e.lastUsed = c.clock
 			c.stats.Hits++
 			c.stats.ExactHits++
+			c.mHitExact.Inc()
+			c.hSimilarity.Observe(1)
 			return Hit{Entry: *e, Similarity: 1, Exact: true}, true
 		}
 	}
@@ -185,16 +212,21 @@ func (c *Cache) Lookup(query string) (Hit, bool) {
 	q := c.emb.Text(query)
 	hits := c.idx.Search(q, 1)
 	if len(hits) == 0 || hits[0].Score < c.threshold {
+		c.mMisses.Inc()
 		return Hit{}, false
 	}
 	e := c.entries[hits[0].ID]
 	if c.expiredLocked(e) {
 		c.removeLocked(hits[0].ID)
+		c.mExpired.Inc()
+		c.mMisses.Inc()
 		return Hit{}, false
 	}
 	e.Hits++
 	e.lastUsed = c.clock
 	c.stats.Hits++
+	c.mHitSemantic.Inc()
+	c.hSimilarity.Observe(hits[0].Score)
 	return Hit{Entry: *e, Similarity: hits[0].Score}, true
 }
 
@@ -227,8 +259,10 @@ func (c *Cache) Put(query, response string, kind Kind, class Class) {
 		return
 	}
 	if c.admission != nil && !c.admission.Admit(query) {
+		c.mAdmitRejects.Inc()
 		return
 	}
+	c.mPuts.Inc()
 	id := c.nextID
 	c.nextID++
 	c.entries[id] = &Entry{Query: query, Response: response, Kind: kind, Class: class, lastUsed: c.clock}
@@ -278,6 +312,7 @@ func (c *Cache) evictLocked(keep vector.ID) {
 	delete(c.entries, victim)
 	c.idx.Remove(victim)
 	c.stats.Evictions++
+	c.mEvictions.Inc()
 }
 
 // weight scores an entry's retention value: hit count scaled by the class

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/token"
 )
 
@@ -123,6 +124,10 @@ type SimModel struct {
 
 	mu    sync.Mutex
 	meter token.Meter
+
+	// Metric handles, resolved once at construction (per-model labels).
+	mCalls, mErrors, mTokensIn, mTokensOut, mCost *obs.Counter
+	mLatency, mCallCost                           *obs.Histogram
 }
 
 // SimConfig parameterizes a simulated model.
@@ -132,6 +137,9 @@ type SimConfig struct {
 	Price        token.Price
 	TokensPerSec float64
 	NoiseAmp     float64
+	// Obs receives the model's call/token/cost/latency/error metrics.
+	// Nil means obs.Default.
+	Obs *obs.Registry
 }
 
 // NewSim returns a simulated model.
@@ -142,12 +150,23 @@ func NewSim(cfg SimConfig) *SimModel {
 	if cfg.NoiseAmp == 0 {
 		cfg.NoiseAmp = 0.08
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
 	return &SimModel{
 		name:         cfg.Name,
 		capability:   cfg.Capability,
 		price:        cfg.Price,
 		tokensPerSec: cfg.TokensPerSec,
 		noiseAmp:     cfg.NoiseAmp,
+		mCalls:       reg.Counter("llm_calls_total", "model", cfg.Name),
+		mErrors:      reg.Counter("llm_errors_total", "model", cfg.Name),
+		mTokensIn:    reg.Counter("llm_tokens_total", "model", cfg.Name, "direction", "input"),
+		mTokensOut:   reg.Counter("llm_tokens_total", "model", cfg.Name, "direction", "output"),
+		mCost:        reg.Counter("llm_cost_microusd_total", "model", cfg.Name),
+		mLatency:     reg.Histogram("llm_latency_seconds", obs.LatencyBuckets, "model", cfg.Name),
+		mCallCost:    reg.Histogram("llm_call_cost_microusd", obs.CostBuckets, "model", cfg.Name),
 	}
 }
 
@@ -177,11 +196,16 @@ func (m *SimModel) ResetMeter() {
 // Complete implements Model.
 func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
+		m.mErrors.Inc()
 		return Response{}, err
 	}
 	if req.Prompt == "" {
+		m.mErrors.Inc()
 		return Response{}, ErrEmptyPrompt
 	}
+	_, sp := obs.StartSpan(ctx, "llm.complete")
+	sp.SetAttr("model", m.name)
+	defer sp.End()
 
 	// Deterministic per-(model, key) noise streams: one for correctness,
 	// one for confidence. Distinct salts keep them independent.
@@ -230,6 +254,18 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 	m.meter.Add(in, out, cost)
 	m.mu.Unlock()
 
+	latency := time.Duration(float64(in+out) / m.tokensPerSec * float64(time.Second))
+	m.mCalls.Inc()
+	m.mTokensIn.Add(int64(in))
+	m.mTokensOut.Add(int64(out))
+	m.mCost.Add(int64(cost))
+	m.mLatency.Observe(latency.Seconds())
+	m.mCallCost.Observe(float64(cost))
+	sp.SetAttr("tokens_in", in)
+	sp.SetAttr("tokens_out", out)
+	sp.SetAttr("cost_microusd", int64(cost))
+	sp.SetAttr("confidence", conf)
+
 	return Response{
 		Text:         text,
 		Correct:      correct,
@@ -238,7 +274,7 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 		InputTokens:  in,
 		OutputTokens: out,
 		Cost:         cost,
-		Latency:      time.Duration(float64(in+out) / m.tokensPerSec * float64(time.Second)),
+		Latency:      latency,
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/token"
 )
 
@@ -93,7 +94,9 @@ func (r *Retry) Complete(ctx context.Context, req Request) (Response, error) {
 		if !errors.Is(err, ErrTransient) {
 			return Response{}, err
 		}
+		obs.Default.Counter("llm_retries_total", "model", r.Inner.Name()).Inc()
 		last = err
 	}
+	obs.Default.Counter("llm_retry_exhausted_total", "model", r.Inner.Name()).Inc()
 	return Response{}, fmt.Errorf("llm: %d attempts exhausted: %w", r.Attempts, last)
 }

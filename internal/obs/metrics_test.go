@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "source", "cache")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Same (name, labels) resolves to the same handle.
+	if r.Counter("reqs_total", "source", "cache") != c {
+		t.Error("re-resolving returned a different counter")
+	}
+	// Different labels are a different series.
+	if r.Counter("reqs_total", "source", "cascade") == c {
+		t.Error("distinct labels shared a counter")
+	}
+
+	g := r.Gauge("inflight")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %v, want 2", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("calls_total", "model", "gpt-4").Add(7)
+	r.Gauge("queue_depth").Set(2.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE calls_total counter",
+		`calls_total{model="gpt-4"} 7`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("calls_total", "model", "m").Inc()
+	r.Histogram("lat", []float64{1, 2}).Observe(1.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"calls_total"`, `"counter"`, `"histogram"`, `"model": "m"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("json missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestSnapshotDeltaSummary(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Add(2)
+	before := r.Snapshot()
+	c.Add(3)
+	r.Counter("y_total", "k", "v").Inc()
+	d := r.Snapshot().Delta(before)
+	if d["x_total"] != 3 {
+		t.Errorf("delta x_total = %v, want 3", d["x_total"])
+	}
+	if d[`y_total{k="v"}`] != 1 {
+		t.Errorf("delta y_total = %v, want 1 (have %v)", d[`y_total{k="v"}`], d)
+	}
+	sum := d.Summary("  ")
+	if !strings.Contains(sum, "  x_total 3") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on counter re-registered as gauge")
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestConcurrentRegistry hammers creation and updates from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			models := []string{"a", "b", "c"}
+			for i := 0; i < 500; i++ {
+				m := models[i%len(models)]
+				r.Counter("calls_total", "model", m).Inc()
+				r.Gauge("inflight").Add(1)
+				r.Histogram("lat", LatencyBuckets, "model", m).Observe(float64(i) / 1000)
+				r.Gauge("inflight").Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, m := range []string{"a", "b", "c"} {
+		total += r.Counter("calls_total", "model", m).Value()
+	}
+	if total != workers*500 {
+		t.Errorf("total = %d, want %d", total, workers*500)
+	}
+	if g := r.Gauge("inflight").Value(); g != 0 {
+		t.Errorf("inflight gauge = %v, want 0", g)
+	}
+	var hist int64
+	for _, m := range []string{"a", "b", "c"} {
+		hist += r.Histogram("lat", LatencyBuckets, "model", m).Count()
+	}
+	if hist != workers*500 {
+		t.Errorf("histogram count = %d, want %d", hist, workers*500)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "proxy.complete")
+	_, lookup := StartSpan(ctx, "cache.lookup")
+	lookup.SetAttr("hit", false)
+	lookup.End()
+	stepCtx, step := StartSpan(ctx, "cascade.step")
+	step.SetAttr("model", "gpt-4")
+	step.SetAttr("cost_microusd", int64(120))
+	_, inner := StartSpan(stepCtx, "llm.complete")
+	inner.End()
+	step.End()
+	root.SetAttr("source", "cascade")
+	root.End()
+
+	got := tr.Recent(0)
+	if len(got) != 1 {
+		t.Fatalf("traces = %d, want 1", len(got))
+	}
+	rt := got[0]
+	if rt.Name != "proxy.complete" || rt.Attrs["source"] != "cascade" {
+		t.Errorf("root = %+v", rt)
+	}
+	if len(rt.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(rt.Children))
+	}
+	if rt.Children[0].Name != "cache.lookup" || rt.Children[0].Attrs["hit"] != "false" {
+		t.Errorf("child 0 = %+v", rt.Children[0])
+	}
+	cs := rt.Children[1]
+	if cs.Attrs["model"] != "gpt-4" || cs.Attrs["cost_microusd"] != "120" {
+		t.Errorf("cascade step = %+v", cs)
+	}
+	if len(cs.Children) != 1 || cs.Children[0].Name != "llm.complete" {
+		t.Errorf("nested = %+v", cs.Children)
+	}
+}
+
+func TestDetachedSpanIsHarmless(t *testing.T) {
+	// No parent in ctx: the span works but is recorded nowhere.
+	_, s := StartSpan(context.Background(), "orphan")
+	s.SetAttr("k", "v")
+	s.End()
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v") // nil-safe
+	nilSpan.End()
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		_, s := tr.Start(context.Background(), string(rune('a'+i)))
+		s.End()
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(got))
+	}
+	// Newest first: e, d, c.
+	if got[0].Name != "e" || got[1].Name != "d" || got[2].Name != "c" {
+		t.Errorf("ring order = %s %s %s", got[0].Name, got[1].Name, got[2].Name)
+	}
+	if limited := tr.Recent(2); len(limited) != 2 {
+		t.Errorf("Recent(2) = %d entries", len(limited))
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.End()
+	if tr.Len() != 1 {
+		t.Errorf("ring holds %d, want 1 (double End double-recorded)", tr.Len())
+	}
+}
+
+// TestConcurrentTracing exercises many goroutines tracing at once while a
+// reader drains Recent — the -race proof for the trace half.
+func TestConcurrentTracing(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Recent(8)
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.Start(context.Background(), "req")
+				_, c := StartSpan(ctx, "step")
+				c.SetAttr("i", i)
+				c.End()
+				root.End()
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+	if tr.Len() != 16 {
+		t.Errorf("ring holds %d, want 16", tr.Len())
+	}
+}

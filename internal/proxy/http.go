@@ -3,20 +3,28 @@ package proxy
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/llm"
 )
 
 // CompletionRequest is the JSON body accepted by POST /v1/complete.
-// Gold/Wrong/Difficulty parameterize the simulated upstream (see
+// Gold/Wrong/WrongAlts/Difficulty parameterize the simulated upstream (see
 // internal/llm); a deployment backed by a real API would drop them.
 type CompletionRequest struct {
-	Task       string  `json:"task,omitempty"`
-	Prompt     string  `json:"prompt"`
-	Gold       string  `json:"gold,omitempty"`
-	Wrong      string  `json:"wrong,omitempty"`
-	Difficulty float64 `json:"difficulty,omitempty"`
+	Task   string `json:"task,omitempty"`
+	Prompt string `json:"prompt"`
+	Gold   string `json:"gold,omitempty"`
+	Wrong  string `json:"wrong,omitempty"`
+	// WrongAlts are additional plausible wrong completions; with them the
+	// HTTP surface can express self-consistency-style requests whose
+	// hallucinations disperse (see llm.Request.WrongAlts).
+	WrongAlts  []string `json:"wrong_alts,omitempty"`
+	Difficulty float64  `json:"difficulty,omitempty"`
+	// NoiseKey keys the correctness noise by the semantic core of the
+	// request instead of the full prompt (see llm.Request.NoiseKey).
+	NoiseKey string `json:"noise_key,omitempty"`
 }
 
 // CompletionResponse is the JSON reply of POST /v1/complete.
@@ -31,9 +39,11 @@ type CompletionResponse struct {
 
 // Handler returns the proxy's HTTP mux:
 //
-//	POST /v1/complete  — serve one completion
-//	GET  /v1/stats     — lifetime counters
-//	GET  /healthz      — liveness
+//	POST /v1/complete   — serve one completion
+//	GET  /v1/stats      — lifetime counters
+//	GET  /metrics       — Prometheus text exposition of the full registry
+//	GET  /debug/traces  — recent request span trees, JSON (?n= limits)
+//	GET  /healthz       — liveness
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
@@ -81,6 +91,40 @@ func (p *Proxy) Handler() http.Handler {
 			"spend_micro_usd": int64(st.Spend),
 		})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		// ?format=json selects the JSON exposition; default is Prometheus
+		// text.
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			p.reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"traces": p.tracer.Recent(n),
+		})
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
@@ -94,6 +138,8 @@ func toLLMRequest(req CompletionRequest) llm.Request {
 		Prompt:     req.Prompt,
 		Gold:       req.Gold,
 		Wrong:      req.Wrong,
+		WrongAlts:  req.WrongAlts,
 		Difficulty: req.Difficulty,
+		NoiseKey:   req.NoiseKey,
 	}
 }

@@ -12,6 +12,16 @@
 //  3. the LLM cascade (Section III-B1) routes what remains, starting cheap
 //     and escalating on low confidence.
 //
+// Every request is traced (a root span with cache-lookup and per-cascade-
+// step children, kept in a bounded ring) and metered into an obs.Registry;
+// the HTTP layer exposes both at GET /metrics and GET /debug/traces.
+//
+// Concurrency design: the only lock is the in-flight table's. The semantic
+// cache lookup — which computes a query embedding and is the most expensive
+// non-model step — runs outside any proxy lock, and the lifetime counters
+// are atomics, so concurrent requests never serialize behind each other's
+// embeddings.
+//
 // It is exposed over HTTP by cmd/llmdm-proxy and exercised with httptest in
 // the package tests.
 package proxy
@@ -19,11 +29,14 @@ package proxy
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core/cascade"
 	"repro/internal/core/semcache"
 	"repro/internal/embed"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/token"
 )
 
@@ -60,16 +73,33 @@ type Config struct {
 	CacheThreshold float64
 	// DisableCache turns the cache off (for ablations).
 	DisableCache bool
+	// Obs receives the proxy's metrics (and is what GET /metrics serves).
+	// Nil means obs.Default.
+	Obs *obs.Registry
+	// Tracer retains recent request traces (served by GET /debug/traces).
+	// Nil means obs.DefaultTracer.
+	Tracer *obs.Tracer
 }
 
 // Proxy is the serving front end. Proxy is safe for concurrent use.
 type Proxy struct {
-	casc  *cascade.Cascade
-	cache *semcache.Cache
+	casc   *cascade.Cascade
+	cache  *semcache.Cache
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
+	// mu guards only the in-flight table; stats are atomics and the cache
+	// locks itself.
 	mu       sync.Mutex
-	stats    Stats
 	inflight map[string]*call
+
+	requests, cacheHits, coalesced, modelCalls, spend atomic.Int64
+
+	// Metric handles, resolved once at construction.
+	mReqCache, mReqCoalesced, mReqCascade, mReqError *obs.Counter
+	mSpend                                           *obs.Counter
+	gInflight                                        *obs.Gauge
+	hLatCache, hLatCoalesced, hLatCascade            *obs.Histogram
 }
 
 // call is one in-flight upstream request being awaited by >= 1 clients.
@@ -92,9 +122,29 @@ func New(cfg Config) *Proxy {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.62
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer
+	}
 	p := &Proxy{
-		casc:     cascade.New(cascade.Threshold{Tau: cfg.Threshold}, models...),
+		casc:     &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Obs: reg},
+		reg:      reg,
+		tracer:   tracer,
 		inflight: make(map[string]*call),
+
+		mReqCache:     reg.Counter("proxy_requests_total", "source", "cache"),
+		mReqCoalesced: reg.Counter("proxy_requests_total", "source", "coalesced"),
+		mReqCascade:   reg.Counter("proxy_requests_total", "source", "cascade"),
+		mReqError:     reg.Counter("proxy_requests_total", "source", "error"),
+		mSpend:        reg.Counter("proxy_spend_microusd_total"),
+		gInflight:     reg.Gauge("proxy_inflight"),
+		hLatCache:     reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "cache"),
+		hLatCoalesced: reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "coalesced"),
+		hLatCascade:   reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "cascade"),
 	}
 	if !cfg.DisableCache {
 		th := cfg.CacheThreshold
@@ -106,6 +156,7 @@ func New(cfg Config) *Proxy {
 			Capacity:  cfg.CacheCapacity,
 			Threshold: th,
 			Policy:    semcache.Weighted,
+			Obs:       reg,
 		})
 	}
 	return p
@@ -113,59 +164,108 @@ func New(cfg Config) *Proxy {
 
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Requests:   p.requests.Load(),
+		CacheHits:  p.cacheHits.Load(),
+		Coalesced:  p.coalesced.Load(),
+		ModelCalls: p.modelCalls.Load(),
+		Spend:      token.Cost(p.spend.Load()),
+	}
 }
+
+// Metrics returns the proxy's metrics registry (what GET /metrics serves).
+func (p *Proxy) Metrics() *obs.Registry { return p.reg }
+
+// Tracer returns the proxy's trace ring (what GET /debug/traces serves).
+func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
 
 // Complete serves one request through cache → coalescing → cascade.
 func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
-	p.mu.Lock()
-	p.stats.Requests++
+	start := time.Now()
+	p.requests.Add(1)
+	ctx, root := p.tracer.Start(ctx, "proxy.complete")
+	defer root.End()
 
-	// 1. Cache.
+	// 1. Cache. The lookup embeds the query — deliberately outside every
+	// proxy lock so concurrent requests don't serialize on the embedder.
 	if p.cache != nil {
-		if hit, ok := p.cache.Lookup(req.Prompt); ok {
-			p.stats.CacheHits++
-			p.mu.Unlock()
+		_, csp := obs.StartSpan(ctx, "cache.lookup")
+		hit, ok := p.cache.Lookup(req.Prompt)
+		csp.SetAttr("hit", ok)
+		if ok {
+			csp.SetAttr("similarity", hit.Similarity)
+			csp.SetAttr("exact", hit.Exact)
+		}
+		csp.End()
+		if ok {
+			p.cacheHits.Add(1)
+			p.mReqCache.Inc()
+			p.hLatCache.Observe(time.Since(start).Seconds())
+			root.SetAttr("source", "cache")
 			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: 1, Source: "cache"}, nil
 		}
 	}
 
 	// 2. In-flight dedup: join an identical pending request.
 	key := req.Prompt
+	p.mu.Lock()
 	if c, ok := p.inflight[key]; ok {
-		p.stats.Coalesced++
 		p.mu.Unlock()
+		p.coalesced.Add(1)
+		root.SetAttr("source", "coalesced")
+		_, wsp := obs.StartSpan(ctx, "coalesce.wait")
 		select {
 		case <-c.done:
+			wsp.End()
 			ans := c.ans
 			if c.err == nil {
 				ans.Source = "coalesced"
 				ans.Cost = 0 // the first caller paid
+				p.mReqCoalesced.Inc()
+				p.hLatCoalesced.Observe(time.Since(start).Seconds())
+			} else {
+				p.mReqError.Inc()
 			}
 			return ans, c.err
 		case <-ctx.Done():
+			wsp.SetAttr("outcome", "canceled")
+			wsp.End()
+			p.mReqError.Inc()
 			return Answer{}, ctx.Err()
 		}
 	}
 	c := &call{done: make(chan struct{})}
 	p.inflight[key] = c
+	p.gInflight.Add(1)
 	p.mu.Unlock()
 
-	// 3. Cascade (outside the lock).
+	// 3. Cascade (outside the lock). The context carries the root span, so
+	// the cascade's per-step spans land under this request's trace.
 	resp, trace, err := p.casc.Complete(ctx, req)
 
 	p.mu.Lock()
 	delete(p.inflight, key)
+	p.gInflight.Add(-1)
+	p.mu.Unlock()
+
 	if err == nil {
-		p.stats.ModelCalls += int64(len(trace.Steps))
-		p.stats.Spend += trace.TotalCost
+		p.modelCalls.Add(int64(len(trace.Steps)))
+		p.spend.Add(int64(trace.TotalCost))
+		p.mSpend.Add(int64(trace.TotalCost))
 		if p.cache != nil {
 			p.cache.Put(req.Prompt, resp.Text, semcache.Original, semcache.Reuse)
 		}
+		p.mReqCascade.Inc()
+		p.hLatCascade.Observe(time.Since(start).Seconds())
+		root.SetAttr("source", "cascade")
+		root.SetAttr("model", resp.Model)
+		root.SetAttr("steps", len(trace.Steps))
+		root.SetAttr("cost_microusd", int64(trace.TotalCost))
+	} else {
+		p.mReqError.Inc()
+		root.SetAttr("source", "error")
+		root.SetAttr("error", err.Error())
 	}
-	p.mu.Unlock()
 
 	c.ans = Answer{Text: resp.Text, Model: resp.Model, Confidence: resp.Confidence, Source: "cascade", Cost: trace.TotalCost}
 	c.err = err

@@ -18,9 +18,11 @@ import (
 
 func newTestProxy(cfg Config) *Proxy {
 	if len(cfg.Models) == 0 {
+		// The models meter into the same registry as the proxy so tests
+		// with a private registry see the whole stack's metrics.
 		cfg.Models = []llm.Model{
-			llm.NewSim(llm.SimConfig{Name: "small", Capability: 0.3, Price: token.Price{InputPer1K: 400, OutputPer1K: 400}}),
-			llm.NewSim(llm.SimConfig{Name: "large", Capability: 0.95, Price: token.Price{InputPer1K: 30000, OutputPer1K: 60000}}),
+			llm.NewSim(llm.SimConfig{Name: "small", Capability: 0.3, Price: token.Price{InputPer1K: 400, OutputPer1K: 400}, Obs: cfg.Obs}),
+			llm.NewSim(llm.SimConfig{Name: "large", Capability: 0.95, Price: token.Price{InputPer1K: 30000, OutputPer1K: 60000}, Obs: cfg.Obs}),
 		}
 	}
 	return New(cfg)
