@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent cover bench fuzz experiments ablations telemetry clean
+.PHONY: all build vet test race race-concurrent cover bench fuzz experiments ablations chaos telemetry clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ race:
 # The serving-path packages that run concurrent under load; the CI race
 # gate covers exactly these.
 race-concurrent:
-	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/
+	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/
 
 cover:
 	$(GO) test -cover ./...
@@ -42,6 +42,11 @@ experiments:
 
 ablations:
 	$(GO) run ./cmd/llmdm-bench -exp ablations
+
+# Fault-injection experiment: availability and spend accounting under
+# injected upstream failures, bare stack vs the resilience layer.
+chaos:
+	$(GO) run ./cmd/llmdm-bench -exp chaos
 
 # Demo the instrumented bench: each experiment's table followed by its
 # internal/obs telemetry delta (model calls, tokens, spend, cache hits,

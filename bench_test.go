@@ -63,6 +63,7 @@ func BenchmarkAblationCachePolicies(b *testing.B)  { benchAblation(b, "ab-cache-
 func BenchmarkAblationCacheThreshold(b *testing.B) { benchAblation(b, "ab-cache-threshold") }
 func BenchmarkAblationHybridOrders(b *testing.B)   { benchAblation(b, "ab-hybrid") }
 func BenchmarkAblationDPSweep(b *testing.B)        { benchAblation(b, "ab-dp") }
+func BenchmarkChaosResilience(b *testing.B)        { benchAblation(b, "chaos") }
 
 // TestAllExperimentsRun smoke-runs the full harness exactly as
 // cmd/llmdm-bench does.

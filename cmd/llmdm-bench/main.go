@@ -5,6 +5,7 @@
 //
 //	llmdm-bench              # run everything
 //	llmdm-bench -exp table2  # run one experiment
+//	llmdm-bench -exp chaos   # fault injection: availability/spend vs failure rate
 //	llmdm-bench -list        # list experiment IDs
 //	llmdm-bench -telemetry   # append each experiment's telemetry delta
 //
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ID (table1..table3, fig1..fig7, ab-*), 'all' (paper artifacts), or 'ablations'")
+	exp := flag.String("exp", "all", "experiment ID (table1..table3, fig1..fig7, ab-*, chaos), 'all' (paper artifacts), or 'ablations'")
 	format := flag.String("format", "table", "output format: table or csv")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	telemetry := flag.Bool("telemetry", false, "print a per-experiment telemetry summary (obs registry delta)")

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/token"
 )
 
@@ -111,6 +112,10 @@ type Trace struct {
 type Cascade struct {
 	Models []llm.Model
 	Decide Decision
+	// Breakers, when non-nil, holds one circuit breaker per model tier;
+	// Complete consults it before each tier and skips tripped ones, so a
+	// dying model stops failing whole cascades after its breaker opens.
+	Breakers *resilience.BreakerSet
 	// Obs receives the cascade's step/escalation/error counters. Nil means
 	// obs.Default.
 	Obs *obs.Registry
@@ -127,6 +132,10 @@ func (c *Cascade) reg() *obs.Registry {
 // ErrNoModels is returned when a cascade has no models.
 var ErrNoModels = errors.New("cascade: no models configured")
 
+// ErrAllTiersOpen is returned when every tier's circuit breaker rejected
+// the request — nothing was even attempted.
+var ErrAllTiersOpen = errors.New("cascade: every tier's circuit breaker is open")
+
 // New builds a cascade over models (cheapest first) with the given decision
 // model.
 func New(decide Decision, models ...llm.Model) *Cascade {
@@ -134,7 +143,10 @@ func New(decide Decision, models ...llm.Model) *Cascade {
 }
 
 // Complete runs the request through the cascade. The final model's answer
-// is always accepted (there is nothing larger to escalate to).
+// is always accepted (there is nothing larger to escalate to). Tiers whose
+// circuit breaker is open are skipped; when a skipped final tier leaves
+// only a rejected answer, that answer is served best-effort rather than
+// failing the request.
 func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, Trace, error) {
 	if len(c.Models) == 0 {
 		return llm.Response{}, Trace{}, ErrNoModels
@@ -142,16 +154,27 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 	reg := c.reg()
 	var tr Trace
 	var last llm.Response
+	served := false
 	for i, m := range c.Models {
 		stepCtx, sp := obs.StartSpan(ctx, "cascade.step")
 		sp.SetAttr("model", m.Name())
 		sp.SetAttr("tier", i)
+		if c.Breakers != nil && !c.Breakers.Allow(m.Name()) {
+			sp.SetAttr("outcome", "skipped")
+			sp.End()
+			reg.Counter("cascade_tier_skipped_total", "model", m.Name()).Inc()
+			continue
+		}
 		resp, err := m.Complete(stepCtx, req)
+		if c.Breakers != nil && !errors.Is(err, context.Canceled) {
+			// Client cancellations say nothing about the tier's health.
+			c.Breakers.Record(m.Name(), err == nil)
+		}
 		if err != nil {
 			sp.SetAttr("outcome", "error")
 			sp.End()
 			reg.Counter("cascade_errors_total", "model", m.Name()).Inc()
-			reg.Counter("cascade_escalations_total").Add(int64(len(tr.Steps)))
+			reg.Counter("cascade_escalations_total").Add(int64(tr.Escalations()))
 			return llm.Response{}, tr, err
 		}
 		last = resp
@@ -176,8 +199,19 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 			Cost:       resp.Cost,
 		})
 		if accepted {
+			served = true
 			break
 		}
+	}
+	if len(tr.Steps) == 0 {
+		reg.Counter("cascade_errors_total", "model", "none").Inc()
+		return llm.Response{}, tr, ErrAllTiersOpen
+	}
+	if !served {
+		// The escalation target was skipped (breaker open): serve the last
+		// rejected answer instead of failing a request we already paid for.
+		tr.Steps[len(tr.Steps)-1].Accepted = true
+		reg.Counter("cascade_forced_accept_total").Inc()
 	}
 	reg.Counter("cascade_requests_total").Inc()
 	reg.Counter("cascade_escalations_total").Add(int64(tr.Escalations()))

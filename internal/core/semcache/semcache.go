@@ -118,6 +118,7 @@ type Cache struct {
 	// Metric handles, resolved once at construction.
 	mLookups, mHitExact, mHitSemantic, mMisses *obs.Counter
 	mEvictions, mExpired, mAdmitRejects, mPuts *obs.Counter
+	mStaleLookups, mStaleHits                  *obs.Counter
 	hSimilarity                                *obs.Histogram
 }
 
@@ -166,6 +167,8 @@ func New(cfg Config) *Cache {
 		mExpired:      reg.Counter("semcache_expired_total"),
 		mAdmitRejects: reg.Counter("semcache_admission_rejects_total"),
 		mPuts:         reg.Counter("semcache_puts_total"),
+		mStaleLookups: reg.Counter("semcache_stale_lookups_total"),
+		mStaleHits:    reg.Counter("semcache_stale_hits_total"),
 		hSimilarity:   reg.Histogram("semcache_hit_similarity", obs.SimilarityBuckets),
 	}
 }
@@ -228,6 +231,29 @@ func (c *Cache) Lookup(query string) (Hit, bool) {
 	c.mHitSemantic.Inc()
 	c.hSimilarity.Observe(hits[0].Score)
 	return Hit{Entry: *e, Similarity: hits[0].Score}, true
+}
+
+// LookupStale finds the nearest cached entry at or above floor, ignoring
+// the configured hit threshold and the TTL — the degraded-mode lookup
+// behind the proxy's stale-serve: when the whole cascade is down, an
+// approximate old answer beats an error. Stale lookups keep their own
+// counters (semcache_stale_*) so the headline hit rate stays a measure of
+// normal operation.
+func (c *Cache) LookupStale(query string, floor float64) (Hit, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.mStaleLookups.Inc()
+	q := c.emb.Text(query)
+	hits := c.idx.Search(q, 1)
+	if len(hits) == 0 || hits[0].Score < floor {
+		return Hit{}, false
+	}
+	e := c.entries[hits[0].ID]
+	e.Hits++
+	e.lastUsed = c.clock
+	c.mStaleHits.Inc()
+	return Hit{Entry: *e, Similarity: hits[0].Score, Exact: e.Query == query}, true
 }
 
 // expiredLocked reports whether e is past the TTL.

@@ -1,0 +1,55 @@
+package semcache
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/obs"
+)
+
+func TestLookupStaleIgnoresThreshold(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Embedder: embed.New(embed.DefaultDim), Threshold: 0.999, Obs: reg})
+	c.Put("what is the capital of france", "paris", Original, Reuse)
+
+	// A paraphrase misses the (deliberately strict) fresh threshold...
+	if _, ok := c.Lookup("tell me the capital of france"); ok {
+		t.Fatal("paraphrase passed the 0.999 threshold; premise broken")
+	}
+	// ...but the degraded-mode lookup serves it from a far lower floor.
+	hit, ok := c.LookupStale("tell me the capital of france", 0.3)
+	if !ok {
+		t.Fatal("stale lookup missed")
+	}
+	if hit.Entry.Response != "paris" || hit.Exact {
+		t.Errorf("stale hit = %+v", hit)
+	}
+	if hit.Similarity < 0.3 || hit.Similarity >= 1 {
+		t.Errorf("similarity = %v", hit.Similarity)
+	}
+	snap := reg.Snapshot()
+	if snap["semcache_stale_lookups_total"] != 1 || snap["semcache_stale_hits_total"] != 1 {
+		t.Errorf("stale counters: lookups=%v hits=%v",
+			snap["semcache_stale_lookups_total"], snap["semcache_stale_hits_total"])
+	}
+	// Stale traffic must not inflate the headline hit-rate stats.
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("stale hit leaked into Stats: %+v", st)
+	}
+}
+
+func TestLookupStaleHonorsFloor(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Embedder: embed.New(embed.DefaultDim), Obs: reg})
+	if _, ok := c.LookupStale("anything", 0.1); ok {
+		t.Error("empty cache produced a stale hit")
+	}
+	c.Put("quarterly revenue by region", "$4M", Original, Reuse)
+	if _, ok := c.LookupStale("migratory patterns of arctic terns", 0.6); ok {
+		t.Error("unrelated query served above the floor")
+	}
+	snap := reg.Snapshot()
+	if snap["semcache_stale_lookups_total"] != 2 || snap["semcache_stale_hits_total"] != 0 {
+		t.Errorf("stale counters: %v", snap)
+	}
+}

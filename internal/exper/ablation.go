@@ -21,12 +21,13 @@ func ExtRegistry() map[string]Runner {
 		"ab-cache-threshold": AblationCacheThreshold,
 		"ab-hybrid":          AblationHybridOrders,
 		"ab-dp":              AblationDPSweep,
+		"chaos":              ChaosResilience,
 	}
 }
 
 // ExtIDs lists ablation IDs in presentation order.
 func ExtIDs() []string {
-	return []string{"ab-index", "ab-cache-policy", "ab-cache-threshold", "ab-hybrid", "ab-dp"}
+	return []string{"ab-index", "ab-cache-policy", "ab-cache-threshold", "ab-hybrid", "ab-dp", "chaos"}
 }
 
 func randVecs(seed int64, n, dim int) []vector.Item {

@@ -134,7 +134,7 @@ func TestAblationDPSweep(t *testing.T) {
 
 func TestExtRegistry(t *testing.T) {
 	ids := ExtIDs()
-	if len(ids) != 5 {
+	if len(ids) != 6 {
 		t.Fatalf("ext ids = %v", ids)
 	}
 	for _, id := range ids {

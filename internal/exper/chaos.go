@@ -1,0 +1,108 @@
+package exper
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/proxy"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// chaosCell is one (failure rate, stack) measurement.
+type chaosCell struct {
+	avail  float64
+	stale  int64
+	spend  token.Cost
+	acctOK bool
+}
+
+// ChaosResilience is the fault-injection experiment behind `make chaos`:
+// it sweeps the per-attempt upstream failure rate (injected by llm.Flaky)
+// and serves the same QA workload through two proxies — a bare stack
+// (semantic cache + cascade only) and the full resilience stack (retry
+// with jittered exponential backoff, per-tier circuit breakers, stale
+// cache serves) — measuring availability, stale serves and spend. The
+// accounting column cross-checks the proxy's spend counter against the
+// simulated models' own usage meters, error paths included; a MISMATCH
+// would mean a failed cascade run dropped its bill.
+func ChaosResilience() (Report, error) {
+	rep := Report{
+		ID:      "chaos",
+		Title:   "fault injection: availability and spend vs upstream failure rate",
+		Headers: []string{"failure rate", "bare avail", "resilient avail", "stale serves", "resilient spend", "accounting"},
+		Notes: []string{
+			"30 QA items x 4 rounds per cell; failures injected per attempt by llm.Flaky",
+			"bare = semantic cache + cascade only; resilient adds retry with jittered backoff, per-tier circuit breakers and stale cache serves",
+			"accounting: proxy spend vs the sum of the models' usage meters, error paths included",
+		},
+	}
+	for _, rate := range []float64{0, 0.1, 0.3, 0.5} {
+		bare := runChaosCell(rate, false)
+		res := runChaosCell(rate, true)
+		acct := "ok"
+		if !bare.acctOK || !res.acctOK {
+			acct = "MISMATCH"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f%%", rate*100),
+			f3(bare.avail),
+			f3(res.avail),
+			fmt.Sprintf("%d", res.stale),
+			res.spend.String(),
+			acct,
+		})
+	}
+	return rep, nil
+}
+
+// runChaosCell serves the workload through one proxy configuration and
+// reports availability plus the spend cross-check.
+func runChaosCell(rate float64, resilient bool) chaosCell {
+	reg := obs.NewRegistry()
+	small := llm.NewSim(llm.SimConfig{Name: "small", Capability: 0.55,
+		Price: token.Price{InputPer1K: 400, OutputPer1K: 400}, Obs: reg})
+	large := llm.NewSim(llm.SimConfig{Name: "large", Capability: 0.97,
+		Price: token.Price{InputPer1K: 30000, OutputPer1K: 60000}, Obs: reg})
+	wrap := func(m llm.Model) llm.Model {
+		flaky := llm.NewFlaky(m, rate)
+		if !resilient {
+			return flaky
+		}
+		return &llm.Retry{Inner: flaky, Attempts: 6,
+			BaseDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond, Obs: reg}
+	}
+	p := proxy.New(proxy.Config{
+		Models:         []llm.Model{wrap(small), wrap(large)},
+		Obs:            reg,
+		Tracer:         obs.NewTracer(8),
+		DisableBreaker: !resilient,
+		DisableStale:   !resilient,
+		StaleFloor:     0.5,
+	})
+	set := workload.GenQA(11, 30)
+	total, ok := 0, 0
+	for round := 0; round < 4; round++ {
+		for _, it := range set.Items {
+			_, err := p.Complete(context.Background(), llm.Request{
+				Prompt: "Context: " + it.ContextFor() + "\nQ: " + it.Question,
+				Gold:   it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
+			})
+			total++
+			if err == nil {
+				ok++
+			}
+		}
+	}
+	st := p.Stats()
+	meters := small.Meter().Spend + large.Meter().Spend
+	return chaosCell{
+		avail:  float64(ok) / float64(total),
+		stale:  st.StaleServes,
+		spend:  st.Spend,
+		acctOK: st.Spend == meters,
+	}
+}

@@ -1,0 +1,40 @@
+package exper
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestChaosResilience(t *testing.T) {
+	rep, err := ChaosResilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		bare, _ := strconv.ParseFloat(row[1], 64)
+		res, _ := strconv.ParseFloat(row[2], 64)
+		if res < bare {
+			t.Errorf("rate %s: resilient availability %v below bare %v", row[0], res, bare)
+		}
+		// The acceptance bar: the resilience stack holds >= 99% availability
+		// at every injected failure rate.
+		if res < 0.99 {
+			t.Errorf("rate %s: resilient availability %v < 0.99", row[0], res)
+		}
+		if row[5] != "ok" {
+			t.Errorf("rate %s: spend accounting %q — proxy spend diverged from the model meters", row[0], row[5])
+		}
+	}
+	// With no injected failures both stacks serve everything.
+	if first, _ := strconv.ParseFloat(rep.Rows[0][1], 64); first != 1 {
+		t.Errorf("bare availability at 0%% = %v, want 1", first)
+	}
+	// At the highest failure rate the bare stack visibly degrades — that
+	// contrast is the point of the experiment.
+	if bare, _ := strconv.ParseFloat(rep.Rows[3][1], 64); bare > 0.9 {
+		t.Errorf("bare availability at 50%% = %v; expected visible degradation", bare)
+	}
+}

@@ -1,12 +1,15 @@
 package proxy
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/resilience"
 )
 
 // CompletionRequest is the JSON body accepted by POST /v1/complete.
@@ -63,7 +66,16 @@ func (p *Proxy) Handler() http.Handler {
 		start := time.Now()
 		ans, err := p.Complete(r.Context(), toLLMRequest(req))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			switch {
+			case errors.Is(err, resilience.ErrOverloaded):
+				// Shed by the limiter: tell well-behaved clients to retry.
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.Is(err, context.DeadlineExceeded):
+				http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			default:
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -82,14 +94,24 @@ func (p *Proxy) Handler() http.Handler {
 			return
 		}
 		st := p.Stats()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]interface{}{
+		out := map[string]interface{}{
 			"requests":        st.Requests,
 			"cache_hits":      st.CacheHits,
 			"coalesced":       st.Coalesced,
 			"model_calls":     st.ModelCalls,
+			"stale_serves":    st.StaleServes,
+			"shed":            st.Shed,
 			"spend_micro_usd": int64(st.Spend),
-		})
+		}
+		if states := p.BreakerStates(); states != nil {
+			breakers := make(map[string]string, len(states))
+			for name, s := range states {
+				breakers[name] = s.String()
+			}
+			out["breakers"] = breakers
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

@@ -12,6 +12,19 @@
 //  3. the LLM cascade (Section III-B1) routes what remains, starting cheap
 //     and escalating on low confidence.
 //
+// Around that stack sits a resilience layer for heavy-traffic serving:
+//
+//   - a concurrency limiter at the front door sheds load instead of
+//     queueing without bound (internal/resilience.Limiter);
+//   - the upstream cascade call is detached from the leader's context, so
+//     one client's cancellation never fails its coalesced cohort, and is
+//     bounded by its own deadline;
+//   - per-model circuit breakers (internal/resilience.Breaker) let the
+//     cascade skip tiers that are actively failing;
+//   - when the whole cascade still fails, the proxy degrades to the best
+//     below-threshold semantic-cache entry, marked Source "stale", instead
+//     of erroring.
+//
 // Every request is traced (a root span with cache-lookup and per-cascade-
 // step children, kept in a bounded ring) and metered into an obs.Registry;
 // the HTTP layer exposes both at GET /metrics and GET /debug/traces.
@@ -28,6 +41,7 @@ package proxy
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,16 +51,18 @@ import (
 	"repro/internal/embed"
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/token"
 )
 
 // Answer is the proxy's response to one query.
 type Answer struct {
 	Text       string
-	Model      string  // "cache" when served from cache
-	Confidence float64 // 1.0 for cache hits
+	Model      string  // "cache" when served from cache (fresh or stale)
+	Confidence float64 // 1.0 for cache hits; the hit similarity for stale serves
 	// Source explains how the answer was produced: "cache", "coalesced",
-	// or "cascade".
+	// "cascade", "stale" (degraded cache serve after upstream failure) or
+	// "error".
 	Source string
 	Cost   token.Cost
 }
@@ -57,7 +73,12 @@ type Stats struct {
 	CacheHits  int64
 	Coalesced  int64
 	ModelCalls int64
-	Spend      token.Cost
+	// StaleServes counts degraded answers served from the cache after the
+	// cascade failed.
+	StaleServes int64
+	// Shed counts requests rejected by the concurrency limiter.
+	Shed  int64
+	Spend token.Cost
 }
 
 // Config parameterizes a Proxy.
@@ -73,6 +94,28 @@ type Config struct {
 	CacheThreshold float64
 	// DisableCache turns the cache off (for ablations).
 	DisableCache bool
+
+	// UpstreamTimeout bounds each cascade run. Because the upstream call is
+	// detached from the requesting client's context (so a canceled leader
+	// cannot poison its coalesced cohort), this deadline is what ultimately
+	// reaps a hung upstream. Defaults to 30s.
+	UpstreamTimeout time.Duration
+	// MaxConcurrent caps requests served at once; 0 disables the limiter.
+	MaxConcurrent int
+	// MaxQueue bounds callers waiting for a slot when MaxConcurrent is hit;
+	// beyond it requests are shed with resilience.ErrOverloaded.
+	MaxQueue int
+	// Breaker parameterizes the per-model circuit breakers consulted by the
+	// cascade. The zero value selects defaults; DisableBreaker turns them
+	// off.
+	Breaker        resilience.BreakerConfig
+	DisableBreaker bool
+	// StaleFloor is the minimum cache similarity for a degraded stale
+	// serve after the cascade fails. Defaults to 0.55; DisableStale turns
+	// stale serving off.
+	StaleFloor   float64
+	DisableStale bool
+
 	// Obs receives the proxy's metrics (and is what GET /metrics serves).
 	// Nil means obs.Default.
 	Obs *obs.Registry
@@ -83,30 +126,40 @@ type Config struct {
 
 // Proxy is the serving front end. Proxy is safe for concurrent use.
 type Proxy struct {
-	casc   *cascade.Cascade
-	cache  *semcache.Cache
-	reg    *obs.Registry
-	tracer *obs.Tracer
+	casc     *cascade.Cascade
+	cache    *semcache.Cache
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	limiter  *resilience.Limiter
+	breakers *resilience.BreakerSet
+
+	upstreamTimeout time.Duration
+	staleFloor      float64
+	disableStale    bool
 
 	// mu guards only the in-flight table; stats are atomics and the cache
 	// locks itself.
 	mu       sync.Mutex
 	inflight map[string]*call
 
-	requests, cacheHits, coalesced, modelCalls, spend atomic.Int64
+	requests, cacheHits, coalesced, modelCalls, staleServes, shed, spend atomic.Int64
 
 	// Metric handles, resolved once at construction.
-	mReqCache, mReqCoalesced, mReqCascade, mReqError *obs.Counter
-	mSpend                                           *obs.Counter
-	gInflight                                        *obs.Gauge
-	hLatCache, hLatCoalesced, hLatCascade            *obs.Histogram
+	mReqCache, mReqCoalesced, mReqCascade, mReqStale, mReqShed, mReqError *obs.Counter
+	mSpend                                                                *obs.Counter
+	gInflight                                                             *obs.Gauge
+	hLatCache, hLatCoalesced, hLatCascade, hLatStale                      *obs.Histogram
 }
 
 // call is one in-flight upstream request being awaited by >= 1 clients.
+// The upstream run is detached from every awaiting client, so the fields
+// are written exactly once (before done closes) no matter which clients
+// are still listening.
 type call struct {
-	done chan struct{}
-	ans  Answer
-	err  error
+	done  chan struct{}
+	ans   Answer
+	err   error
+	steps int
 }
 
 // New builds a Proxy.
@@ -130,21 +183,50 @@ func New(cfg Config) *Proxy {
 	if tracer == nil {
 		tracer = obs.DefaultTracer
 	}
+	if cfg.UpstreamTimeout == 0 {
+		cfg.UpstreamTimeout = 30 * time.Second
+	}
+	if cfg.StaleFloor == 0 {
+		cfg.StaleFloor = 0.55
+	}
+	var breakers *resilience.BreakerSet
+	if !cfg.DisableBreaker {
+		bcfg := cfg.Breaker
+		if bcfg.Obs == nil {
+			bcfg.Obs = reg
+		}
+		breakers = resilience.NewBreakerSet(bcfg)
+	}
 	p := &Proxy{
-		casc:     &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Obs: reg},
+		casc:     &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, Obs: reg},
 		reg:      reg,
 		tracer:   tracer,
+		breakers: breakers,
 		inflight: make(map[string]*call),
+
+		upstreamTimeout: cfg.UpstreamTimeout,
+		staleFloor:      cfg.StaleFloor,
+		disableStale:    cfg.DisableStale,
 
 		mReqCache:     reg.Counter("proxy_requests_total", "source", "cache"),
 		mReqCoalesced: reg.Counter("proxy_requests_total", "source", "coalesced"),
 		mReqCascade:   reg.Counter("proxy_requests_total", "source", "cascade"),
+		mReqStale:     reg.Counter("proxy_requests_total", "source", "stale"),
+		mReqShed:      reg.Counter("proxy_requests_total", "source", "shed"),
 		mReqError:     reg.Counter("proxy_requests_total", "source", "error"),
 		mSpend:        reg.Counter("proxy_spend_microusd_total"),
 		gInflight:     reg.Gauge("proxy_inflight"),
 		hLatCache:     reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "cache"),
 		hLatCoalesced: reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "coalesced"),
 		hLatCascade:   reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "cascade"),
+		hLatStale:     reg.Histogram("proxy_latency_seconds", obs.LatencyBuckets, "source", "stale"),
+	}
+	if cfg.MaxConcurrent > 0 {
+		p.limiter = resilience.NewLimiter(resilience.LimiterConfig{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+			Obs:           reg,
+		})
 	}
 	if !cfg.DisableCache {
 		th := cfg.CacheThreshold
@@ -165,11 +247,13 @@ func New(cfg Config) *Proxy {
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Requests:   p.requests.Load(),
-		CacheHits:  p.cacheHits.Load(),
-		Coalesced:  p.coalesced.Load(),
-		ModelCalls: p.modelCalls.Load(),
-		Spend:      token.Cost(p.spend.Load()),
+		Requests:    p.requests.Load(),
+		CacheHits:   p.cacheHits.Load(),
+		Coalesced:   p.coalesced.Load(),
+		ModelCalls:  p.modelCalls.Load(),
+		StaleServes: p.staleServes.Load(),
+		Shed:        p.shed.Load(),
+		Spend:       token.Cost(p.spend.Load()),
 	}
 }
 
@@ -179,10 +263,35 @@ func (p *Proxy) Metrics() *obs.Registry { return p.reg }
 // Tracer returns the proxy's trace ring (what GET /debug/traces serves).
 func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
 
-// Complete serves one request through cache → coalescing → cascade.
+// BreakerStates snapshots the per-model circuit breaker states (nil when
+// breakers are disabled).
+func (p *Proxy) BreakerStates() map[string]resilience.State {
+	if p.breakers == nil {
+		return nil
+	}
+	return p.breakers.States()
+}
+
+// Complete serves one request through limiter → cache → coalescing →
+// cascade, degrading to a stale cache entry when the cascade fails.
 func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 	start := time.Now()
 	p.requests.Add(1)
+
+	// 0. Admission: shed rather than queue without bound.
+	if p.limiter != nil {
+		if err := p.limiter.Acquire(ctx); err != nil {
+			if errors.Is(err, resilience.ErrOverloaded) {
+				p.shed.Add(1)
+				p.mReqShed.Inc()
+			} else {
+				p.mReqError.Inc()
+			}
+			return Answer{Source: "error"}, err
+		}
+		defer p.limiter.Release()
+	}
+
 	ctx, root := p.tracer.Start(ctx, "proxy.complete")
 	defer root.End()
 
@@ -217,16 +326,15 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 		select {
 		case <-c.done:
 			wsp.End()
-			ans := c.ans
 			if c.err == nil {
+				ans := c.ans
 				ans.Source = "coalesced"
 				ans.Cost = 0 // the first caller paid
 				p.mReqCoalesced.Inc()
 				p.hLatCoalesced.Observe(time.Since(start).Seconds())
-			} else {
-				p.mReqError.Inc()
+				return ans, nil
 			}
-			return ans, c.err
+			return p.degrade(ctx, root, start, req, c)
 		case <-ctx.Done():
 			wsp.SetAttr("outcome", "canceled")
 			wsp.End()
@@ -239,36 +347,84 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 	p.gInflight.Add(1)
 	p.mu.Unlock()
 
-	// 3. Cascade (outside the lock). The context carries the root span, so
-	// the cascade's per-step spans land under this request's trace.
-	resp, trace, err := p.casc.Complete(ctx, req)
-
-	p.mu.Lock()
-	delete(p.inflight, key)
-	p.gInflight.Add(-1)
-	p.mu.Unlock()
-
-	if err == nil {
+	// 3. Cascade, detached from this caller's context: the leader merely
+	// awaits the result like any coalesced waiter, so a canceled leader
+	// never fails the cohort. The detached context still carries the root
+	// span (values survive WithoutCancel), so the cascade's per-step spans
+	// land under this request's trace; the upstream deadline is the proxy's
+	// own, not the client's.
+	upCtx, cancelUp := context.WithTimeout(context.WithoutCancel(ctx), p.upstreamTimeout)
+	go func() {
+		defer cancelUp()
+		resp, trace, err := p.casc.Complete(upCtx, req)
+		// Accounting happens here — success or not — because the failed
+		// run already paid for every attempted tier; dropping that spend
+		// would understate cost under failure injection.
 		p.modelCalls.Add(int64(len(trace.Steps)))
 		p.spend.Add(int64(trace.TotalCost))
 		p.mSpend.Add(int64(trace.TotalCost))
-		if p.cache != nil {
-			p.cache.Put(req.Prompt, resp.Text, semcache.Original, semcache.Reuse)
+		if err == nil {
+			if p.cache != nil {
+				p.cache.Put(req.Prompt, resp.Text, semcache.Original, semcache.Reuse)
+			}
+			c.ans = Answer{Text: resp.Text, Model: resp.Model, Confidence: resp.Confidence, Source: "cascade", Cost: trace.TotalCost}
+		} else {
+			// Error-shaped, not success-shaped: no model, no text — just
+			// the money already burned.
+			c.ans = Answer{Source: "error", Cost: trace.TotalCost}
+			c.err = err
 		}
-		p.mReqCascade.Inc()
-		p.hLatCascade.Observe(time.Since(start).Seconds())
-		root.SetAttr("source", "cascade")
-		root.SetAttr("model", resp.Model)
-		root.SetAttr("steps", len(trace.Steps))
-		root.SetAttr("cost_microusd", int64(trace.TotalCost))
-	} else {
-		p.mReqError.Inc()
-		root.SetAttr("source", "error")
-		root.SetAttr("error", err.Error())
-	}
+		c.steps = len(trace.Steps)
+		p.mu.Lock()
+		delete(p.inflight, key)
+		p.gInflight.Add(-1)
+		p.mu.Unlock()
+		close(c.done)
+	}()
 
-	c.ans = Answer{Text: resp.Text, Model: resp.Model, Confidence: resp.Confidence, Source: "cascade", Cost: trace.TotalCost}
-	c.err = err
-	close(c.done)
+	select {
+	case <-c.done:
+		if c.err == nil {
+			p.mReqCascade.Inc()
+			p.hLatCascade.Observe(time.Since(start).Seconds())
+			root.SetAttr("source", "cascade")
+			root.SetAttr("model", c.ans.Model)
+			root.SetAttr("steps", c.steps)
+			root.SetAttr("cost_microusd", int64(c.ans.Cost))
+			return c.ans, nil
+		}
+		root.SetAttr("error", c.err.Error())
+		return p.degrade(ctx, root, start, req, c)
+	case <-ctx.Done():
+		// The upstream keeps running for any coalesced waiters (and to
+		// populate the cache); only this caller gives up.
+		p.mReqError.Inc()
+		root.SetAttr("source", "canceled")
+		return Answer{}, ctx.Err()
+	}
+}
+
+// degrade handles a failed upstream call for one awaiting client: serve
+// the best below-threshold cache entry as a stale answer when allowed,
+// otherwise surface the error-shaped answer.
+func (p *Proxy) degrade(ctx context.Context, root *obs.Span, start time.Time, req llm.Request, c *call) (Answer, error) {
+	if p.cache != nil && !p.disableStale {
+		_, ssp := obs.StartSpan(ctx, "stale.lookup")
+		hit, ok := p.cache.LookupStale(req.Prompt, p.staleFloor)
+		ssp.SetAttr("hit", ok)
+		if ok {
+			ssp.SetAttr("similarity", hit.Similarity)
+		}
+		ssp.End()
+		if ok {
+			p.staleServes.Add(1)
+			p.mReqStale.Inc()
+			p.hLatStale.Observe(time.Since(start).Seconds())
+			root.SetAttr("source", "stale")
+			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: hit.Similarity, Source: "stale"}, nil
+		}
+	}
+	p.mReqError.Inc()
+	root.SetAttr("source", "error")
 	return c.ans, c.err
 }

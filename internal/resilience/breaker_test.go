@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is an injectable clock for deterministic cooldown walks.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1000, 0)} }
+func cfg(c *fakeClock, reg *obs.Registry) BreakerConfig {
+	return BreakerConfig{
+		Window: 10, MinSamples: 4, FailureThreshold: 0.5,
+		Cooldown: time.Second, HalfOpenProbes: 2, Now: c.now, Obs: reg,
+	}
+}
+
+func TestBreakerStaysClosedUnderSuccess(t *testing.T) {
+	b := NewBreaker("m", cfg(newClock(), obs.NewRegistry()))
+	for i := 0; i < 50; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected")
+		}
+		b.Record(true)
+	}
+	if b.State() != Closed {
+		t.Errorf("state = %v", b.State())
+	}
+}
+
+func TestBreakerTripsOnFailureWindow(t *testing.T) {
+	clock := newClock()
+	reg := obs.NewRegistry()
+	b := NewBreaker("m", cfg(clock, reg))
+	// Below MinSamples nothing trips, even at 100% failure.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatal("tripped below MinSamples")
+	}
+	b.Allow()
+	b.Record(false) // 4th failure: window is 4/4 failing ≥ 0.5
+	if b.State() != Open {
+		t.Fatalf("state = %v, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted a call")
+	}
+	snap := reg.Snapshot()
+	if snap[`breaker_transitions_total{name="m",to="open"}`] != 1 {
+		t.Errorf("transition counter: %v", snap)
+	}
+	if snap[`breaker_rejections_total{name="m"}`] == 0 {
+		t.Error("rejection not counted")
+	}
+	if snap[`breaker_state{name="m"}`] != float64(Open) {
+		t.Errorf("state gauge: %v", snap[`breaker_state{name="m"}`])
+	}
+}
+
+func tripped(t *testing.T, clock *fakeClock, reg *obs.Registry) *Breaker {
+	t.Helper()
+	b := NewBreaker("m", cfg(clock, reg))
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatal("breaker did not trip")
+	}
+	return b
+}
+
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	clock := newClock()
+	b := tripped(t, clock, obs.NewRegistry())
+	clock.advance(2 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v", b.State())
+	}
+	// One probe at a time: a second concurrent call is rejected.
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Error("half-open breaker admitted two concurrent probes")
+	}
+	b.Record(true)
+	if b.State() != HalfOpen {
+		t.Fatalf("closed after 1/%d probe successes", 2)
+	}
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Errorf("state = %v after enough probe successes", b.State())
+	}
+	// The window restarts clean: one failure must not re-trip.
+	b.Allow()
+	b.Record(false)
+	if b.State() != Closed {
+		t.Error("re-tripped from a stale window")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := newClock()
+	b := tripped(t, clock, obs.NewRegistry())
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want Open after failed probe", b.State())
+	}
+	if b.Allow() {
+		t.Error("reopened breaker admitted a call before the next cooldown")
+	}
+	// The cooldown restarts from the failed probe.
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Error("probe rejected after second cooldown")
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	// 10-slot window at 50%: old outcomes age out, and the trip fires
+	// exactly when the live window crosses the threshold.
+	b := NewBreaker("m", cfg(newClock(), obs.NewRegistry()))
+	for i := 0; i < 10; i++ {
+		b.Record(true)
+	}
+	for i := 0; i < 4; i++ {
+		b.Record(false) // window now 6 successes + 4 failures = 0.4
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v below threshold", b.State())
+	}
+	b.Record(false) // 5 failures / 10 = 0.5: trip
+	if b.State() != Open {
+		t.Errorf("state = %v at the threshold edge", b.State())
+	}
+}
+
+func TestBreakerSetIsPerName(t *testing.T) {
+	clock := newClock()
+	s := NewBreakerSet(cfg(clock, obs.NewRegistry()))
+	for i := 0; i < 4; i++ {
+		s.Record("sick", false)
+	}
+	if s.Allow("sick") {
+		t.Error("tripped breaker allowed")
+	}
+	if !s.Allow("healthy") {
+		t.Error("independent breaker rejected")
+	}
+	states := s.States()
+	if states["sick"] != Open || states["healthy"] != Closed {
+		t.Errorf("states = %v", states)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

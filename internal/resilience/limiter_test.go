@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestLimiterAdmitsUpToCap(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 3, Obs: obs.NewRegistry()})
+	for i := 0; i < 3; i++ {
+		if err := l.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-cap acquire = %v, want ErrOverloaded", err)
+	}
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterQueueThenShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 1, Obs: reg})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One caller fits in the queue and blocks.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- l.Acquire(context.Background())
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Queued() != 1 {
+		t.Fatal("waiter never queued")
+	}
+	// The next caller finds the queue full and is shed.
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full acquire = %v, want ErrOverloaded", err)
+	}
+	// Releasing the slot admits the queued waiter.
+	l.Release()
+	select {
+	case err := <-queued:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+	l.Release()
+	snap := reg.Snapshot()
+	if snap["limiter_shed_total"] != 1 {
+		t.Errorf("shed = %v", snap["limiter_shed_total"])
+	}
+	if snap["limiter_admitted_total"] != 2 {
+		t.Errorf("admitted = %v", snap["limiter_admitted_total"])
+	}
+	if snap["limiter_inflight"] != 0 || snap["limiter_queue_depth"] != 0 {
+		t.Errorf("gauges not drained: %v", snap)
+	}
+}
+
+func TestLimiterQueuedCallerHonorsContext(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, Obs: obs.NewRegistry()})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter stuck in queue")
+	}
+	if l.Queued() != 0 {
+		t.Errorf("queue not drained: %d", l.Queued())
+	}
+	l.Release()
+}
+
+func TestLimiterConcurrencyNeverExceedsCap(t *testing.T) {
+	const limit = 4
+	l := NewLimiter(LimiterConfig{MaxConcurrent: limit, MaxQueue: 64, Obs: obs.NewRegistry()})
+	var mu sync.Mutex
+	running, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > limit {
+		t.Errorf("peak concurrency %d exceeded cap %d", peak, limit)
+	}
+}
+
+func TestLimiterPanicsOnZeroCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for MaxConcurrent = 0")
+		}
+	}()
+	NewLimiter(LimiterConfig{})
+}
