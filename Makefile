@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent cover bench fuzz experiments ablations chaos telemetry clean
+.PHONY: all build vet test race race-concurrent cover bench bench-sched fuzz experiments ablations chaos telemetry clean
 
 all: build vet test
 
@@ -21,13 +21,20 @@ race:
 # The serving-path packages that run concurrent under load; the CI race
 # gate covers exactly these.
 race-concurrent:
-	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/
+	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The scheduler's headline numbers: the concurrency-64 throughput gate
+# (batched >= 2x direct at identical spend), the no-starvation gate, and
+# the batched-vs-direct wall-clock benchmarks.
+bench-sched:
+	$(GO) test -run 'TestSchedThroughputWin|TestInteractiveNotStarvedUnderBatchLoad' -v ./internal/sched/
+	$(GO) test -run - -bench 'BenchmarkScheduler' -benchtime=1x -benchmem ./internal/sched/
 
 # Short live-fuzz pass over every fuzz target (seed corpora always run
 # under plain `make test`).

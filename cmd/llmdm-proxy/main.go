@@ -1,10 +1,12 @@
 // Command llmdm-proxy serves the LLM proxy of the paper's Section III-B
-// over HTTP: a semantic cache, in-flight deduplication, and the model
-// cascade stacked in front of the simulated model family — fully
-// instrumented with the internal/obs metrics registry and request tracing.
+// over HTTP: a semantic cache, in-flight deduplication, the model
+// cascade, and an optional adaptive micro-batching scheduler stacked in
+// front of the simulated model family — fully instrumented with the
+// internal/obs metrics registry and request tracing.
 //
-//	llmdm-proxy -addr :8080
+//	llmdm-proxy -addr :8080 -batch
 //	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","difficulty":0.3}'
+//	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","priority":"batch"}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics        # Prometheus text exposition
 //	curl -s localhost:8080/debug/traces   # recent request span trees (JSON)
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/proxy"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -25,16 +28,31 @@ func main() {
 	capacity := flag.Int("cache-capacity", 10000, "semantic cache capacity (0 = unbounded)")
 	noCache := flag.Bool("no-cache", false, "disable the semantic cache")
 	traces := flag.Int("traces", obs.DefaultTraceCapacity, "request traces retained for /debug/traces")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max requests served at once (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "callers queued for a slot before shedding")
+	batch := flag.Bool("batch", false, "enable the adaptive micro-batching scheduler")
+	batchMax := flag.Int("batch-max", 0, "max requests per batch (0 = scheduler default)")
+	batchWait := flag.Duration("batch-wait", 0, "max batch window, e.g. 4ms (0 = scheduler default)")
 	flag.Parse()
 
-	p := proxy.New(proxy.Config{
+	cfg := proxy.Config{
 		Threshold:     *threshold,
 		CacheCapacity: *capacity,
 		DisableCache:  *noCache,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
 		Tracer:        obs.NewTracer(*traces),
-	})
-	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, trace ring=%d)",
-		*addr, !*noCache, *threshold, *traces)
+	}
+	if *batch {
+		cfg.Scheduler = &sched.Config{
+			MaxBatch: *batchMax,
+			MaxWait:  *batchWait,
+		}
+	}
+	p := proxy.New(cfg)
+	defer p.Close()
+	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, batching=%t, trace ring=%d)",
+		*addr, !*noCache, *threshold, *batch, *traces)
 	log.Printf("endpoints: POST /v1/complete · GET /v1/stats /metrics /debug/traces /healthz")
 	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
 }

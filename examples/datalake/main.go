@@ -11,15 +11,14 @@ import (
 
 	llmdm "repro"
 	"repro/internal/core/explore"
-	"repro/internal/embed"
-	"repro/internal/llm"
 	"repro/internal/vector"
 )
 
 func main() {
 	ctx := context.Background()
+	client := llmdm.NewClient()
 
-	lake := explore.NewLake(embed.New(embed.DefaultDim))
+	lake := client.Lake()
 
 	// Text, table and image items — the paper's ambiguity example.
 	lake.AddText("mj-bio",
@@ -58,7 +57,11 @@ func main() {
 	// from the model on demand.
 	fmt.Println("\nSQL over the LLM-backed virtual people table:")
 	kb := llmdm.DemoKnowledgeBase(1)
-	db := explore.NewLLMDB(llm.DefaultFamily().Largest(), kb)
+	large, err := client.Model(llmdm.ModelLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := explore.NewLLMDB(large, kb)
 	res, err := db.Query(ctx, "SELECT born_country, COUNT(*) AS n FROM people GROUP BY born_country ORDER BY n DESC LIMIT 4")
 	if err != nil {
 		log.Fatal(err)

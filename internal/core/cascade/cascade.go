@@ -12,6 +12,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/sched"
 	"repro/internal/token"
 )
 
@@ -108,6 +109,16 @@ type Trace struct {
 	TotalCost token.Cost
 }
 
+// Submitter routes a model call through a batching scheduler instead of
+// invoking the model directly. *sched.Scheduler implements it.
+type Submitter interface {
+	// Has reports whether the scheduler manages the named model.
+	Has(model string) bool
+	// Submit enqueues the request for the named model and blocks until
+	// its batch is served.
+	Submit(ctx context.Context, model string, req llm.Request) (llm.Response, error)
+}
+
 // Cascade is an ordered model chain with a decision model.
 type Cascade struct {
 	Models []llm.Model
@@ -116,9 +127,28 @@ type Cascade struct {
 	// Complete consults it before each tier and skips tripped ones, so a
 	// dying model stops failing whole cascades after its breaker opens.
 	Breakers *resilience.BreakerSet
+	// Sched, when non-nil, receives each tier's call for models it
+	// manages, so concurrent cascades share micro-batches instead of
+	// calling tiers one request at a time. Tiers unknown to the
+	// scheduler still go direct.
+	Sched Submitter
 	// Obs receives the cascade's step/escalation/error counters. Nil means
 	// obs.Default.
 	Obs *obs.Registry
+}
+
+// step invokes one tier, through the scheduler when it manages the
+// model and directly otherwise. A scheduler that closed between the Has
+// check and the submit degrades to a direct call rather than failing
+// the request.
+func (c *Cascade) step(ctx context.Context, m llm.Model, req llm.Request) (llm.Response, error) {
+	if c.Sched != nil && c.Sched.Has(m.Name()) {
+		resp, err := c.Sched.Submit(ctx, m.Name(), req)
+		if !errors.Is(err, sched.ErrClosed) {
+			return resp, err
+		}
+	}
+	return m.Complete(ctx, req)
 }
 
 // reg returns the effective metrics registry.
@@ -165,7 +195,7 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 			reg.Counter("cascade_tier_skipped_total", "model", m.Name()).Inc()
 			continue
 		}
-		resp, err := m.Complete(stepCtx, req)
+		resp, err := c.step(stepCtx, m, req)
 		if c.Breakers != nil && !errors.Is(err, context.Canceled) {
 			// Client cancellations say nothing about the tier's health.
 			c.Breakers.Record(m.Name(), err == nil)

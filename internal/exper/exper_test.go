@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -175,7 +176,7 @@ func TestFig7SharingGrows(t *testing.T) {
 }
 
 func TestFig1PipelineStagesHealthy(t *testing.T) {
-	rep, err := Fig1Pipeline()
+	rep, err := Fig1Pipeline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

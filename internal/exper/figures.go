@@ -22,9 +22,9 @@ import (
 
 // Fig1Pipeline runs the end-to-end data-management pipeline of Figure 1 —
 // generation → transformation → integration → exploration — over one
-// scenario and reports a quality metric per stage.
-func Fig1Pipeline() (Report, error) {
-	ctx := context.Background()
+// scenario and reports a quality metric per stage. The context cancels
+// the pipeline between (and inside) stages.
+func Fig1Pipeline(ctx context.Context) (Report, error) {
 	model := llm.DefaultFamily().ByName(llm.NameLarge)
 	rep := Report{
 		ID:      "fig1",

@@ -6,6 +6,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,7 +100,7 @@ func Registry() map[string]Runner {
 		"table1": Table1Cascade,
 		"table2": Table2Decomposition,
 		"table3": Table3Cache,
-		"fig1":   Fig1Pipeline,
+		"fig1":   func() (Report, error) { return Fig1Pipeline(context.Background()) },
 		"fig2":   Fig2SQLGen,
 		"fig3":   Fig3TrainGen,
 		"fig4":   Fig4Transform,

@@ -1,6 +1,9 @@
 package llm
 
-import "repro/internal/token"
+import (
+	"repro/internal/obs"
+	"repro/internal/token"
+)
 
 // The default model family mirrors the three tiers the paper's Table I
 // evaluates, with prices from its Section III-B1 ("the latest price of
@@ -18,25 +21,32 @@ const (
 type Family []*SimModel
 
 // DefaultFamily returns the paper's three-tier model family.
-func DefaultFamily() Family {
+func DefaultFamily() Family { return DefaultFamilyObs(nil) }
+
+// DefaultFamilyObs returns the default family metering into reg (nil
+// means obs.Default).
+func DefaultFamilyObs(reg *obs.Registry) Family {
 	return Family{
 		NewSim(SimConfig{
 			Name:         NameSmall,
 			Capability:   0.29,
 			Price:        token.Price{InputPer1K: 400, OutputPer1K: 400}, // $0.0004/1k
 			TokensPerSec: 250,
+			Obs:          reg,
 		}),
 		NewSim(SimConfig{
 			Name:         NameMedium,
 			Capability:   0.80,
 			Price:        token.Price{InputPer1K: 1000, OutputPer1K: 2000}, // $0.001/$0.002 per 1k
 			TokensPerSec: 120,
+			Obs:          reg,
 		}),
 		NewSim(SimConfig{
 			Name:         NameLarge,
 			Capability:   0.95,
 			Price:        token.Price{InputPer1K: 30000, OutputPer1K: 60000}, // $0.03/$0.06 per 1k
 			TokensPerSec: 40,
+			Obs:          reg,
 		}),
 	}
 }

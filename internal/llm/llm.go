@@ -121,6 +121,9 @@ type SimModel struct {
 	tokensPerSec float64
 	// noiseAmp is the half-width of the capability noise band.
 	noiseAmp float64
+	// batchOverhead is the marginal latency of each extra item in a batch,
+	// as a fraction of the longest item (see BatchLatency).
+	batchOverhead float64
 
 	mu    sync.Mutex
 	meter token.Meter
@@ -137,6 +140,10 @@ type SimConfig struct {
 	Price        token.Price
 	TokensPerSec float64
 	NoiseAmp     float64
+	// BatchOverhead is the marginal cost of each extra item in a batched
+	// call, as a fraction of the longest item's latency. Defaults to
+	// DefaultBatchOverhead; see BatchLatency.
+	BatchOverhead float64
 	// Obs receives the model's call/token/cost/latency/error metrics.
 	// Nil means obs.Default.
 	Obs *obs.Registry
@@ -150,23 +157,27 @@ func NewSim(cfg SimConfig) *SimModel {
 	if cfg.NoiseAmp == 0 {
 		cfg.NoiseAmp = 0.08
 	}
+	if cfg.BatchOverhead <= 0 {
+		cfg.BatchOverhead = DefaultBatchOverhead
+	}
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.Default
 	}
 	return &SimModel{
-		name:         cfg.Name,
-		capability:   cfg.Capability,
-		price:        cfg.Price,
-		tokensPerSec: cfg.TokensPerSec,
-		noiseAmp:     cfg.NoiseAmp,
-		mCalls:       reg.Counter("llm_calls_total", "model", cfg.Name),
-		mErrors:      reg.Counter("llm_errors_total", "model", cfg.Name),
-		mTokensIn:    reg.Counter("llm_tokens_total", "model", cfg.Name, "direction", "input"),
-		mTokensOut:   reg.Counter("llm_tokens_total", "model", cfg.Name, "direction", "output"),
-		mCost:        reg.Counter("llm_cost_microusd_total", "model", cfg.Name),
-		mLatency:     reg.Histogram("llm_latency_seconds", obs.LatencyBuckets, "model", cfg.Name),
-		mCallCost:    reg.Histogram("llm_call_cost_microusd", obs.CostBuckets, "model", cfg.Name),
+		name:          cfg.Name,
+		capability:    cfg.Capability,
+		price:         cfg.Price,
+		tokensPerSec:  cfg.TokensPerSec,
+		noiseAmp:      cfg.NoiseAmp,
+		batchOverhead: cfg.BatchOverhead,
+		mCalls:        reg.Counter("llm_calls_total", "model", cfg.Name),
+		mErrors:       reg.Counter("llm_errors_total", "model", cfg.Name),
+		mTokensIn:     reg.Counter("llm_tokens_total", "model", cfg.Name, "direction", "input"),
+		mTokensOut:    reg.Counter("llm_tokens_total", "model", cfg.Name, "direction", "output"),
+		mCost:         reg.Counter("llm_cost_microusd_total", "model", cfg.Name),
+		mLatency:      reg.Histogram("llm_latency_seconds", obs.LatencyBuckets, "model", cfg.Name),
+		mCallCost:     reg.Histogram("llm_call_cost_microusd", obs.CostBuckets, "model", cfg.Name),
 	}
 }
 
@@ -207,6 +218,18 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 	sp.SetAttr("model", m.name)
 	defer sp.End()
 
+	resp := m.answer(req)
+	sp.SetAttr("tokens_in", resp.InputTokens)
+	sp.SetAttr("tokens_out", resp.OutputTokens)
+	sp.SetAttr("cost_microusd", int64(resp.Cost))
+	sp.SetAttr("confidence", resp.Confidence)
+	return resp, nil
+}
+
+// answer adjudicates, bills and meters one request — the per-item core
+// shared by Complete and GenerateBatch. The request must be valid (non-
+// empty prompt).
+func (m *SimModel) answer(req Request) Response {
 	// Deterministic per-(model, key) noise streams: one for correctness,
 	// one for confidence. Distinct salts keep them independent.
 	key := req.NoiseKey
@@ -261,10 +284,6 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 	m.mCost.Add(int64(cost))
 	m.mLatency.Observe(latency.Seconds())
 	m.mCallCost.Observe(float64(cost))
-	sp.SetAttr("tokens_in", in)
-	sp.SetAttr("tokens_out", out)
-	sp.SetAttr("cost_microusd", int64(cost))
-	sp.SetAttr("confidence", conf)
 
 	return Response{
 		Text:         text,
@@ -275,7 +294,7 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 		OutputTokens: out,
 		Cost:         cost,
 		Latency:      latency,
-	}, nil
+	}
 }
 
 func clamp(v, lo, hi float64) float64 {

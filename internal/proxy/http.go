@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/resilience"
+	"repro/internal/sched"
 )
 
 // CompletionRequest is the JSON body accepted by POST /v1/complete.
@@ -28,6 +29,10 @@ type CompletionRequest struct {
 	// NoiseKey keys the correctness noise by the semantic core of the
 	// request instead of the full prompt (see llm.Request.NoiseKey).
 	NoiseKey string `json:"noise_key,omitempty"`
+	// Priority selects the batching scheduler's class: "interactive"
+	// (default) or "batch" for bulk traffic that must not crowd out
+	// interactive requests. Ignored when the scheduler is off.
+	Priority string `json:"priority,omitempty"`
 }
 
 // CompletionResponse is the JSON reply of POST /v1/complete.
@@ -63,8 +68,17 @@ func (p *Proxy) Handler() http.Handler {
 			http.Error(w, "prompt is required", http.StatusBadRequest)
 			return
 		}
+		ctx := r.Context()
+		if req.Priority != "" {
+			class, err := sched.ParseClass(req.Priority)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			ctx = sched.WithClass(ctx, class)
+		}
 		start := time.Now()
-		ans, err := p.Complete(r.Context(), toLLMRequest(req))
+		ans, err := p.Complete(ctx, toLLMRequest(req))
 		if err != nil {
 			switch {
 			case errors.Is(err, resilience.ErrOverloaded):
@@ -109,6 +123,20 @@ func (p *Proxy) Handler() http.Handler {
 				breakers[name] = s.String()
 			}
 			out["breakers"] = breakers
+		}
+		if ss, ok := p.SchedStats(); ok {
+			windows := make(map[string]float64, len(ss.Windows))
+			for model, w := range ss.Windows {
+				windows[model] = w.Seconds() * 1000
+			}
+			out["scheduler"] = map[string]interface{}{
+				"submitted":     ss.Submitted,
+				"batches":       ss.Batches,
+				"batched_items": ss.BatchedItems,
+				"canceled":      ss.Canceled,
+				"failed":        ss.Failed,
+				"window_ms":     windows,
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)

@@ -52,6 +52,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/sched"
 	"repro/internal/token"
 )
 
@@ -116,6 +117,15 @@ type Config struct {
 	StaleFloor   float64
 	DisableStale bool
 
+	// Scheduler, when non-nil, places an adaptive micro-batching
+	// scheduler between the cascade and every model that supports
+	// batched generation (llm.BatchModel): concurrent cascades then
+	// share batches per tier instead of calling models one request at a
+	// time. Models without batch support keep their direct path. The
+	// zero sched.Config value selects the scheduler's defaults; its Obs
+	// defaults to the proxy's registry. Call Close to drain it.
+	Scheduler *sched.Config
+
 	// Obs receives the proxy's metrics (and is what GET /metrics serves).
 	// Nil means obs.Default.
 	Obs *obs.Registry
@@ -132,6 +142,7 @@ type Proxy struct {
 	tracer   *obs.Tracer
 	limiter  *resilience.Limiter
 	breakers *resilience.BreakerSet
+	sched    *sched.Scheduler
 
 	upstreamTimeout time.Duration
 	staleFloor      float64
@@ -197,8 +208,29 @@ func New(cfg Config) *Proxy {
 		}
 		breakers = resilience.NewBreakerSet(bcfg)
 	}
+	var scheduler *sched.Scheduler
+	if cfg.Scheduler != nil {
+		scfg := *cfg.Scheduler
+		if scfg.Obs == nil {
+			scfg.Obs = reg
+		}
+		var batchables []llm.BatchModel
+		for _, m := range models {
+			if bm, ok := m.(llm.BatchModel); ok {
+				batchables = append(batchables, bm)
+			}
+		}
+		if len(batchables) > 0 {
+			scheduler = sched.New(scfg, batchables...)
+		}
+	}
+	casc := &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, Obs: reg}
+	if scheduler != nil {
+		casc.Sched = scheduler
+	}
 	p := &Proxy{
-		casc:     &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, Obs: reg},
+		casc:     casc,
+		sched:    scheduler,
 		reg:      reg,
 		tracer:   tracer,
 		breakers: breakers,
@@ -262,6 +294,28 @@ func (p *Proxy) Metrics() *obs.Registry { return p.reg }
 
 // Tracer returns the proxy's trace ring (what GET /debug/traces serves).
 func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
+
+// Scheduler returns the proxy's batching scheduler, or nil when
+// batching is not configured (or no model supports it).
+func (p *Proxy) Scheduler() *sched.Scheduler { return p.sched }
+
+// SchedStats snapshots the batching scheduler's counters; ok is false
+// when no scheduler is configured.
+func (p *Proxy) SchedStats() (st sched.Stats, ok bool) {
+	if p.sched == nil {
+		return sched.Stats{}, false
+	}
+	return p.sched.Stats(), true
+}
+
+// Close drains and stops the batching scheduler (if any). Queued
+// requests are flushed before it returns; the proxy itself keeps
+// serving, falling back to direct model calls.
+func (p *Proxy) Close() {
+	if p.sched != nil {
+		p.sched.Close()
+	}
+}
 
 // BreakerStates snapshots the per-model circuit breaker states (nil when
 // breakers are disabled).

@@ -19,6 +19,9 @@ package llmdm
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/core/cascade"
 	"repro/internal/core/datagen"
@@ -30,7 +33,9 @@ import (
 	"repro/internal/embed"
 	"repro/internal/exper"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/proxy"
+	"repro/internal/sched"
 	"repro/internal/sqlkit"
 	"repro/internal/token"
 	"repro/internal/workload"
@@ -50,7 +55,36 @@ type (
 	Cost = token.Cost
 	// DB is the in-memory SQL engine.
 	DB = sqlkit.DB
+	// MetricsRegistry collects counters, gauges and histograms from every
+	// component built over it (see WithMetricsRegistry). It serves both
+	// Prometheus text and JSON expositions.
+	MetricsRegistry = obs.Registry
+	// SchedulerConfig parameterizes the adaptive micro-batching scheduler
+	// (see WithScheduler). The zero value selects sensible defaults.
+	SchedulerConfig = sched.Config
+	// Priority is a batching-scheduler request class; attach it to a
+	// context with WithPriority.
+	Priority = sched.Class
 )
+
+// Scheduler priority classes.
+const (
+	// PriorityInteractive is the default, latency-sensitive class.
+	PriorityInteractive = sched.Interactive
+	// PriorityBatch marks bulk traffic (experiments, backfills) that must
+	// not crowd out interactive requests.
+	PriorityBatch = sched.Batch
+)
+
+// NewMetricsRegistry returns an empty metrics registry to share across
+// clients and proxies via WithMetricsRegistry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithPriority marks every request issued under ctx with the given
+// scheduler priority class.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return sched.WithClass(ctx, p)
+}
 
 // Model tier names, mirroring the paper's Table I.
 const (
@@ -63,11 +97,28 @@ const (
 type Client struct {
 	family llm.Family
 	emb    *embed.Embedder
+	reg    *obs.Registry
+}
+
+// Option configures a Client (see NewClient).
+type Option func(*Client)
+
+// WithMetricsRegistry routes the client's model-family metrics — and
+// those of every proxy built from it — into reg instead of the global
+// default registry. Use it to isolate metrics per client or to scrape
+// several clients separately.
+func WithMetricsRegistry(reg *MetricsRegistry) Option {
+	return func(c *Client) { c.reg = reg }
 }
 
 // NewClient returns a Client over the default three-tier model family.
-func NewClient() *Client {
-	return &Client{family: llm.DefaultFamily(), emb: embed.New(embed.DefaultDim)}
+func NewClient(opts ...Option) *Client {
+	c := &Client{emb: embed.New(embed.DefaultDim)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.family = llm.DefaultFamilyObs(c.reg)
+	return c
 }
 
 // Model returns the named tier (ModelSmall, ModelMedium, ModelLarge).
@@ -127,19 +178,102 @@ func (c *Client) SemanticCache(capacity int, threshold float64) *semcache.Cache 
 // Lake returns an empty multi-modal data lake (paper Section II-D).
 func (c *Client) Lake() *explore.Lake { return explore.NewLake(c.emb) }
 
+// ProxyOption configures the serving proxy built by Client.Proxy.
+type ProxyOption func(*proxy.Config)
+
+// WithCacheCapacity bounds the proxy's semantic cache to n entries
+// (0 = unbounded, the default).
+func WithCacheCapacity(n int) ProxyOption {
+	return func(cfg *proxy.Config) { cfg.CacheCapacity = n }
+}
+
+// WithCacheThreshold sets the semantic-cache hit similarity bound
+// (default 0.97).
+func WithCacheThreshold(sim float64) ProxyOption {
+	return func(cfg *proxy.Config) { cfg.CacheThreshold = sim }
+}
+
+// WithoutCache disables the semantic cache (for ablations).
+func WithoutCache() ProxyOption {
+	return func(cfg *proxy.Config) { cfg.DisableCache = true }
+}
+
+// WithCascadeThreshold sets the cascade's confidence acceptance
+// threshold (default 0.62).
+func WithCascadeThreshold(tau float64) ProxyOption {
+	return func(cfg *proxy.Config) { cfg.Threshold = tau }
+}
+
+// WithScheduler places an adaptive micro-batching scheduler between the
+// cascade and the model family: concurrent requests to the same tier
+// share batches, bulk traffic is weighted-fairly interleaved with
+// interactive traffic (see WithPriority), and the batching window
+// adapts to load. The zero SchedulerConfig selects defaults. Call the
+// proxy's Close method to drain the scheduler on shutdown.
+func WithScheduler(cfg SchedulerConfig) ProxyOption {
+	return func(pc *proxy.Config) { pc.Scheduler = &cfg }
+}
+
+// ResilienceConfig parameterizes the proxy's heavy-traffic protections
+// (see WithResilience). The zero value keeps every default: no
+// concurrency limit, breakers and stale serving on, a 30s upstream
+// timeout.
+type ResilienceConfig struct {
+	// MaxConcurrent caps requests served at once; 0 disables the limiter.
+	MaxConcurrent int
+	// MaxQueue bounds callers waiting for a slot once MaxConcurrent is
+	// reached; beyond it requests are shed.
+	MaxQueue int
+	// UpstreamTimeout bounds each cascade run (0 = 30s).
+	UpstreamTimeout time.Duration
+	// DisableBreaker turns the per-model circuit breakers off.
+	DisableBreaker bool
+	// DisableStale turns degraded stale-cache serving off.
+	DisableStale bool
+}
+
+// WithResilience configures the proxy's load shedding, upstream
+// timeout, circuit breakers and stale-serve degradation.
+func WithResilience(rc ResilienceConfig) ProxyOption {
+	return func(cfg *proxy.Config) {
+		cfg.MaxConcurrent = rc.MaxConcurrent
+		cfg.MaxQueue = rc.MaxQueue
+		cfg.UpstreamTimeout = rc.UpstreamTimeout
+		cfg.DisableBreaker = rc.DisableBreaker
+		cfg.DisableStale = rc.DisableStale
+	}
+}
+
 // Proxy returns the serving proxy of the paper's Section III-B — semantic
 // cache, in-flight deduplication and the cascade stacked in front of this
-// client's model family. Serve it with net/http via its Handler method.
-func (c *Client) Proxy(cacheCapacity int, cascadeThreshold float64) *proxy.Proxy {
+// client's model family, configured through functional options:
+//
+//	p := client.Proxy(
+//	        llmdm.WithCacheCapacity(10_000),
+//	        llmdm.WithCascadeThreshold(0.62),
+//	        llmdm.WithScheduler(llmdm.SchedulerConfig{}),
+//	)
+//
+// Serve it with net/http via its Handler method. The proxy meters into
+// the client's metrics registry (see WithMetricsRegistry).
+func (c *Client) Proxy(opts ...ProxyOption) *proxy.Proxy {
 	models := make([]llm.Model, len(c.family))
 	for i, m := range c.family {
 		models[i] = m
 	}
-	return proxy.New(proxy.Config{
-		Models:        models,
-		Threshold:     cascadeThreshold,
-		CacheCapacity: cacheCapacity,
-	})
+	cfg := proxy.Config{Models: models, Obs: c.reg}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return proxy.New(cfg)
+}
+
+// LegacyProxy is the pre-options positional form of Proxy.
+//
+// Deprecated: use Proxy with WithCacheCapacity and
+// WithCascadeThreshold.
+func (c *Client) LegacyProxy(cacheCapacity int, cascadeThreshold float64) *proxy.Proxy {
+	return c.Proxy(WithCacheCapacity(cacheCapacity), WithCascadeThreshold(cascadeThreshold))
 }
 
 // SQLGenerator returns the constraint-aware SQL generator over db (paper
@@ -173,7 +307,9 @@ func RunExperiment(id string) (Report, error) {
 	if r, ok := exper.ExtRegistry()[id]; ok {
 		return r()
 	}
-	return Report{}, fmt.Errorf("llmdm: unknown experiment %q (have %v and %v)", id, exper.IDs(), exper.ExtIDs())
+	known := append(exper.IDs(), exper.ExtIDs()...)
+	sort.Strings(known)
+	return Report{}, fmt.Errorf("llmdm: unknown experiment %q (known: %s)", id, strings.Join(known, ", "))
 }
 
 // ExperimentIDs lists the paper-artifact experiment IDs in presentation
@@ -193,9 +329,9 @@ type StageResult struct {
 // Pipeline runs the paper's Figure 1 flow — generation → transformation →
 // integration → exploration — on the built-in scenario and returns one
 // quality metric per stage. It is the quickest way to see every subsystem
-// work together.
+// work together. Canceling ctx aborts the pipeline mid-stage.
 func (c *Client) Pipeline(ctx context.Context) ([]StageResult, error) {
-	rep, err := exper.Fig1Pipeline()
+	rep, err := exper.Fig1Pipeline(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +339,6 @@ func (c *Client) Pipeline(ctx context.Context) ([]StageResult, error) {
 	for i, row := range rep.Rows {
 		out[i] = StageResult{Stage: row[0], Metric: row[2], Value: row[3]}
 	}
-	_ = ctx
 	return out, nil
 }
 

@@ -1,8 +1,15 @@
 package llmdm
 
 import (
+	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core/datagen"
 	"repro/internal/llm"
@@ -142,7 +149,7 @@ func TestExperimentIDs(t *testing.T) {
 
 func TestClientProxy(t *testing.T) {
 	c := NewClient()
-	p := c.Proxy(100, 0.62)
+	p := c.Proxy(WithCacheCapacity(100), WithCascadeThreshold(0.62))
 	if p == nil || p.Handler() == nil {
 		t.Fatal("proxy not constructed")
 	}
@@ -152,5 +159,98 @@ func TestClientProxy(t *testing.T) {
 	}
 	if ans.Text == "" {
 		t.Error("empty answer")
+	}
+}
+
+// The deprecated positional form must behave exactly like the options
+// form it delegates to.
+func TestClientLegacyProxy(t *testing.T) {
+	c := NewClient()
+	p := c.LegacyProxy(100, 0.62)
+	if p == nil || p.Handler() == nil {
+		t.Fatal("legacy proxy not constructed")
+	}
+	if _, err := p.Complete(context.Background(), llmRequestForTest()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A proxy with a scheduler batches concurrent traffic, meters into the
+// client's registry, and respects the PriorityBatch class end to end.
+func TestClientProxyWithSchedulerAndMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	c := NewClient(WithMetricsRegistry(reg))
+	p := c.Proxy(
+		WithoutCache(),
+		WithScheduler(SchedulerConfig{MaxBatch: 8, MaxWait: time.Millisecond}),
+		WithResilience(ResilienceConfig{MaxConcurrent: 64, MaxQueue: 64}),
+	)
+	defer p.Close()
+	if p.Scheduler() == nil {
+		t.Fatal("scheduler not built")
+	}
+
+	ctx := WithPriority(context.Background(), PriorityBatch)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := llmRequestForTest()
+			req.Prompt = fmt.Sprintf("%s variant %d", req.Prompt, i)
+			if _, err := p.Complete(ctx, req); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st, ok := p.SchedStats()
+	if !ok || st.Submitted == 0 {
+		t.Fatalf("scheduler saw no traffic: %+v", st)
+	}
+	if p.Stats().Spend != c.Spend() {
+		t.Errorf("proxy spend %v, client meters %v", p.Stats().Spend, c.Spend())
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `sched_submitted_total{class="batch"}`) {
+		t.Error("client registry missing batch-class scheduler metrics")
+	}
+}
+
+// Canceling the pipeline context aborts it promptly with the context's
+// error instead of running all four stages.
+func TestPipelineCancellation(t *testing.T) {
+	c := NewClient()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := c.Pipeline(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled pipeline returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled pipeline still took %v", elapsed)
+	}
+}
+
+// The unknown-experiment error lists every known ID exactly once,
+// sorted.
+func TestRunExperimentUnknownErrorListsIDsOnce(t *testing.T) {
+	_, err := RunExperiment("table9")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	all := append(ExperimentIDs(), AblationIDs()...)
+	for _, id := range all {
+		if got := strings.Count(msg, id); got != 1 {
+			t.Errorf("error mentions %q %d times: %s", id, got, msg)
+		}
+	}
+	sorted := append([]string(nil), all...)
+	sort.Strings(sorted)
+	if !strings.Contains(msg, strings.Join(sorted, ", ")) {
+		t.Errorf("error does not list IDs sorted: %s", msg)
 	}
 }
