@@ -2,15 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent cover bench bench-sched fuzz experiments ablations chaos telemetry clean
+.PHONY: all build vet lint analyzers-test test race race-concurrent cover bench bench-sched fuzz experiments ablations chaos telemetry clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the internal/analysis suite (ctxflow,
+# lockscope, billmeter, gospawn, metricname) run by the llmdm-lint driver.
+# Also usable as a vettool: go vet -vettool=bin/llmdm-lint ./...
+lint:
+	$(GO) build -o bin/llmdm-lint ./cmd/llmdm-lint
+	./bin/llmdm-lint ./...
+
+# The analyzers' own tests: fixture suites plus the in-tree enforcement
+# tests that pin the annotated waiver sites.
+analyzers-test:
+	$(GO) test ./internal/analysis/...
 
 test:
 	$(GO) test ./...
@@ -21,7 +33,7 @@ race:
 # The serving-path packages that run concurrent under load; the CI race
 # gate covers exactly these.
 race-concurrent:
-	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/
+	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/ ./internal/exper/
 
 cover:
 	$(GO) test -cover ./...

@@ -1,6 +1,7 @@
 package llmdm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := run()
+		rep, err := run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func benchAblation(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := run()
+		rep, err := run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkChaosResilience(b *testing.B)        { benchAblation(b, "chaos") }
 // cmd/llmdm-bench does.
 func TestAllExperimentsRun(t *testing.T) {
 	for _, id := range ExperimentIDs() {
-		rep, err := RunExperiment(id)
+		rep, err := RunExperiment(context.Background(), id)
 		if err != nil {
 			t.Errorf("%s: %v", id, err)
 			continue

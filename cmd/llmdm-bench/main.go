@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	llmdm "repro"
 	"repro/internal/obs"
@@ -50,9 +53,14 @@ func main() {
 	default:
 		ids = []string{*exp}
 	}
+	// Ctrl-C cancels the context and the running experiment aborts at its
+	// next model call or sweep cell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	for _, id := range ids {
 		before := obs.Default.Snapshot()
-		rep, err := llmdm.RunExperiment(id)
+		rep, err := llmdm.RunExperiment(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llmdm-bench: %s: %v\n", id, err)
 			os.Exit(1)

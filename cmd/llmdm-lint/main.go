@@ -1,0 +1,165 @@
+// Command llmdm-lint runs the project's static-analysis suite — ctxflow,
+// lockscope, billmeter, gospawn, metricname (see internal/analysis) —
+// over the module.
+//
+// Standalone (what `make lint` runs):
+//
+//	llmdm-lint ./...                  # whole module
+//	llmdm-lint ./internal/proxy/...   # one subtree
+//	llmdm-lint -only ctxflow,gospawn ./...
+//	llmdm-lint -list                  # print the analyzers and rules
+//
+// Diagnostics print as file:line:col: [analyzer] message, and the exit
+// status is 1 when any are found — so CI fails on a new violation.
+//
+// Vettool compatibility: the binary also speaks enough of the `go vet
+// -vettool` unit-checker protocol (-V=full, a single *.cfg argument) to
+// run under `go vet -vettool=$(which llmdm-lint) ./...`. Standalone mode
+// is canonical; the vettool path analyzes the same files per package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	version := flag.String("V", "", "vettool version handshake (-V=full)")
+	flagDefs := flag.Bool("flags", false, "print flag definitions as JSON (go vet handshake)")
+	flag.Parse()
+
+	if *version != "" {
+		// The go vet driver parses `name version x` (and for devel
+		// builds requires a trailing buildID=); it caches on this line,
+		// so any stable version string works.
+		fmt.Printf("llmdm-lint version llmdm-suite-v1\n")
+		return
+	}
+	if *flagDefs {
+		// go vet asks which tool flags it may forward; we expose none.
+		fmt.Println("[]")
+		return
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := suite.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("unknown analyzer %q (see -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVettool(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := analysis.Load(root, patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers, false)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "llmdm-lint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go vet unit-checker config we consume.
+type vetConfig struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOutput string
+}
+
+func runVettool(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// The driver requires the facts file regardless of findings.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	// go vet hands the tool every dependency unit, stdlib included; the
+	// suite's rules are for this module only.
+	if cfg.ImportPath != "repro" && !strings.HasPrefix(cfg.ImportPath, "repro/") {
+		return 0
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	pkg, err := analysis.LoadFiles(files, cfg.ImportPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers, false)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "llmdm-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

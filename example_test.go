@@ -31,7 +31,7 @@ func Example() {
 
 // Regenerating one of the paper's tables takes one call.
 func ExampleRunExperiment() {
-	rep, err := llmdm.RunExperiment("table1")
+	rep, err := llmdm.RunExperiment(context.Background(), "table1")
 	if err != nil {
 		log.Fatal(err)
 	}

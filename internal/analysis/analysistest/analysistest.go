@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over fixture files and checks
+// its diagnostics against `// want "regexp"` comments, mirroring
+// x/tools' analysistest on the project's stdlib-only framework.
+//
+// A fixture is a directory of plain .go files (under the analyzer's
+// testdata/src/<case>/). Every line expected to produce a diagnostic
+// carries a trailing `// want "re"` comment whose regexp must match the
+// diagnostic message; unexpected diagnostics and unmatched wants both
+// fail the test. A fixture can pin the import path the analyzers see
+// (for package-path-scoped rules) with a `//llmdm:pkgpath <path>`
+// comment.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture directory and applies the analyzer, comparing
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s", dir)
+	}
+	pkg, err := analysis.LoadFiles(files, "fixture")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> wants
+	for i, f := range pkg.Files {
+		fn := pkg.Filenames[i]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				unq := strings.ReplaceAll(m[1], `\"`, `"`)
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("analysistest: %s: bad want regexp %q: %v", fn, unq, err)
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				key := fn + ":" + itoa(line)
+				wants[key] = append(wants[key], &want{re: re, raw: unq})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + itoa(d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s", d)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", k, w.raw)
+			}
+		}
+	}
+}
+
+// RunClean asserts the analyzer produces zero diagnostics on the fixture
+// directory — the accepted-annotation half of each analyzer's suite.
+func RunClean(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	Run(t, dir, a) // want comments (none expected) + unexpected check
+}
+
+// Findings applies the analyzer to an already-loaded package and returns
+// the diagnostics — used by the in-tree enforcement tests.
+func Findings(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer, ignoreAnnotations bool) []analysis.Diagnostic {
+	t.Helper()
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, ignoreAnnotations)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return diags
+}
+
+func itoa(n int) string {
+	var b [12]byte
+	i := len(b)
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

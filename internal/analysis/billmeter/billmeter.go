@@ -1,0 +1,175 @@
+// Package billmeter enforces spend accounting at model call sites.
+//
+// Billing is load-bearing in this reproduction (the paper's cost results
+// are the point), and PR 2's chaos experiment cross-checks the proxy's
+// spend counter against the models' own meters to the micro-dollar. That
+// guarantee dies the moment one call site drops a response's Cost on the
+// floor.
+//
+// The rule: in library code outside the serving layers that ARE the
+// accounting flow (internal/llm, internal/core/cascade, internal/sched,
+// internal/proxy), every function that calls a model — a method named
+// Complete or GenerateBatch — must visibly do one of:
+//
+//   - read spend off the result or a meter in the same function
+//     (a .Cost / .TotalCost / .Spend / .TotalSpend / .Meter / .Stats /
+//     .Escalations selector), or
+//   - propagate the response to its caller (return the call's results,
+//     directly or via the assigned variables), or
+//   - route through the scheduler (.Submit), whose flush path bills, or
+//   - carry an //llmdm:allow billmeter annotation with a reason.
+//
+// Package main is exempt: commands and examples consume library APIs
+// that already meter.
+package billmeter
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the billmeter rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "billmeter",
+	Doc: "every Complete/GenerateBatch call site outside internal/llm, cascade, sched and proxy " +
+		"must record spend (Cost/Meter/Spend use) or propagate the response to its caller",
+	Run: run,
+}
+
+// exempt are the layers that implement the accounting flow itself.
+var exempt = []string{
+	"repro/internal/llm",
+	"repro/internal/core/cascade",
+	"repro/internal/sched",
+	"repro/internal/proxy",
+}
+
+// spendSelectors are the names whose appearance as a selector shows the
+// function touching spend or a meter.
+var spendSelectors = map[string]bool{
+	"Cost":        true,
+	"TotalCost":   true,
+	"Spend":       true,
+	"TotalSpend":  true,
+	"Meter":       true,
+	"Meters":      true,
+	"ResetMeter":  true,
+	"Stats":       true,
+	"Escalations": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.IsMain() {
+		return nil
+	}
+	for _, e := range exempt {
+		if pass.PathHasPrefix(e) {
+			return nil
+		}
+	}
+	pass.EachFile(func(name string, f *ast.File) {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	})
+	return nil
+}
+
+// checkFunc analyzes one function: find the model calls, then look for
+// any of the accepted spend flows.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var modelCalls []*ast.CallExpr
+	hasSpendFlow := false
+	// Identifiers that received a model call's results.
+	assigned := map[string]bool{}
+	// Identifiers appearing in return statements.
+	returned := map[string]bool{}
+	returnsCallDirectly := false
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Complete", "GenerateBatch":
+					modelCalls = append(modelCalls, n)
+				case "Submit":
+					hasSpendFlow = true // scheduler path bills in its flush
+				default:
+					if spendSelectors[sel.Sel.Name] {
+						hasSpendFlow = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if spendSelectors[n.Sel.Name] {
+				hasSpendFlow = true
+			}
+		case *ast.AssignStmt:
+			if rhsHasModelCall(n.Rhs) {
+				for _, lhs := range n.Lhs {
+					// The error result never carries spend: `resp, err := ...;
+					// return err` is a drop, not a propagation.
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && !strings.HasPrefix(id.Name, "err") {
+						assigned[id.Name] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isModelCall(res) {
+					returnsCallDirectly = true
+				}
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						returned[id.Name] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	if len(modelCalls) == 0 || hasSpendFlow || returnsCallDirectly {
+		return
+	}
+	for name := range assigned {
+		if returned[name] {
+			return // response propagated to the caller
+		}
+	}
+	for _, call := range modelCalls {
+		sel := call.Fun.(*ast.SelectorExpr)
+		pass.Reportf(call.Pos(),
+			"model call .%s: response spend is neither recorded (no Cost/Meter/Spend use in %s) nor propagated to the caller — bill a meter or return the response",
+			sel.Sel.Name, fn.Name.Name)
+	}
+}
+
+func rhsHasModelCall(rhs []ast.Expr) bool {
+	for _, e := range rhs {
+		if isModelCall(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isModelCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "Complete" || sel.Sel.Name == "GenerateBatch"
+}

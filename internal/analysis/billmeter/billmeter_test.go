@@ -1,0 +1,21 @@
+package billmeter_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/billmeter"
+)
+
+func TestFlagsDroppedSpend(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "flag"), billmeter.Analyzer)
+}
+
+func TestAcceptsSpendFlows(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "ok"), billmeter.Analyzer)
+}
+
+func TestExemptsAccountingLayers(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "exempt"), billmeter.Analyzer)
+}

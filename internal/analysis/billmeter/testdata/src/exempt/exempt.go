@@ -1,0 +1,10 @@
+//llmdm:pkgpath repro/internal/sched
+
+// Fixture: the layers that implement the accounting flow itself are
+// exempt — the scheduler's flush path is where billing happens.
+package fixture
+
+func flush(m model, reqs []request) {
+	resps, err := m.GenerateBatch(nil, reqs)
+	use(resps, err)
+}

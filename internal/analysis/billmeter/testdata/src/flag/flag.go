@@ -1,0 +1,16 @@
+// Fixture: model calls whose response spend is neither recorded nor
+// propagated are reported. Returning only the error is a drop.
+package fixture
+
+func dropsResponse(m model, req request) error {
+	resp, err := m.Complete(nil, req) // want "model call \.Complete: response spend is neither recorded"
+	if err != nil {
+		return err
+	}
+	use(resp.Text)
+	return nil
+}
+
+func discardsBatch(m model, reqs []request) {
+	_, _ = m.GenerateBatch(nil, reqs) // want "model call \.GenerateBatch: response spend is neither recorded"
+}

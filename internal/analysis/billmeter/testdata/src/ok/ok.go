@@ -1,0 +1,44 @@
+// Fixture: the accepted spend flows — read the cost, bill a meter,
+// propagate the response, route through the scheduler, or carry an
+// explicit waiver.
+package fixture
+
+func readsCost(m model, req request) error {
+	resp, err := m.Complete(nil, req)
+	if err != nil {
+		return err
+	}
+	addSpend(resp.Cost)
+	return nil
+}
+
+func billsMeter(m model, req request) error {
+	resp, err := m.Complete(nil, req)
+	if err != nil {
+		return err
+	}
+	use(resp.Text)
+	use(m.Meter().TotalSpend)
+	return nil
+}
+
+func returnsResponseDirectly(m model, req request) (response, error) {
+	return m.Complete(nil, req)
+}
+
+func propagatesAssigned(m model, req request) (response, error) {
+	resp, err := m.Complete(nil, req)
+	resp.Text = clean(resp.Text)
+	return resp, err
+}
+
+func routesThroughScheduler(s scheduler, req request) error {
+	_, err := s.Submit(nil, "tier", req)
+	return err
+}
+
+func waived(m model, req request) {
+	//llmdm:allow billmeter probe call, spend asserted by the harness meter
+	resp, err := m.Complete(nil, req)
+	use(resp, err)
+}

@@ -1,0 +1,85 @@
+// Package ctxflow forbids minting fresh context roots in library code.
+//
+// Every serving-path operation must run under the caller's context so
+// cancellation, deadlines, priority classes (sched.WithClass) and trace
+// spans flow end to end. `context.Background()` or `context.TODO()` in a
+// library function silently detaches all of that — the exact bug class
+// that made internal/exper unkillable before this suite.
+//
+// Allowed: package main (a process owns its root), test files (excluded
+// at load time), and sites annotated //llmdm:detached — deliberate
+// detached roots such as the scheduler's batch-flush timeout, which must
+// outlive any single submitter. Detached work that should inherit values
+// (but not cancellation) must use context.WithoutCancel instead.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/context.TODO() outside package main and tests; " +
+		"deliberate detached roots must be annotated //llmdm:detached " +
+		"(or derive from the caller via context.WithoutCancel)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.IsMain() {
+		return nil
+	}
+	pass.EachFile(func(name string, f *ast.File) {
+		ctxNames := contextImportNames(f)
+		if len(ctxNames) == 0 {
+			return
+		}
+		analysis.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok || !ctxNames[pkgIdent.Name] {
+				return true
+			}
+			if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+				return true
+			}
+			if pass.Detached(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library code: thread ctx from the caller, or annotate a deliberate detached root with //llmdm:detached",
+				sel.Sel.Name)
+			return true
+		})
+	})
+	return nil
+}
+
+// contextImportNames returns the local names under which f imports the
+// context package (usually just "context", but aliases count too).
+func contextImportNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"context"` {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name != "_" && imp.Name.Name != "." {
+				names[imp.Name.Name] = true
+			}
+			continue
+		}
+		names["context"] = true
+	}
+	return names
+}

@@ -1,0 +1,21 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestFlagsFreshRoots(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "flag"), ctxflow.Analyzer)
+}
+
+func TestAcceptsAnnotatedDetachedRoots(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "annotated"), ctxflow.Analyzer)
+}
+
+func TestSkipsPackageMain(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "mainpkg"), ctxflow.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Fixture: deliberate detached roots carry //llmdm:detached — on the
+// same line or the line above — and //llmdm:allow ctxflow also waives.
+package fixture
+
+import "context"
+
+func detachedSameLine(timeout int) {
+	ctx := context.Background() //llmdm:detached batch flush outlives any single submitter
+	_ = ctx
+	_ = timeout
+}
+
+func detachedLineAbove() {
+	//llmdm:detached startup root for the warmup pass
+	ctx := context.Background()
+	_ = ctx
+}
+
+func allowWaiver() {
+	_ = context.TODO() //llmdm:allow ctxflow migration shim, tracked separately
+}

@@ -1,0 +1,28 @@
+// Fixture: fresh context roots in library code are reported, including
+// under an import alias.
+package fixture
+
+import (
+	"context"
+
+	stdctx "context"
+)
+
+func freshRoot() error {
+	ctx := context.Background() // want "context\.Background\(\) in library code"
+	_ = ctx
+	return nil
+}
+
+func lazyTODO() {
+	_ = context.TODO() // want "context\.TODO\(\) in library code"
+}
+
+func aliased() {
+	_ = stdctx.Background() // want "context\.Background\(\) in library code"
+}
+
+// Threading the caller's ctx is the accepted shape.
+func threaded(ctx context.Context) context.Context {
+	return ctx
+}

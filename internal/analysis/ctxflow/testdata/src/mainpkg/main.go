@@ -1,0 +1,9 @@
+// Fixture: package main owns its context root — never reported.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,145 @@
+// Package gospawn governs goroutine creation in serving-path packages.
+//
+// A detached goroutine in the serving stack is a liability twice over:
+// an un-recovered panic tears down the whole proxy process, and a
+// goroutine with no context or stop signal can neither be cancelled nor
+// drained on shutdown. PR 2/3 hand-audited these properties; this
+// analyzer pins them.
+//
+// In the serving-path packages (proxy, sched, resilience, obs, llm,
+// cascade, semcache), every `go` statement must either:
+//
+//   - spawn a function literal that (a) installs a deferred recover()
+//     and (b) references a context or stop/done channel, or
+//   - be inside the managed spawn helper obs.Go (whose single `go` site
+//     carries the annotation), with callers using obs.Go instead of a
+//     bare `go`, or
+//   - carry //llmdm:allow gospawn with a reason.
+//
+// `go someMethod()` spawns (no literal) are always flagged: the analyzer
+// cannot see the body, so the site must go through obs.Go or be
+// annotated.
+package gospawn
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the gospawn rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "gospawn",
+	Doc: "serving-path `go` statements must recover panics and carry a ctx/stop signal, " +
+		"or go through the managed spawn helper obs.Go",
+	Run: run,
+}
+
+// servingPath lists the packages under the rule.
+var servingPath = []string{
+	"repro/internal/proxy",
+	"repro/internal/sched",
+	"repro/internal/resilience",
+	"repro/internal/obs",
+	"repro/internal/llm",
+	"repro/internal/core/cascade",
+	"repro/internal/core/semcache",
+}
+
+func run(pass *analysis.Pass) error {
+	covered := false
+	for _, p := range servingPath {
+		if pass.PathHasPrefix(p) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	pass.EachFile(func(name string, f *ast.File) {
+		analysis.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(),
+					"bare `go %s(...)`: spawn through the managed helper obs.Go (panic containment) or annotate //llmdm:allow gospawn",
+					analysis.ExprString(g.Call.Fun))
+				return true
+			}
+			if !hasDeferredRecover(lit.Body) {
+				pass.Reportf(g.Pos(),
+					"goroutine without panic recovery: install `defer func() { recover() ... }()` or spawn through obs.Go")
+			}
+			if !referencesCtxOrStop(lit) {
+				pass.Reportf(g.Pos(),
+					"goroutine carries no context or stop/done signal: it can neither be cancelled nor drained on shutdown")
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// hasDeferredRecover reports whether body contains a defer whose
+// function (literal or named) mentions recover().
+func hasDeferredRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+						found = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// referencesCtxOrStop reports whether the goroutine body (or the values
+// it closes over in the call) mentions a context or a stop/done/quit
+// channel — the signals that make it cancellable/drainable.
+func referencesCtxOrStop(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isCtxOrStopName(n.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isCtxOrStopName(n.Sel.Name) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCtxOrStopName(name string) bool {
+	switch name {
+	case "ctx", "context", "stop", "done", "quit", "closing", "closed":
+		return true
+	}
+	// upCtx, reqCtx, batchCtx, stopCh, doneCh ...
+	for _, frag := range []string{"Ctx", "ctx", "Stop", "stop", "Done", "done", "Quit", "quit"} {
+		if len(name) > len(frag) && strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}

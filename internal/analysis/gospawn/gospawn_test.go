@@ -1,0 +1,21 @@
+package gospawn_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/gospawn"
+)
+
+func TestFlagsUnmanagedSpawns(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "flag"), gospawn.Analyzer)
+}
+
+func TestAcceptsManagedAndWaivedSpawns(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "ok"), gospawn.Analyzer)
+}
+
+func TestIgnoresPackagesOffServingPath(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "unscoped"), gospawn.Analyzer)
+}

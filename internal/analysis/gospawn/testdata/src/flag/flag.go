@@ -1,0 +1,27 @@
+//llmdm:pkgpath repro/internal/proxy
+
+// Fixture: serving-path goroutines must contain panics and carry a
+// cancellation/stop signal.
+package fixture
+
+func bareMethodSpawn(s *server) {
+	go s.run() // want "bare `go s\.run\(\.\.\.\)`"
+}
+
+func missingRecovery(ch chan int, done chan struct{}) {
+	go func() { // want "goroutine without panic recovery"
+		<-done
+		ch <- 1
+	}()
+}
+
+func missingSignal(ch chan int) {
+	go func() { // want "goroutine carries no context or stop/done signal"
+		defer func() {
+			if r := recover(); r != nil {
+				use(r)
+			}
+		}()
+		ch <- 1
+	}()
+}

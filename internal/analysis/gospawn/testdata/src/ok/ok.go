@@ -1,0 +1,40 @@
+//llmdm:pkgpath repro/internal/proxy
+
+// Fixture: the accepted spawns — recovery plus a ctx/stop signal, or an
+// explicit waiver for a deliberate bare spawn.
+package fixture
+
+import "context"
+
+func managedSpawn(ctx context.Context, ch chan int) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				use(r)
+			}
+		}()
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func stopChannelSpawn(ch chan int, stopCh chan struct{}) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				use(r)
+			}
+		}()
+		select {
+		case ch <- 1:
+		case <-stopCh:
+		}
+	}()
+}
+
+func waivedBareSpawn(s *server) {
+	//llmdm:allow gospawn fire-and-forget warmup, bounded by process lifetime
+	go s.warmup()
+}

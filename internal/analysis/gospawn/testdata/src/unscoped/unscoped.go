@@ -1,0 +1,8 @@
+// Fixture: packages off the serving path are not governed — a bare
+// spawn here is accepted without annotation. (No //llmdm:pkgpath pin, so
+// the fixture loads under a neutral import path.)
+package fixture
+
+func bareSpawnOffServingPath(s *server) {
+	go s.run()
+}

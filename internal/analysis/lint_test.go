@@ -1,0 +1,130 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/suite"
+)
+
+// TestTreeHoldsItsInvariants is the in-tree enforcement test: the full
+// analyzer suite over the whole module must be clean. It is the same
+// check `make lint` and CI run via cmd/llmdm-lint, wired into `go test`
+// so a violation fails the ordinary test run too.
+func TestTreeHoldsItsInvariants(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, a := range suite.All() {
+			for _, d := range analysistest.Findings(t, pkg, a, false) {
+				t.Errorf("%s", d.String())
+			}
+		}
+	}
+}
+
+// TestSchedAnnotationsAreLoadBearing re-runs the suite over internal/sched
+// with annotations ignored and asserts the deliberate sites resurface:
+// the detached batch-flush root (ctxflow) and the gated enqueue's comm
+// ops (lockscope). If someone deletes the annotations, the clean-tree
+// test above fails; if someone weakens the analyzers until the sites no
+// longer trigger, this test fails.
+func TestSchedAnnotationsAreLoadBearing(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, []string{"./internal/sched"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	ctxflowDiags := analysistest.Findings(t, pkg, suite.ByName("ctxflow"), true)
+	found := false
+	for _, d := range ctxflowDiags {
+		if filepath.Base(d.Pos.Filename) == "sched.go" && strings.Contains(d.Message, "context.Background()") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ctxflow with annotations ignored did not flag sched.go's detached batch-flush root; got %v", ctxflowDiags)
+	}
+
+	lockDiags := analysistest.Findings(t, pkg, suite.ByName("lockscope"), true)
+	if len(lockDiags) < 2 {
+		t.Errorf("lockscope with annotations ignored found %d diagnostics in internal/sched, want >= 2 (the gated enqueue's send and cancel arms)", len(lockDiags))
+	}
+
+	// And with annotations honored, both analyzers accept the package.
+	for _, name := range []string{"ctxflow", "lockscope"} {
+		if diags := analysistest.Findings(t, pkg, suite.ByName(name), false); len(diags) != 0 {
+			t.Errorf("%s over internal/sched with annotations honored: %v, want clean", name, diags)
+		}
+	}
+}
+
+// TestObsSpawnHelperAnnotationIsLoadBearing: the managed spawn helper's
+// own `go` statement is the one waived gospawn site in internal/obs.
+func TestObsSpawnHelperAnnotationIsLoadBearing(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, []string{"./internal/obs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags := analysistest.Findings(t, pkgs[0], suite.ByName("gospawn"), true)
+	found := false
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "spawn.go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gospawn with annotations ignored did not flag obs.Go's internal spawn; got %v", diags)
+	}
+	if diags := analysistest.Findings(t, pkgs[0], suite.ByName("gospawn"), false); len(diags) != 0 {
+		t.Errorf("gospawn over internal/obs with annotations honored: %v, want clean", diags)
+	}
+}
+
+// TestSuiteIsComplete pins the analyzer roster: a new analyzer must join
+// the suite (and so `make lint` and this enforcement test) to exist.
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{"ctxflow", "lockscope", "billmeter", "gospawn", "metricname"}
+	all := suite.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("suite[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if suite.ByName(name) != all[i] {
+			t.Errorf("ByName(%q) does not resolve to the suite entry", name)
+		}
+	}
+	if suite.ByName("nosuch") != nil {
+		t.Error("ByName of an unknown analyzer should be nil")
+	}
+}

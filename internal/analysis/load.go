@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// skipDir names directories the loader never descends into: the go tool
+// ignores testdata and _-/.-prefixed dirs, and the rest are not Go
+// source trees.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "bin" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// Load parses the packages under root selected by patterns. Patterns
+// follow the go tool's shape: "./..." (everything under root), "./dir"
+// or "./dir/..." (one subtree), "dir/file.go" is not supported. Test
+// files (_test.go) are excluded: the analyzers govern production code.
+func Load(root string, patterns []string) ([]*Package, error) {
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	type sel struct {
+		dir       string // relative, cleaned ("." for root)
+		recursive bool
+	}
+	var sels []sel
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		pat = filepath.Clean(strings.TrimPrefix(pat, "./"))
+		if pat == "..." {
+			pat, recursive = ".", true
+		}
+		sels = append(sels, sel{dir: pat, recursive: recursive})
+	}
+
+	dirs := map[string]bool{}
+	for _, s := range sels {
+		base := filepath.Join(root, s.dir)
+		if !s.recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != base && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := LoadDir(dir, importPathFor(mod, root, dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func importPathFor(mod, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return mod
+	}
+	return mod + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses one directory's non-test Go files as a Package with the
+// given import path. It returns (nil, nil) when the directory holds no
+// non-test Go files.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return LoadFiles(files, importPath)
+}
+
+// LoadFiles parses the given files as one Package. The package name is
+// taken from the first file; files from a different package (e.g. an
+// external test package) are rejected.
+func LoadFiles(filenames []string, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{Path: importPath, Fset: fset}
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if f.Name.Name != pkg.Name {
+			return nil, fmt.Errorf("analysis: %s: package %s, want %s", fn, f.Name.Name, pkg.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, fn)
+	}
+	// A fixture can pin the import path the analyzers should see (the
+	// package-path-dependent rules key off it): //llmdm:pkgpath <path>.
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//llmdm:pkgpath "); ok {
+					pkg.Path = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// Inspect is ast.Inspect re-exported for analyzer brevity.
+func Inspect(node ast.Node, fn func(ast.Node) bool) { ast.Inspect(node, fn) }

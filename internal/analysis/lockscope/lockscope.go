@@ -1,0 +1,358 @@
+// Package lockscope forbids blocking calls while a mutex is held.
+//
+// The serving path's concurrency design (see internal/proxy's package
+// doc) keeps locks around map bookkeeping only; model calls, channel
+// operations, sleeps and HTTP round-trips must run outside every
+// critical section, or one slow upstream serializes the whole stack —
+// the cost/latency failure mode the paper's Section III is about.
+//
+// The analyzer tracks Lock/RLock→Unlock/RUnlock regions within each
+// function body (a deferred Unlock holds to function end) and reports,
+// inside a held region:
+//
+//   - channel sends and receives (except under a select with a default
+//     clause, which cannot block);
+//   - model-call methods: Complete, Generate, GenerateBatch, Submit;
+//   - time.Sleep, sync.WaitGroup-style .Wait(), and net/http calls.
+//
+// Tracking is a branch-sensitive may-hold approximation (no full CFG):
+// if/select/switch arms are analyzed with cloned lock state, an arm
+// ending in return/panic/break discards its releases, and the states of
+// the surviving arms are unioned — so an early-return `unlock; return`
+// guard does not mask a send performed under the lock on the main path.
+// A deliberate violation (e.g. sched's bounded enqueue under its
+// close-gate RLock) is annotated //llmdm:allow lockscope with its
+// justification.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockscope rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "forbid blocking calls (model calls, channel ops, sleeps, net/http, Wait) " +
+		"while a sync.Mutex/RWMutex is held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.EachFile(func(name string, f *ast.File) {
+		analysis.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				scanBody(pass, fn.Body)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// scanner walks one function body in source order, tracking which lock
+// receivers are currently held.
+type scanner struct {
+	pass *analysis.Pass
+	held map[string]token.Position // lock expr -> acquire position
+}
+
+func scanBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	s := &scanner{pass: pass, held: map[string]token.Position{}}
+	s.stmts(body.List)
+}
+
+type lockKind int
+
+const (
+	notLock lockKind = iota
+	acquire
+	release
+)
+
+// lockOp classifies expr as recv.Lock/RLock (acquire) or
+// recv.Unlock/RUnlock (release).
+func lockOp(expr ast.Expr) (recv string, kind lockKind) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", notLock
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", notLock
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return analysis.ExprString(sel.X), acquire
+	case "Unlock", "RUnlock":
+		return analysis.ExprString(sel.X), release
+	}
+	return "", notLock
+}
+
+func (s *scanner) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *scanner) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if recv, kind := lockOp(st.X); kind != notLock {
+			if kind == acquire {
+				s.held[recv] = s.pass.Pkg.Fset.Position(st.Pos())
+			} else {
+				delete(s.held, recv)
+			}
+			return
+		}
+		s.expr(st.X)
+	case *ast.DeferStmt:
+		// `defer recv.Unlock()` pins the critical section to the function
+		// end: the held state persists, which is exactly right. Other
+		// deferred calls run after the body; skip them.
+		return
+	case *ast.GoStmt:
+		// The spawn itself never blocks; the goroutine body is its own
+		// unit (scanned via the FuncLit case of run).
+	case *ast.SendStmt:
+		s.blocking(st.Arrow, "channel send")
+		s.expr(st.Chan)
+		s.expr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.expr(e)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+	case *ast.IfStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		arms := [][]ast.Stmt{st.Body.List}
+		if st.Else != nil {
+			arms = append(arms, []ast.Stmt{st.Else})
+		}
+		// Without an else, the condition-false path carries the pre-state.
+		s.mergeArms(arms, st.Else == nil)
+	case *ast.ForStmt:
+		s.stmt(st.Init)
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		s.stmt(st.Post)
+		// The body runs zero or more times; after the loop either state
+		// may hold.
+		s.mergeArms([][]ast.Stmt{st.Body.List}, true)
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		s.mergeArms([][]ast.Stmt{st.Body.List}, true)
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init)
+		if st.Tag != nil {
+			s.expr(st.Tag)
+		}
+		s.mergeArms(caseArms(st.Body), !hasDefaultCase(st.Body))
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init)
+		s.stmt(st.Assign)
+		s.mergeArms(caseArms(st.Body), !hasDefaultCase(st.Body))
+	case *ast.SelectStmt:
+		// A select with a default clause cannot block on its comm ops.
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		var arms [][]ast.Stmt
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil && !hasDefault {
+				s.stmt(cc.Comm)
+			}
+			arms = append(arms, cc.Body)
+		}
+		// Exactly one arm runs; there is no fall-through pre-state path.
+		s.mergeArms(arms, false)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	}
+}
+
+// mergeArms analyzes each arm of a branching statement under a clone of
+// the current lock state and replaces s.held with the union of the
+// states of the arms that fall through (may-hold). Arms that diverge —
+// end in return, panic, break or continue — discard their releases, so
+// an `unlock; return` guard branch cannot mask a blocking call performed
+// under the lock on the main path. includePre adds the pre-state as a
+// path of its own (if without else, switch without default, loop body
+// running zero times).
+func (s *scanner) mergeArms(arms [][]ast.Stmt, includePre bool) {
+	pre := cloneState(s.held)
+	var states []map[string]token.Position
+	if includePre {
+		states = append(states, pre)
+	}
+	for _, arm := range arms {
+		sub := &scanner{pass: s.pass, held: cloneState(pre)}
+		sub.stmts(arm)
+		if !terminates(arm) {
+			states = append(states, sub.held)
+		}
+	}
+	merged := map[string]token.Position{}
+	for _, st := range states {
+		for k, v := range st {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	s.held = merged
+}
+
+// terminates reports whether a statement list visibly diverges: its last
+// statement is a return, panic, or branch (break/continue/goto).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.LabeledStmt:
+		return terminates([]ast.Stmt{last.Stmt})
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+func cloneState(m map[string]token.Position) map[string]token.Position {
+	c := make(map[string]token.Position, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func caseArms(body *ast.BlockStmt) [][]ast.Stmt {
+	var arms [][]ast.Stmt
+	for _, c := range body.List {
+		arms = append(arms, c.(*ast.CaseClause).Body)
+	}
+	return arms
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if c.(*ast.CaseClause).List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// expr scans an expression subtree for blocking operations.
+func (s *scanner) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.blocking(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if verb := blockingCall(n); verb != "" {
+				s.blocking(n.Pos(), verb)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as one of the forbidden-under-lock
+// operations, returning a description or "".
+func blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Complete", "Generate", "GenerateBatch", "Submit":
+		return "model call ." + sel.Sel.Name
+	case "Sleep":
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+			return "time.Sleep"
+		}
+	case "Wait":
+		return analysis.ExprString(sel.X) + ".Wait()"
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "http" {
+		return "net/http call http." + sel.Sel.Name
+	}
+	return ""
+}
+
+func (s *scanner) blocking(pos token.Pos, what string) {
+	if len(s.held) == 0 {
+		return
+	}
+	var locks []string
+	for recv, at := range s.held {
+		locks = append(locks, recv+" (locked at line "+itoa(at.Line)+")")
+	}
+	s.pass.Reportf(pos, "blocking %s while %s held: move it outside the critical section or annotate //llmdm:allow lockscope",
+		what, strings.Join(locks, ", "))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

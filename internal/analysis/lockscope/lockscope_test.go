@@ -1,0 +1,17 @@
+package lockscope_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockscope"
+)
+
+func TestFlagsBlockingUnderLock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "flag"), lockscope.Analyzer)
+}
+
+func TestAcceptsReleasedAndAnnotated(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "ok"), lockscope.Analyzer)
+}

@@ -1,0 +1,131 @@
+// Package metricname keeps obs metric names static and well-formed.
+//
+// A metric name built with fmt.Sprintf or string concatenation is a
+// label-cardinality explosion waiting to happen: every distinct value
+// mints a new family in the registry and a new series in every scrape.
+// Names must be lowercase_snake literals (or constants), with dynamic
+// dimensions expressed as label VALUES, which the registry bounds per
+// family.
+//
+// The analyzer inspects every call to a method named Counter, Gauge or
+// Histogram (the obs.Registry handle constructors) and requires the name
+// argument to be:
+//
+//   - a string literal matching ^[a-z][a-z0-9_]*$, or
+//   - an identifier/selector that resolves (within the package) to such
+//     a constant; unresolvable names from other packages are accepted as
+//     presumed constants.
+//
+// Any computed expression — fmt.Sprintf, +, a function call — is
+// reported. The obs registry enforces the same grammar at runtime
+// (obs.CheckMetricName), so a name that sneaks past the presumption
+// still fails fast.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// NameRE is the metric-name grammar, shared (by value) with the obs
+// registry's runtime guard.
+var NameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Analyzer is the metricname rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "obs metric names must be lowercase_snake string constants, " +
+		"never built with fmt.Sprintf or concatenation (label-cardinality guard)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	consts := packageStringConsts(pass)
+	pass.EachFile(func(name string, f *ast.File) {
+		analysis.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			checkNameArg(pass, consts, sel.Sel.Name, call.Args[0])
+			return true
+		})
+	})
+	return nil
+}
+
+func checkNameArg(pass *analysis.Pass, consts map[string]string, method string, arg ast.Expr) {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.STRING {
+			return // not a registry call shape
+		}
+		name, err := strconv.Unquote(a.Value)
+		if err != nil {
+			return
+		}
+		if !NameRE.MatchString(name) {
+			pass.Reportf(arg.Pos(),
+				"%s metric name %q is not lowercase_snake (want %s)", method, name, NameRE.String())
+		}
+	case *ast.Ident:
+		if lit, ok := consts[a.Name]; ok && !NameRE.MatchString(lit) {
+			pass.Reportf(arg.Pos(),
+				"%s metric name constant %s = %q is not lowercase_snake (want %s)",
+				method, a.Name, lit, NameRE.String())
+		}
+		// Unresolvable identifiers are presumed constants from another
+		// package; the obs runtime guard backstops them.
+	case *ast.SelectorExpr:
+		// pkg.Const: presumed constant, runtime guard backstops.
+	default:
+		pass.Reportf(arg.Pos(),
+			"%s metric name is built dynamically: use a lowercase_snake string constant and put dynamic dimensions in label values", method)
+	}
+}
+
+// packageStringConsts collects top-level `const name = "literal"`
+// declarations across the package's files.
+func packageStringConsts(pass *analysis.Pass) map[string]string {
+	consts := map[string]string{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						consts[name.Name] = s
+					}
+				}
+			}
+		}
+	}
+	return consts
+}

@@ -1,0 +1,17 @@
+package metricname_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestFlagsBadAndDynamicNames(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "flag"), metricname.Analyzer)
+}
+
+func TestAcceptsConstantSnakeNames(t *testing.T) {
+	analysistest.RunClean(t, filepath.Join("testdata", "src", "ok"), metricname.Analyzer)
+}

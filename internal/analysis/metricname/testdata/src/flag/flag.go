@@ -1,0 +1,14 @@
+// Fixture: metric names that are not lowercase_snake constants are
+// reported — bad literals, bad package constants, and any computed name.
+package fixture
+
+import "fmt"
+
+const badMetricName = "Sched-Window.Seconds"
+
+func register(reg registry, model string) {
+	reg.Counter("BadName")                               // want "Counter metric name \"BadName\" is not lowercase_snake"
+	reg.Gauge(badMetricName)                             // want "Gauge metric name constant badMetricName = \"Sched-Window.Seconds\" is not lowercase_snake"
+	reg.Counter(fmt.Sprintf("requests_%s_total", model)) // want "Counter metric name is built dynamically"
+	reg.Histogram("latency_"+model, nil)                 // want "Histogram metric name is built dynamically"
+}

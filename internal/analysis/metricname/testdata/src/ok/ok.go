@@ -1,0 +1,13 @@
+// Fixture: the accepted shapes — lowercase_snake literals, resolvable
+// lowercase constants, presumed cross-package constants (the obs runtime
+// guard backstops those), and dynamic dimensions as label values.
+package fixture
+
+const requestsTotal = "requests_total"
+
+func register(reg registry, model string) {
+	reg.Counter("proxy_requests_total", "source", "cache")
+	reg.Counter(requestsTotal)
+	reg.Gauge(obs.QueueDepthMetric)
+	reg.Histogram("sched_batch_size", nil, "model", model)
+}

@@ -1,0 +1,33 @@
+// Package suite bundles the project's five analyzers in the order
+// cmd/llmdm-lint and the in-tree enforcement tests run them.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/billmeter"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/gospawn"
+	"repro/internal/analysis/lockscope"
+	"repro/internal/analysis/metricname"
+)
+
+// All returns the full analyzer suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		lockscope.Analyzer,
+		billmeter.Analyzer,
+		gospawn.Analyzer,
+		metricname.Analyzer,
+	}
+}
+
+// ByName resolves a comma-separable subset; unknown names return nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/llm"
+	"repro/internal/token"
 	"repro/internal/workload"
 )
 
@@ -85,6 +86,9 @@ type Resolver struct {
 	// BlockCol groups rows so only same-block pairs are compared; empty
 	// disables blocking.
 	BlockCol string
+	// Cost accumulates the API spend of every judgment call, error paths
+	// included, so callers can account resolution against a budget.
+	Cost token.Cost
 }
 
 // MatchDecision is the outcome for one candidate pair.
@@ -129,6 +133,7 @@ func (r *Resolver) judgePairs(ctx context.Context, rows []workload.Row, pairs []
 			Wrong:      wrong,
 			Difficulty: difficulty,
 		})
+		r.Cost += resp.Cost
 		if err != nil {
 			return nil, calls, err
 		}

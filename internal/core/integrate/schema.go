@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/embed"
 	"repro/internal/llm"
+	"repro/internal/token"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,9 @@ type SchemaMatcher struct {
 	Emb   *embed.Embedder
 	// MinScore rejects pairs below this blended score.
 	MinScore float64
+	// Cost accumulates the API spend of every confirmation call, error
+	// paths included.
+	Cost token.Cost
 }
 
 // NewSchemaMatcher returns a matcher with sensible defaults.
@@ -138,6 +142,7 @@ func (s *SchemaMatcher) Match(ctx context.Context, source, target []ColumnSpec) 
 			Wrong:      wrong,
 			Difficulty: difficulty,
 		})
+		s.Cost += resp.Cost
 		if err != nil {
 			return nil, err
 		}

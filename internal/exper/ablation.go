@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,7 +46,10 @@ func randVecs(seed int64, n, dim int) []vector.Item {
 
 // AblationIndexes compares the four vector indexes on recall@10 against
 // the exact flat scan, plus per-vector storage.
-func AblationIndexes() (Report, error) {
+func AblationIndexes(ctx context.Context) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{ID: "ab-index"}, err
+	}
 	const n, dim, k, queries = 2000, 64, 10, 40
 	items := randVecs(201, n, dim)
 	rng := rand.New(rand.NewSource(202))
@@ -101,7 +105,7 @@ func AblationIndexes() (Report, error) {
 // AblationCachePolicies replays a skewed query stream (hot set revisited,
 // cold one-offs passing through) against each eviction policy under
 // capacity pressure.
-func AblationCachePolicies() (Report, error) {
+func AblationCachePolicies(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "ab-cache-policy",
 		Title:   "cache eviction policy ablation under capacity pressure",
@@ -113,6 +117,9 @@ func AblationCachePolicies() (Report, error) {
 		hot[i] = fmt.Sprintf("recurring analytics question number %d about revenue", i)
 	}
 	for _, policy := range []semcache.Policy{semcache.LRU, semcache.LFU, semcache.Weighted} {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		c := semcache.New(semcache.Config{
 			Embedder: embed.New(embed.DefaultDim), Capacity: 20, Threshold: 0.999, Policy: policy,
 		})
@@ -141,7 +148,7 @@ func AblationCachePolicies() (Report, error) {
 // measures the hit rate alongside the false-hit rate (hits whose cached
 // answer belongs to a different question) — the paper's "appropriate
 // similarity threshold ... should be different for various scenarios".
-func AblationCacheThreshold() (Report, error) {
+func AblationCacheThreshold(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "ab-cache-threshold",
 		Title:   "semantic cache threshold ablation: hits vs false hits",
@@ -152,6 +159,9 @@ func AblationCacheThreshold() (Report, error) {
 	}
 	qs := workload.GenNL2SQL(61, 60)
 	for _, th := range []float64{0.80, 0.90, 0.95, 0.99} {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		c := semcache.New(semcache.Config{Embedder: embed.New(embed.DefaultDim), Threshold: th})
 		probes, hits, falseHits := 0, 0, 0
 		for i := 0; i+1 < len(qs); i += 2 {
@@ -200,7 +210,10 @@ func swapHead(q string) string {
 // AblationHybridOrders compares the vectors scanned by each hybrid
 // execution order across predicate selectivities, including the adaptive
 // heuristic and the trained order classifier.
-func AblationHybridOrders() (Report, error) {
+func AblationHybridOrders(ctx context.Context) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{ID: "ab-hybrid"}, err
+	}
 	rep := Report{
 		ID:      "ab-hybrid",
 		Title:   "hybrid search order ablation: vectors scanned by strategy",
@@ -262,7 +275,7 @@ func AblationHybridOrders() (Report, error) {
 
 // AblationDPSweep traces the privacy/utility frontier: DP noise multiplier
 // vs membership-inference advantage vs model error.
-func AblationDPSweep() (Report, error) {
+func AblationDPSweep(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "ab-dp",
 		Title:   "differential privacy sweep: attack advantage vs utility",
@@ -280,6 +293,9 @@ func AblationDPSweep() (Report, error) {
 	nonX, nonY := xs[200:300], ys[200:300]
 
 	for _, sigma := range []float64{0, 0.05, 0.15, 0.3, 0.6} {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		m, err := privacy.FedAvg([]privacy.Client{{X: memberX, Y: memberY, LocalEpochs: 5}}, len(xs[0]),
 			privacy.FedConfig{Rounds: 60, LR: 0.05, ClipNorm: 0.5, NoiseSigma: sigma, Seed: 7})
 		if err != nil {

@@ -1,12 +1,13 @@
 package exper
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
 
 func TestAblationIndexes(t *testing.T) {
-	rep, err := AblationIndexes()
+	rep, err := AblationIndexes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestAblationIndexes(t *testing.T) {
 }
 
 func TestAblationCachePolicies(t *testing.T) {
-	rep, err := AblationCachePolicies()
+	rep, err := AblationCachePolicies(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestAblationCachePolicies(t *testing.T) {
 }
 
 func TestAblationCacheThreshold(t *testing.T) {
-	rep, err := AblationCacheThreshold()
+	rep, err := AblationCacheThreshold(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestAblationCacheThreshold(t *testing.T) {
 }
 
 func TestAblationHybridOrders(t *testing.T) {
-	rep, err := AblationHybridOrders()
+	rep, err := AblationHybridOrders(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestAblationHybridOrders(t *testing.T) {
 }
 
 func TestAblationDPSweep(t *testing.T) {
-	rep, err := AblationDPSweep()
+	rep, err := AblationDPSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,40 @@
+package exper
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestTable1CascadeCancellation pins the ctxflow contract on a table
+// runner: canceling the context aborts the experiment at the next model
+// call and the cancellation surfaces as the returned error.
+func TestTable1CascadeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Table1Cascade(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table1Cascade(canceled ctx) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAllRunnersHonorCancellation: every registered experiment — paper
+// artifacts and ablations — returns context.Canceled when started with a
+// canceled context, rather than running to completion. This is the
+// behavioural half of the ctxflow analyzer: no runner may smuggle in a
+// fresh context.Background().
+func TestAllRunnersHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runners := map[string]Runner{}
+	for id, r := range Registry() {
+		runners[id] = r
+	}
+	for id, r := range ExtRegistry() {
+		runners[id] = r
+	}
+	for id, run := range runners {
+		if _, err := run(ctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", id, err)
+		}
+	}
+}

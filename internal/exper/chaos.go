@@ -29,7 +29,7 @@ type chaosCell struct {
 // accounting column cross-checks the proxy's spend counter against the
 // simulated models' own usage meters, error paths included; a MISMATCH
 // would mean a failed cascade run dropped its bill.
-func ChaosResilience() (Report, error) {
+func ChaosResilience(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "chaos",
 		Title:   "fault injection: availability and spend vs upstream failure rate",
@@ -41,8 +41,14 @@ func ChaosResilience() (Report, error) {
 		},
 	}
 	for _, rate := range []float64{0, 0.1, 0.3, 0.5} {
-		bare := runChaosCell(rate, false)
-		res := runChaosCell(rate, true)
+		bare, err := runChaosCell(ctx, rate, false)
+		if err != nil {
+			return rep, err
+		}
+		res, err := runChaosCell(ctx, rate, true)
+		if err != nil {
+			return rep, err
+		}
 		acct := "ok"
 		if !bare.acctOK || !res.acctOK {
 			acct = "MISMATCH"
@@ -60,8 +66,9 @@ func ChaosResilience() (Report, error) {
 }
 
 // runChaosCell serves the workload through one proxy configuration and
-// reports availability plus the spend cross-check.
-func runChaosCell(rate float64, resilient bool) chaosCell {
+// reports availability plus the spend cross-check. Injected upstream
+// failures count against availability; a canceled ctx aborts the cell.
+func runChaosCell(ctx context.Context, rate float64, resilient bool) (chaosCell, error) {
 	reg := obs.NewRegistry()
 	small := llm.NewSim(llm.SimConfig{Name: "small", Capability: 0.55,
 		Price: token.Price{InputPer1K: 400, OutputPer1K: 400}, Obs: reg})
@@ -87,7 +94,10 @@ func runChaosCell(rate float64, resilient bool) chaosCell {
 	total, ok := 0, 0
 	for round := 0; round < 4; round++ {
 		for _, it := range set.Items {
-			_, err := p.Complete(context.Background(), llm.Request{
+			if err := ctx.Err(); err != nil {
+				return chaosCell{}, err
+			}
+			_, err := p.Complete(ctx, llm.Request{
 				Prompt: "Context: " + it.ContextFor() + "\nQ: " + it.Question,
 				Gold:   it.Answer, Wrong: it.Distractor, Difficulty: it.Difficulty,
 			})
@@ -104,5 +114,5 @@ func runChaosCell(rate float64, resilient bool) chaosCell {
 		stale:  st.StaleServes,
 		spend:  st.Spend,
 		acctOK: st.Spend == meters,
-	}
+	}, nil
 }

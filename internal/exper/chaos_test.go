@@ -1,12 +1,13 @@
 package exper
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
 
 func TestChaosResilience(t *testing.T) {
-	rep, err := ChaosResilience()
+	rep, err := ChaosResilience(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

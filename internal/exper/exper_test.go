@@ -28,7 +28,7 @@ func parseCost(t *testing.T, s string) float64 {
 }
 
 func TestTable1Shape(t *testing.T) {
-	rep, err := Table1Cascade()
+	rep, err := Table1Cascade(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rep, err := Table2Decomposition()
+	rep, err := Table2Decomposition(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rep, err := Table3Cache()
+	rep, err := Table3Cache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig6Sweep(t *testing.T) {
-	rep, err := Fig6CascadeSweep()
+	rep, err := Fig6CascadeSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestFig6Sweep(t *testing.T) {
 }
 
 func TestFig7SharingGrows(t *testing.T) {
-	rep, err := Fig7Sharing()
+	rep, err := Fig7Sharing(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestFig1PipelineStagesHealthy(t *testing.T) {
 }
 
 func TestFig2ConstraintsHelpWeakModels(t *testing.T) {
-	rep, err := Fig2SQLGen()
+	rep, err := Fig2SQLGen(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestFig2ConstraintsHelpWeakModels(t *testing.T) {
 }
 
 func TestFig3QualityOrdering(t *testing.T) {
-	rep, err := Fig3TrainGen()
+	rep, err := Fig3TrainGen(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestFig3QualityOrdering(t *testing.T) {
 }
 
 func TestFig4SynthesisCheaperSameAccuracy(t *testing.T) {
-	rep, err := Fig4Transform()
+	rep, err := Fig4Transform(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestFig4SynthesisCheaperSameAccuracy(t *testing.T) {
 }
 
 func TestFig5Ablations(t *testing.T) {
-	rep, err := Fig5Challenges()
+	rep, err := Fig5Challenges(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,11 +338,11 @@ func TestReportFormat(t *testing.T) {
 }
 
 func TestExperimentsDeterministic(t *testing.T) {
-	a, err := Table1Cascade()
+	a, err := Table1Cascade(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Table1Cascade()
+	b, err := Table1Cascade(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

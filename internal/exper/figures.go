@@ -105,8 +105,7 @@ func containsFold(haystack, needle string) bool {
 // Fig2SQLGen reproduces Figure 2 as a measurement: constraint-aware SQL
 // generation quality (executability, non-empty results, diversity) per
 // model tier, with and without the constraint-repair loop.
-func Fig2SQLGen() (Report, error) {
-	ctx := context.Background()
+func Fig2SQLGen(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "fig2",
 		Title:   "SQL generation under constraints (paper Figure 2)",
@@ -138,8 +137,7 @@ func Fig2SQLGen() (Report, error) {
 // Fig3TrainGen reproduces Figure 3 as a measurement: training-data
 // generation quality per model tier — execution-time estimation q-error,
 // missing-field imputation accuracy, and synthetic-data marginal fidelity.
-func Fig3TrainGen() (Report, error) {
-	ctx := context.Background()
+func Fig3TrainGen(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "fig3",
 		Title:   "training data generation (paper Figure 3)",
@@ -202,8 +200,7 @@ func Fig3TrainGen() (Report, error) {
 // Fig4Transform reproduces Figure 4 as a measurement: transforming
 // XML/JSON/spreadsheet documents to relational tables, comparing the
 // direct per-document approach against one-off operator-program synthesis.
-func Fig4Transform() (Report, error) {
-	ctx := context.Background()
+func Fig4Transform(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "fig4",
 		Title:   "semi-structured/spreadsheet to relational tables (paper Figure 4)",
@@ -268,8 +265,7 @@ func Fig4Transform() (Report, error) {
 // Fig5Challenges reproduces Figure 5 as an ablation sweep: one measurement
 // per challenge axis showing the cost of ignoring it and the benefit of
 // the paper's proposed remedy.
-func Fig5Challenges() (Report, error) {
-	ctx := context.Background()
+func Fig5Challenges(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "fig5",
 		Title:   "challenge/remedy ablations (paper Figure 5)",

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ func assertRows(t *testing.T, rep Report, want [][]string) {
 }
 
 func TestGoldenTable1(t *testing.T) {
-	rep, err := Table1Cascade()
+	rep, err := Table1Cascade(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestGoldenTable1(t *testing.T) {
 }
 
 func TestGoldenTable2(t *testing.T) {
-	rep, err := Table2Decomposition()
+	rep, err := Table2Decomposition(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestGoldenTable2(t *testing.T) {
 }
 
 func TestGoldenTable3(t *testing.T) {
-	rep, err := Table3Cache()
+	rep, err := Table3Cache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,8 +91,9 @@ func (r Report) CSV() string {
 	return b.String()
 }
 
-// Runner is one experiment entry point.
-type Runner func() (Report, error)
+// Runner is one experiment entry point. The context bounds the whole
+// experiment: cancel it and the runner returns at the next model call.
+type Runner func(ctx context.Context) (Report, error)
 
 // Registry maps experiment IDs to runners.
 func Registry() map[string]Runner {
@@ -100,7 +101,7 @@ func Registry() map[string]Runner {
 		"table1": Table1Cascade,
 		"table2": Table2Decomposition,
 		"table3": Table3Cache,
-		"fig1":   func() (Report, error) { return Fig1Pipeline(context.Background()) },
+		"fig1":   Fig1Pipeline,
 		"fig2":   Fig2SQLGen,
 		"fig3":   Fig3TrainGen,
 		"fig4":   Fig4Transform,

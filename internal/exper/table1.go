@@ -32,8 +32,7 @@ func qaRequest(it workload.QAItem) llm.Request {
 
 // Table1Cascade reproduces Table I: accuracy and API cost of each single
 // model versus the LLM cascade on the 40-query QA sample.
-func Table1Cascade() (Report, error) {
-	ctx := context.Background()
+func Table1Cascade(ctx context.Context) (Report, error) {
 	set := workload.GenQA(qaSeed, qaCount)
 
 	rep := Report{
@@ -89,8 +88,7 @@ func Table1Cascade() (Report, error) {
 // Fig6CascadeSweep reproduces Figure 6's mechanism as a measurement: the
 // accuracy/cost frontier traced by the cascade's decision threshold, with
 // the trained logistic decision model as an extra point.
-func Fig6CascadeSweep() (Report, error) {
-	ctx := context.Background()
+func Fig6CascadeSweep(ctx context.Context) (Report, error) {
 	set := workload.GenQA(qaSeed+1, 200)
 
 	rep := Report{

@@ -46,8 +46,7 @@ func gradeByExecution(db *sqlkit.DB, res []qopt.Translated, golds map[string]str
 // Table2Decomposition reproduces Table II: execution accuracy and API cost
 // of whole-query translation vs decomposition vs decomposition+combination
 // on the Spider-style compound-question batch.
-func Table2Decomposition() (Report, error) {
-	ctx := context.Background()
+func Table2Decomposition(ctx context.Context) (Report, error) {
 	qs := workload.GenNL2SQL(nl2sqlSeed, nl2sqlCount)
 	db := workload.ConcertDB(nl2sqlSeed)
 
@@ -104,8 +103,7 @@ func Table2Decomposition() (Report, error) {
 // Fig7Sharing reproduces Figure 7 as a measurement: how sub-query sharing
 // scales with batch size — total vs unique sub-queries, LLM calls saved,
 // and the cost relative to whole-query translation.
-func Fig7Sharing() (Report, error) {
-	ctx := context.Background()
+func Fig7Sharing(ctx context.Context) (Report, error) {
 	rep := Report{
 		ID:      "fig7",
 		Title:   "sub-query sharing across the batch (paper Figure 7)",

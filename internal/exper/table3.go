@@ -158,8 +158,7 @@ const (
 
 // Table3Cache reproduces Table III: 10 queries issued twice under no
 // cache, original-only caching, and original+sub-query caching.
-func Table3Cache() (Report, error) {
-	ctx := context.Background()
+func Table3Cache(ctx context.Context) (Report, error) {
 	set := workload.GenQA(cacheSeed, cacheQueries)
 	model := llm.DefaultFamily().ByName(llm.NameMedium)
 

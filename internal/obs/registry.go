@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -77,11 +78,33 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return m.(*Histogram)
 }
 
+// metricNameRE is the charter for metric family names: lowercase_snake,
+// starting with a letter. Prometheus-compatible, grep-able, and stable —
+// a name built with fmt.Sprintf would silently fork a family per request.
+// The metricname analyzer (internal/analysis/metricname) enforces this on
+// literal call sites at lint time; the runtime guard below backstops
+// names the analyzer cannot resolve (computed or cross-package).
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// CheckMetricName reports whether name is a legal metric family name:
+// lowercase_snake, starting with a letter.
+func CheckMetricName(name string) error {
+	if !metricNameRE.MatchString(name) {
+		return fmt.Errorf("obs: invalid metric name %q: must match %s (lowercase_snake)", name, metricNameRE)
+	}
+	return nil
+}
+
 func (r *Registry) familyFor(name, typ string, buckets []float64) *family {
 	r.mu.RLock()
 	f := r.families[name]
 	r.mu.RUnlock()
 	if f == nil {
+		// Validate on the creation slow path only: an illegal name can never
+		// reach an existing family, because creating it would have panicked.
+		if err := CheckMetricName(name); err != nil {
+			panic(err)
+		}
 		r.mu.Lock()
 		if f = r.families[name]; f == nil {
 			b := buckets

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGoRunsFunction(t *testing.T) {
+	done := make(chan struct{})
+	Go(NewRegistry(), "unit", func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("spawned function never ran")
+	}
+}
+
+func TestGoRecoversPanicAndCounts(t *testing.T) {
+	reg := NewRegistry()
+	Go(reg, "boom", func() { panic("kaboom") })
+
+	c := reg.Counter("goroutine_panics_total", "task", "boom")
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("panic was not recovered and counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGoRunsDefersBeforeRecovery(t *testing.T) {
+	reg := NewRegistry()
+	cleaned := make(chan struct{})
+	Go(reg, "cleanup", func() {
+		defer close(cleaned) // must run during the unwind
+		panic("kaboom")
+	})
+	select {
+	case <-cleaned:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deferred cleanup did not run during panic unwind")
+	}
+}
+
+func TestGoNilRegistryFallsBackToDefault(t *testing.T) {
+	done := make(chan struct{})
+	Go(nil, "default_reg", func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("spawned function never ran")
+	}
+}
+
+func TestCheckMetricName(t *testing.T) {
+	for _, ok := range []string{"requests_total", "sched_queue_depth", "x", "a1_b2"} {
+		if err := CheckMetricName(ok); err != nil {
+			t.Errorf("CheckMetricName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "BadName", "1starts_with_digit", "has-dash", "has.dot", "has space", "_leading"} {
+		if err := CheckMetricName(bad); err == nil {
+			t.Errorf("CheckMetricName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestRegistryRejectsIllegalName(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("registering an illegal metric name did not panic")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "invalid metric name") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	NewRegistry().Counter("Not-A-Valid-Name")
+}
+
+func TestRegistryAcceptsLegalName(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("legal_snake_case").Inc()
+	reg.Gauge("another_legal_name").Set(1)
+	reg.Histogram("latency_seconds", LatencyBuckets).Observe(0.1)
+}

@@ -408,7 +408,7 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 	// land under this request's trace; the upstream deadline is the proxy's
 	// own, not the client's.
 	upCtx, cancelUp := context.WithTimeout(context.WithoutCancel(ctx), p.upstreamTimeout)
-	go func() {
+	obs.Go(p.reg, "proxy_upstream", func() {
 		defer cancelUp()
 		resp, trace, err := p.casc.Complete(upCtx, req)
 		// Accounting happens here — success or not — because the failed
@@ -434,7 +434,7 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 		p.gInflight.Add(-1)
 		p.mu.Unlock()
 		close(c.done)
-	}()
+	})
 
 	select {
 	case <-c.done:

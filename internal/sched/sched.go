@@ -258,7 +258,7 @@ func New(cfg Config, models ...llm.BatchModel) *Scheduler {
 		s.tiers[m.Name()] = t
 		s.order = append(s.order, m.Name())
 		s.wg.Add(1)
-		go s.run(t)
+		obs.Go(cfg.Obs, "sched_run", func() { s.run(t) })
 	}
 	return s
 }
@@ -303,14 +303,17 @@ func (s *Scheduler) Submit(ctx context.Context, model string, req llm.Request) (
 		return llm.Response{}, ErrClosed
 	}
 	// The enqueue happens under the read lock so Close (write lock) cannot
-	// interleave: every enqueued item is visible to the final drain.
+	// interleave: every enqueued item is visible to the final drain. The
+	// send can park when the queue is full — that backpressure under the
+	// close-gate RLock is deliberate (Close's write lock waits out the
+	// enqueue, never a batch), so both comm ops carry lockscope waivers.
 	select {
-	case t.queues[class] <- it:
+	case t.queues[class] <- it: //llmdm:allow lockscope bounded enqueue under the close gate is the design
 		s.submitted.Add(1)
 		s.mSubmitted[class].Inc()
 		t.gDepth[class].Add(1)
 		s.mu.RUnlock()
-	case <-ctx.Done():
+	case <-ctx.Done(): //llmdm:allow lockscope cancellation arm of the gated enqueue
 		s.mu.RUnlock()
 		sp.SetAttr("outcome", "canceled")
 		return llm.Response{}, ctx.Err()
@@ -531,7 +534,10 @@ func (s *Scheduler) flush(t *tier, batch []*item) {
 	for i, it := range live {
 		reqs[i] = it.req
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.BatchTimeout)
+	// The flush deliberately detaches from every submitter's context: the
+	// batch runs to completion for the whole cohort even when individual
+	// callers cancel, bounded only by the scheduler's own BatchTimeout.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.BatchTimeout) //llmdm:detached batch flush outlives any single submitter
 	defer cancel()
 	resps, err := t.model.GenerateBatch(ctx, reqs)
 	if err == nil && len(resps) != len(live) {

@@ -299,13 +299,14 @@ func (c *Client) Resolver(model string, threshold float64, compareCols []string,
 // RunExperiment regenerates one paper table or figure by ID ("table1",
 // "table2", "table3", "fig1" ... "fig7"), or one of this repository's own
 // ablation studies ("ab-index", "ab-cache-policy", "ab-cache-threshold",
-// "ab-hybrid", "ab-dp").
-func RunExperiment(id string) (Report, error) {
+// "ab-hybrid", "ab-dp"). The context bounds the whole experiment:
+// canceling it aborts the run at the next model call or sweep cell.
+func RunExperiment(ctx context.Context, id string) (Report, error) {
 	if r, ok := exper.Registry()[id]; ok {
-		return r()
+		return r(ctx)
 	}
 	if r, ok := exper.ExtRegistry()[id]; ok {
-		return r()
+		return r(ctx)
 	}
 	known := append(exper.IDs(), exper.ExtIDs()...)
 	sort.Strings(known)

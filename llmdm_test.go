@@ -135,7 +135,7 @@ func TestPipelineFacade(t *testing.T) {
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
-	if _, err := RunExperiment("table9"); err == nil {
+	if _, err := RunExperiment(context.Background(), "table9"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -237,7 +237,7 @@ func TestPipelineCancellation(t *testing.T) {
 // The unknown-experiment error lists every known ID exactly once,
 // sorted.
 func TestRunExperimentUnknownErrorListsIDsOnce(t *testing.T) {
-	_, err := RunExperiment("table9")
+	_, err := RunExperiment(context.Background(), "table9")
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
