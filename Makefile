@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint analyzers-test test race race-concurrent cover bench bench-sched fuzz experiments ablations chaos telemetry clean
+.PHONY: all build vet lint analyzers-test test race race-concurrent cover bench bench-sched bench-json bench-check fuzz experiments ablations chaos telemetry clean
 
 all: build vet lint test
 
@@ -47,6 +47,20 @@ bench:
 bench-sched:
 	$(GO) test -run 'TestSchedThroughputWin|TestInteractiveNotStarvedUnderBatchLoad' -v ./internal/sched/
 	$(GO) test -run - -bench 'BenchmarkScheduler' -benchtime=1x -benchmem ./internal/sched/
+
+# The recorded perf trajectory: run the internal/perf suite and write
+# schema-stable BENCH_serving.json / BENCH_kernels.json into BENCH_DIR
+# (the repo root by default — the artifacts are checked in).
+BENCH_DIR ?= .
+bench-json:
+	$(GO) run ./cmd/llmdm-bench -bench-json -bench-dir $(BENCH_DIR)
+
+# Regenerate into a scratch dir and compare against the checked-in
+# artifacts; exits nonzero on large (>2.5x) regressions.
+bench-check:
+	$(GO) run ./cmd/llmdm-bench -bench-json -bench-dir /tmp/llmdm-bench-check
+	$(GO) run ./cmd/llmdm-bench -bench-compare BENCH_serving.json /tmp/llmdm-bench-check/BENCH_serving.json
+	$(GO) run ./cmd/llmdm-bench -bench-compare BENCH_kernels.json /tmp/llmdm-bench-check/BENCH_kernels.json
 
 # Short live-fuzz pass over every fuzz target (seed corpora always run
 # under plain `make test`).

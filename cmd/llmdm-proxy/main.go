@@ -2,14 +2,18 @@
 // over HTTP: a semantic cache, in-flight deduplication, the model
 // cascade, and an optional adaptive micro-batching scheduler stacked in
 // front of the simulated model family — fully instrumented with the
-// internal/obs metrics registry and request tracing.
+// internal/obs metrics registry, request tracing, a structured
+// lifecycle event log, per-class SLO burn-rate tracking and a Go
+// runtime collector.
 //
 //	llmdm-proxy -addr :8080 -batch
 //	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","difficulty":0.3}'
 //	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","priority":"batch"}'
 //	curl -s localhost:8080/v1/stats
-//	curl -s localhost:8080/metrics        # Prometheus text exposition
-//	curl -s localhost:8080/debug/traces   # recent request span trees (JSON)
+//	curl -s localhost:8080/v1/slo           # per-class SLO scorecard + burn rates
+//	curl -s localhost:8080/metrics          # Prometheus text exposition
+//	curl -s localhost:8080/debug/traces     # recent request span trees (JSON)
+//	curl -s 'localhost:8080/debug/events?trace=t1f'  # one request's event story
 package main
 
 import (
@@ -28,13 +32,23 @@ func main() {
 	capacity := flag.Int("cache-capacity", 10000, "semantic cache capacity (0 = unbounded)")
 	noCache := flag.Bool("no-cache", false, "disable the semantic cache")
 	traces := flag.Int("traces", obs.DefaultTraceCapacity, "request traces retained for /debug/traces")
+	events := flag.Int("events", obs.DefaultEventCapacity, "lifecycle events retained for /debug/events")
+	logLevel := flag.String("log-level", "debug", "minimum event level recorded: debug, info, warn or error")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max requests served at once (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "callers queued for a slot before shedding")
 	batch := flag.Bool("batch", false, "enable the adaptive micro-batching scheduler")
 	batchMax := flag.Int("batch-max", 0, "max requests per batch (0 = scheduler default)")
 	batchWait := flag.Duration("batch-wait", 0, "max batch window, e.g. 4ms (0 = scheduler default)")
+	noSLO := flag.Bool("no-slo", false, "disable per-class SLO tracking (/v1/slo)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	runtimeInterval := flag.Duration("runtime-interval", obs.DefaultRuntimeInterval, "Go runtime sampling period for go_* metrics (0 disables the collector)")
 	flag.Parse()
 
+	min, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		log.Fatalf("llmdm-proxy: unknown -log-level %q", *logLevel)
+	}
+	ring := obs.NewEventLog(*events)
 	cfg := proxy.Config{
 		Threshold:     *threshold,
 		CacheCapacity: *capacity,
@@ -42,6 +56,9 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
 		Tracer:        obs.NewTracer(*traces),
+		Log:           obs.NewLogger(ring, min, obs.Default),
+		DisableSLO:    *noSLO,
+		EnablePprof:   *pprofOn,
 	}
 	if *batch {
 		cfg.Scheduler = &sched.Config{
@@ -49,10 +66,14 @@ func main() {
 			MaxWait:  *batchWait,
 		}
 	}
+	if *runtimeInterval > 0 {
+		stop := obs.StartRuntimeCollector(obs.Default, *runtimeInterval)
+		defer stop()
+	}
 	p := proxy.New(cfg)
 	defer p.Close()
-	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, batching=%t, trace ring=%d)",
-		*addr, !*noCache, *threshold, *batch, *traces)
-	log.Printf("endpoints: POST /v1/complete · GET /v1/stats /metrics /debug/traces /healthz")
+	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, batching=%t, trace ring=%d, event ring=%d, slo=%t, pprof=%t)",
+		*addr, !*noCache, *threshold, *batch, *traces, *events, !*noSLO, *pprofOn)
+	log.Printf("endpoints: POST /v1/complete · GET /v1/stats /v1/slo /metrics /debug/traces /debug/events /healthz")
 	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
 }

@@ -20,6 +20,15 @@
 // reported. The obs registry enforces the same grammar at runtime
 // (obs.CheckMetricName), so a name that sneaks past the presumption
 // still fails fast.
+//
+// The same grammar governs lifecycle event names: calls to a method
+// named Event (the obs.Logger ctx-correlated emitter; name at argument
+// index 2, after ctx and level) or Emit (the uncorrelated variant; name
+// at index 1, after level) get the identical check, since event names
+// feed the log_events_total counter's level label and the /debug/events
+// name filter — a dynamic event name is the same cardinality explosion
+// one hop later. This also covers the slo_* families, whose names are
+// plain Counter/Gauge registrations inside the obs SLO tracker.
 package metricname
 
 import (
@@ -38,7 +47,7 @@ var NameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 // Analyzer is the metricname rule.
 var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
-	Doc: "obs metric names must be lowercase_snake string constants, " +
+	Doc: "obs metric and event names must be lowercase_snake string constants, " +
 		"never built with fmt.Sprintf or concatenation (label-cardinality guard)",
 	Run: run,
 }
@@ -57,17 +66,25 @@ func run(pass *analysis.Pass) error {
 			}
 			switch sel.Sel.Name {
 			case "Counter", "Gauge", "Histogram":
-			default:
-				return true
+				checkNameArg(pass, consts, sel.Sel.Name, "metric", call.Args[0])
+			case "Event":
+				// Logger.Event(ctx, level, name, kv...): name at index 2.
+				if len(call.Args) >= 3 {
+					checkNameArg(pass, consts, sel.Sel.Name, "event", call.Args[2])
+				}
+			case "Emit":
+				// Logger.Emit(level, name, kv...): name at index 1.
+				if len(call.Args) >= 2 {
+					checkNameArg(pass, consts, sel.Sel.Name, "event", call.Args[1])
+				}
 			}
-			checkNameArg(pass, consts, sel.Sel.Name, call.Args[0])
 			return true
 		})
 	})
 	return nil
 }
 
-func checkNameArg(pass *analysis.Pass, consts map[string]string, method string, arg ast.Expr) {
+func checkNameArg(pass *analysis.Pass, consts map[string]string, method, kind string, arg ast.Expr) {
 	switch a := arg.(type) {
 	case *ast.BasicLit:
 		if a.Kind != token.STRING {
@@ -79,13 +96,13 @@ func checkNameArg(pass *analysis.Pass, consts map[string]string, method string, 
 		}
 		if !NameRE.MatchString(name) {
 			pass.Reportf(arg.Pos(),
-				"%s metric name %q is not lowercase_snake (want %s)", method, name, NameRE.String())
+				"%s %s name %q is not lowercase_snake (want %s)", method, kind, name, NameRE.String())
 		}
 	case *ast.Ident:
 		if lit, ok := consts[a.Name]; ok && !NameRE.MatchString(lit) {
 			pass.Reportf(arg.Pos(),
-				"%s metric name constant %s = %q is not lowercase_snake (want %s)",
-				method, a.Name, lit, NameRE.String())
+				"%s %s name constant %s = %q is not lowercase_snake (want %s)",
+				method, kind, a.Name, lit, NameRE.String())
 		}
 		// Unresolvable identifiers are presumed constants from another
 		// package; the obs runtime guard backstops them.
@@ -93,7 +110,7 @@ func checkNameArg(pass *analysis.Pass, consts map[string]string, method string, 
 		// pkg.Const: presumed constant, runtime guard backstops.
 	default:
 		pass.Reportf(arg.Pos(),
-			"%s metric name is built dynamically: use a lowercase_snake string constant and put dynamic dimensions in label values", method)
+			"%s %s name is built dynamically: use a lowercase_snake string constant and put dynamic dimensions in label values", method, kind)
 	}
 }
 

@@ -1,14 +1,26 @@
 // Fixture: metric names that are not lowercase_snake constants are
 // reported — bad literals, bad package constants, and any computed name.
+// Lifecycle event names (Logger.Event / Logger.Emit) get the same rule.
 package fixture
 
 import "fmt"
 
 const badMetricName = "Sched-Window.Seconds"
 
+const badEventName = "SLO-Burn!"
+
 func register(reg registry, model string) {
 	reg.Counter("BadName")                               // want "Counter metric name \"BadName\" is not lowercase_snake"
 	reg.Gauge(badMetricName)                             // want "Gauge metric name constant badMetricName = \"Sched-Window.Seconds\" is not lowercase_snake"
 	reg.Counter(fmt.Sprintf("requests_%s_total", model)) // want "Counter metric name is built dynamically"
 	reg.Histogram("latency_"+model, nil)                 // want "Histogram metric name is built dynamically"
+	reg.Gauge("slo_Burn_Rate", "class", "interactive")   // want "Gauge metric name \"slo_Burn_Rate\" is not lowercase_snake"
+}
+
+func emitEvents(ctx context, log logger, model string) {
+	log.Event(ctx, infoLevel, "Proxy-Admit")                          // want "Event event name \"Proxy-Admit\" is not lowercase_snake"
+	log.Event(ctx, infoLevel, badEventName, "model", model)           // want "Event event name constant badEventName = \"SLO-Burn!\" is not lowercase_snake"
+	log.Event(ctx, infoLevel, "cascade_"+model)                       // want "Event event name is built dynamically"
+	log.Emit(warnLevel, fmt.Sprintf("breaker_%s", model))             // want "Emit event name is built dynamically"
+	log.Emit(warnLevel, "Breaker_Transition", "from", "closed")       // want "Emit event name \"Breaker_Transition\" is not lowercase_snake"
 }

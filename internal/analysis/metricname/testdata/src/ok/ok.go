@@ -1,13 +1,27 @@
 // Fixture: the accepted shapes — lowercase_snake literals, resolvable
 // lowercase constants, presumed cross-package constants (the obs runtime
-// guard backstops those), and dynamic dimensions as label values.
+// guard backstops those), and dynamic dimensions as label values. Event
+// emitters follow the same shapes, with the dynamic parts in kv attrs.
 package fixture
 
 const requestsTotal = "requests_total"
+
+const escalateEvent = "cascade_escalate"
 
 func register(reg registry, model string) {
 	reg.Counter("proxy_requests_total", "source", "cache")
 	reg.Counter(requestsTotal)
 	reg.Gauge(obs.QueueDepthMetric)
 	reg.Histogram("sched_batch_size", nil, "model", model)
+	reg.Gauge("slo_burn_rate", "class", "interactive", "window", "5m")
+}
+
+func emitEvents(ctx context, log logger, model string) {
+	log.Event(ctx, infoLevel, "proxy_admit", "model", model)
+	log.Event(ctx, infoLevel, escalateEvent, "from", model)
+	log.Emit(warnLevel, "breaker_transition", "from", "closed", "to", "open")
+	log.Emit(warnLevel, obs.ShedEvent, "queued", 3)
+	log.Event(ctx)          // too few args for a name: not an emitter shape
+	log.Emit(warnLevel)     // ditto
+	flag.Emit("NOT A NAME") // single-arg Emit on some other type: ignored
 }

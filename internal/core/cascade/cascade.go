@@ -135,6 +135,9 @@ type Cascade struct {
 	// Obs receives the cascade's step/escalation/error counters. Nil means
 	// obs.Default.
 	Obs *obs.Registry
+	// Log receives tier-attempt/skip/escalation lifecycle events. Nil
+	// means obs.DefaultLogger.
+	Log *obs.Logger
 }
 
 // step invokes one tier, through the scheduler when it manages the
@@ -157,6 +160,14 @@ func (c *Cascade) reg() *obs.Registry {
 		return c.Obs
 	}
 	return obs.Default
+}
+
+// logger returns the effective event logger.
+func (c *Cascade) logger() *obs.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return obs.DefaultLogger
 }
 
 // ErrNoModels is returned when a cascade has no models.
@@ -182,6 +193,7 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 		return llm.Response{}, Trace{}, ErrNoModels
 	}
 	reg := c.reg()
+	lg := c.logger()
 	var tr Trace
 	var last llm.Response
 	served := false
@@ -193,8 +205,10 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 			sp.SetAttr("outcome", "skipped")
 			sp.End()
 			reg.Counter("cascade_tier_skipped_total", "model", m.Name()).Inc()
+			lg.Event(ctx, obs.Warn, "cascade_tier_skip", "model", m.Name(), "tier", i)
 			continue
 		}
+		lg.Event(ctx, obs.Debug, "cascade_tier_attempt", "model", m.Name(), "tier", i)
 		resp, err := c.step(stepCtx, m, req)
 		if c.Breakers != nil && !errors.Is(err, context.Canceled) {
 			// Client cancellations say nothing about the tier's health.
@@ -205,6 +219,7 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 			sp.End()
 			reg.Counter("cascade_errors_total", "model", m.Name()).Inc()
 			reg.Counter("cascade_escalations_total").Add(int64(tr.Escalations()))
+			lg.Event(ctx, obs.Warn, "cascade_tier_error", "model", m.Name(), "tier", i, "error", err.Error())
 			return llm.Response{}, tr, err
 		}
 		last = resp
@@ -232,6 +247,7 @@ func (c *Cascade) Complete(ctx context.Context, req llm.Request) (llm.Response, 
 			served = true
 			break
 		}
+		lg.Event(ctx, obs.Info, "cascade_escalate", "from", m.Name(), "tier", i, "confidence", resp.Confidence)
 	}
 	if len(tr.Steps) == 0 {
 		reg.Counter("cascade_errors_total", "model", "none").Inc()

@@ -115,6 +115,8 @@ type Cache struct {
 	// ttl expires entries older than this many logical ticks (0 = never).
 	ttl int64
 
+	log *obs.Logger
+
 	// Metric handles, resolved once at construction.
 	mLookups, mHitExact, mHitSemantic, mMisses *obs.Counter
 	mEvictions, mExpired, mAdmitRejects, mPuts *obs.Counter
@@ -136,6 +138,9 @@ type Config struct {
 	// Obs receives the cache's hit/miss/evict/admission counters and the
 	// hit-similarity histogram. Nil means obs.Default.
 	Obs *obs.Registry
+	// Log receives semcache_evict lifecycle events. Nil means
+	// obs.DefaultLogger.
+	Log *obs.Logger
 }
 
 // New returns an empty cache.
@@ -150,8 +155,13 @@ func New(cfg Config) *Cache {
 	if reg == nil {
 		reg = obs.Default
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.DefaultLogger
+	}
 	return &Cache{
 		emb:       cfg.Embedder,
+		log:       log,
 		idx:       vector.NewFlat(cfg.Embedder.Dim(), vector.Cosine),
 		entries:   make(map[vector.ID]*Entry),
 		byExact:   make(map[string]vector.ID),
@@ -339,6 +349,9 @@ func (c *Cache) evictLocked(keep vector.ID) {
 	c.idx.Remove(victim)
 	c.stats.Evictions++
 	c.mEvictions.Inc()
+	// Evictions happen under the put-caller's lock but are cheap to log
+	// (ring write, no I/O); they have no single owning request.
+	c.log.Emit(obs.Debug, "semcache_evict", "policy", c.policy.String(), "hits", e.Hits)
 }
 
 // weight scores an entry's retention value: hit count scaled by the class

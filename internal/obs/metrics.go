@@ -100,6 +100,62 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding that rank — the standard
+// fixed-bucket estimate, exact only at bucket bounds. Samples landing
+// in the +Inf bucket clamp to the last finite bound. Returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return quantileFromCum(h.buckets, cum, q)
+}
+
+// quantileFromCum estimates a quantile from cumulative bucket counts
+// (the exposition form: one count per upper bound, +Inf last).
+func quantileFromCum(bounds []float64, cum []int64, q float64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i >= len(bounds) {
+		// +Inf bucket: the best defensible point estimate is the largest
+		// finite bound (0 when the histogram has no finite buckets at all).
+		if len(bounds) == 0 {
+			return 0
+		}
+		return bounds[len(bounds)-1]
+	}
+	lower := 0.0
+	if i > 0 {
+		lower = bounds[i-1]
+	}
+	var prev int64
+	if i > 0 {
+		prev = cum[i-1]
+	}
+	inBucket := cum[i] - prev
+	if inBucket <= 0 {
+		return bounds[i]
+	}
+	frac := (rank - float64(prev)) / float64(inBucket)
+	return lower + (bounds[i]-lower)*frac
+}
+
 // Default bucket layouts shared by the instrumented packages.
 var (
 	// LatencyBuckets covers sub-millisecond in-process serving up through

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %g, want 0", got)
+	}
+	// 10 observations per bucket region: [0,0.01], (0.01,0.1], (0.1,1], (1,+Inf).
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+		h.Observe(0.05)
+		h.Observe(0.5)
+		h.Observe(5)
+	}
+	// p50 = rank 20 of 40, exactly the top of the second bucket.
+	if got := h.Quantile(0.5); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 0.1", got)
+	}
+	// p25 lands at the top of the first bucket.
+	if got := h.Quantile(0.25); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("Quantile(0.25) = %g, want 0.01", got)
+	}
+	// Within-bucket interpolation: p37.5 is rank 15, halfway into bucket 2
+	// (0.01..0.1) -> 0.055.
+	if got := h.Quantile(0.375); math.Abs(got-0.055) > 1e-9 {
+		t.Errorf("Quantile(0.375) = %g, want 0.055", got)
+	}
+	// The +Inf bucket clamps to the last finite bound.
+	if got := h.Quantile(0.99); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Quantile(0.99) = %g, want clamp to 1", got)
+	}
+	// q clamps into [0,1].
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Errorf("Quantile(-3) = %g, want Quantile(0) = %g", got, h.Quantile(0))
+	}
+	if got := h.Quantile(7); got != h.Quantile(1) {
+		t.Errorf("Quantile(7) = %g, want Quantile(1) = %g", got, h.Quantile(7))
+	}
+}
+
+func TestJSONExpositionQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]struct {
+		Type   string `json:"type"`
+		Points []struct {
+			Histogram struct {
+				Quantiles map[string]float64 `json:"quantiles"`
+			} `json:"histogram"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("exposition is not JSON: %v\n%s", err, sb.String())
+	}
+	fam, ok := doc["lat_seconds"]
+	if !ok {
+		t.Fatalf("lat_seconds family missing from exposition:\n%s", sb.String())
+	}
+	if len(fam.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(fam.Points))
+	}
+	qs := fam.Points[0].Histogram.Quantiles
+	for _, want := range []string{"p50", "p95", "p99"} {
+		v, ok := qs[want]
+		if !ok {
+			t.Errorf("quantiles missing %s: %v", want, qs)
+			continue
+		}
+		// All observations sit in (0.01, 0.1]; every quantile
+		// interpolates inside that bucket.
+		if v <= 0.01 || v > 0.1 {
+			t.Errorf("%s = %g, want within (0.01, 0.1]", want, v)
+		}
+	}
+
+	// Empty histograms carry no quantiles block.
+	r2 := NewRegistry()
+	r2.Histogram("empty_seconds", []float64{1})
+	sb.Reset()
+	if err := r2.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "quantiles") {
+		t.Errorf("empty histogram exposition contains quantiles:\n%s", sb.String())
+	}
+}

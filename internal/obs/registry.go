@@ -165,12 +165,19 @@ func labelKey(kv []string) (string, []Label) {
 
 // --- exposition ---
 
-// histPoint is a histogram's exported state.
+// histPoint is a histogram's exported state. Quantiles are bucket
+// estimates computed at export time — they live only in the exposition
+// (not in Snapshot, whose entries must stay additive for Delta).
 type histPoint struct {
-	Buckets []int64 `json:"buckets"` // cumulative counts per upper bound, +Inf last
-	Count   int64   `json:"count"`
-	Sum     float64 `json:"sum"`
+	Buckets   []int64            `json:"buckets"` // cumulative counts per upper bound, +Inf last
+	Count     int64              `json:"count"`
+	Sum       float64            `json:"sum"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"` // p50/p95/p99 estimates
 }
+
+// exportQuantiles are the percentile estimates attached to every
+// exported histogram point.
+var exportQuantiles = map[string]float64{"p50": 0.50, "p95": 0.95, "p99": 0.99}
 
 type point struct {
 	labels []Label
@@ -216,6 +223,12 @@ func (r *Registry) export() []familyExport {
 				for i := range m.counts {
 					cum += m.counts[i].Load()
 					hp.Buckets[i] = cum
+				}
+				if hp.Buckets[len(hp.Buckets)-1] > 0 {
+					hp.Quantiles = make(map[string]float64, len(exportQuantiles))
+					for name, q := range exportQuantiles {
+						hp.Quantiles[name] = quantileFromCum(f.buckets, hp.Buckets, q)
+					}
 				}
 				fe.points = append(fe.points, point{labels: m.labels, hist: hp})
 			}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSamplesSynchronously(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Hour) // ticker will never fire
+	defer stop()
+
+	if v := reg.Gauge("go_goroutines").Value(); v < 1 {
+		t.Errorf("go_goroutines = %g, want >= 1", v)
+	}
+	if v := reg.Gauge("go_heap_alloc_bytes").Value(); v <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %g, want > 0", v)
+	}
+	if v := reg.Gauge("go_heap_sys_bytes").Value(); v <= 0 {
+		t.Errorf("go_heap_sys_bytes = %g, want > 0", v)
+	}
+	if v := reg.Gauge("go_next_gc_bytes").Value(); v <= 0 {
+		t.Errorf("go_next_gc_bytes = %g, want > 0", v)
+	}
+}
+
+func TestRuntimeCollectorObservesGCCycles(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Hour)
+	defer stop()
+
+	c := &runtimeCollector{
+		gGoroutines: reg.Gauge("go_goroutines"),
+		gHeapAlloc:  reg.Gauge("go_heap_alloc_bytes"),
+		gHeapSys:    reg.Gauge("go_heap_sys_bytes"),
+		gHeapObjs:   reg.Gauge("go_heap_objects"),
+		gNextGC:     reg.Gauge("go_next_gc_bytes"),
+		gGCCPU:      reg.Gauge("go_gc_cpu_fraction"),
+		mGCCycles:   reg.Counter("go_gc_cycles_total"),
+		hGCPause:    reg.Histogram("go_gc_pause_seconds", GCPauseBuckets),
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.lastNumGC = ms.NumGC
+
+	runtime.GC()
+	runtime.GC()
+	c.sample()
+
+	if v := c.mGCCycles.Value(); v < 2 {
+		t.Errorf("go_gc_cycles_total = %d, want >= 2 after two forced GCs", v)
+	}
+	if n := c.hGCPause.Count(); n < 2 {
+		t.Errorf("go_gc_pause_seconds count = %d, want >= 2", n)
+	}
+}
+
+func TestRuntimeCollectorStopIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Millisecond)
+	stop()
+	stop() // second call must not panic (close of closed channel)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,8 +14,9 @@ import (
 // and closed with End. All methods are nil-safe and safe for concurrent
 // use, so instrumentation can be unconditional.
 type Span struct {
-	name  string
-	start time.Time
+	name    string
+	start   time.Time
+	traceID string // set before the span is shared; read without the lock
 
 	mu       sync.Mutex
 	duration time.Duration
@@ -26,6 +28,28 @@ type Span struct {
 	tracer *Tracer
 }
 
+// attrString renders an annotation value: ints, floats, bools and
+// durations get compact forms, everything else fmt.Sprint. Shared by
+// Span.SetAttr and Logger events so traces and the event log agree.
+func attrString(value interface{}) string {
+	switch x := value.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', 6, 64)
+	case time.Duration:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
 // SetAttr records a key/value annotation. Values are rendered to strings:
 // ints, floats, bools and durations get compact forms, everything else
 // fmt.Sprint.
@@ -33,23 +57,7 @@ func (s *Span) SetAttr(key string, value interface{}) {
 	if s == nil {
 		return
 	}
-	var v string
-	switch x := value.(type) {
-	case string:
-		v = x
-	case bool:
-		v = strconv.FormatBool(x)
-	case int:
-		v = strconv.Itoa(x)
-	case int64:
-		v = strconv.FormatInt(x, 10)
-	case float64:
-		v = strconv.FormatFloat(x, 'g', 6, 64)
-	case time.Duration:
-		v = x.String()
-	default:
-		v = fmt.Sprint(x)
-	}
+	v := attrString(value)
 	s.mu.Lock()
 	s.attrs = append(s.attrs, Label{Key: key, Value: v})
 	s.mu.Unlock()
@@ -85,9 +93,27 @@ func (s *Span) addChild(c *Span) {
 	s.mu.Unlock()
 }
 
+// TraceID returns the ID of the trace this span belongs to, or "" for
+// detached spans. IDs are minted by Tracer.Start and inherited by
+// children, so every span in one request's tree shares one ID — the
+// join key between /debug/traces and /debug/events.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// TraceIDFromContext returns the trace ID of the span carried by ctx,
+// or "" when ctx carries none.
+func TraceIDFromContext(ctx context.Context) string {
+	return SpanFromContext(ctx).TraceID()
+}
+
 // SpanData is the exported (JSON-ready) form of a finished span tree.
 type SpanData struct {
 	Name       string            `json:"name"`
+	TraceID    string            `json:"trace_id,omitempty"`
 	Start      time.Time         `json:"start"`
 	DurationMS float64           `json:"duration_ms"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
@@ -98,7 +124,7 @@ type SpanData struct {
 // report the duration so far).
 func (s *Span) data() SpanData {
 	s.mu.Lock()
-	d := SpanData{Name: s.name, Start: s.start, DurationMS: float64(s.duration.Microseconds()) / 1000}
+	d := SpanData{Name: s.name, TraceID: s.traceID, Start: s.start, DurationMS: float64(s.duration.Microseconds()) / 1000}
 	if !s.ended {
 		d.DurationMS = float64(time.Since(s.start).Microseconds()) / 1000
 	}
@@ -136,6 +162,7 @@ func SpanFromContext(ctx context.Context) *Span {
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	s := &Span{name: name, start: time.Now()}
 	if parent := SpanFromContext(ctx); parent != nil {
+		s.traceID = parent.traceID
 		parent.addChild(s)
 	}
 	return ContextWithSpan(ctx, s), s
@@ -167,14 +194,25 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]*Span, capacity)}
 }
 
+// traceSeq mints process-unique trace IDs.
+var traceSeq atomic.Uint64
+
+// newTraceID returns a fresh process-unique trace ID ("t1", "t2", ...
+// in hex). IDs only need to be unique within the in-memory rings they
+// join, so a counter beats entropy.
+func newTraceID() string {
+	return "t" + strconv.FormatUint(traceSeq.Add(1), 16)
+}
+
 // Start begins a root span recorded into this tracer's ring when ended.
 // The returned context carries the span; child spans started from it via
-// StartSpan attach beneath it.
+// StartSpan attach beneath it. Each root gets a fresh trace ID,
+// inherited by its children and readable via TraceIDFromContext.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return StartSpan(ctx, name)
 	}
-	s := &Span{name: name, start: time.Now(), tracer: t}
+	s := &Span{name: name, start: time.Now(), traceID: newTraceID(), tracer: t}
 	return ContextWithSpan(ctx, s), s
 }
 
@@ -207,6 +245,24 @@ func (t *Tracer) Recent(n int) []SpanData {
 		out[i] = s.data()
 	}
 	return out
+}
+
+// ByID returns the retained trace whose root carries the given ID.
+func (t *Tracer) ByID(id string) (SpanData, bool) {
+	t.mu.Lock()
+	var found *Span
+	for i := 0; i < t.n; i++ {
+		idx := (t.next - 1 - i + len(t.ring) + len(t.ring)) % len(t.ring)
+		if t.ring[idx].traceID == id {
+			found = t.ring[idx]
+			break
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return SpanData{}, false
+	}
+	return found.data(), true
 }
 
 // Len reports how many traces the ring currently holds.

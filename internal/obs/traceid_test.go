@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTracerMintsTraceIDs(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.Start(context.Background(), "req")
+	id := root.TraceID()
+	if id == "" || !strings.HasPrefix(id, "t") {
+		t.Fatalf("TraceID() = %q, want t-prefixed id", id)
+	}
+	if got := TraceIDFromContext(ctx); got != id {
+		t.Errorf("TraceIDFromContext = %q, want %q", got, id)
+	}
+	// Children inherit the root's ID.
+	childCtx, child := StartSpan(ctx, "step")
+	if child.TraceID() != id {
+		t.Errorf("child TraceID = %q, want %q", child.TraceID(), id)
+	}
+	if got := TraceIDFromContext(childCtx); got != id {
+		t.Errorf("child ctx TraceID = %q, want %q", got, id)
+	}
+	child.End()
+	root.End()
+
+	// Distinct requests get distinct IDs.
+	_, other := tr.Start(context.Background(), "req")
+	if other.TraceID() == id {
+		t.Errorf("two roots share trace id %q", id)
+	}
+	other.End()
+
+	// ByID finds the recorded tree, and its JSON carries the id.
+	data, ok := tr.ByID(id)
+	if !ok {
+		t.Fatalf("ByID(%q) not found", id)
+	}
+	if data.TraceID != id || data.Name != "req" {
+		t.Errorf("ByID data = %+v", data)
+	}
+	if len(data.Children) != 1 || data.Children[0].TraceID != id {
+		t.Errorf("child data = %+v, want inherited trace id", data.Children)
+	}
+	if _, ok := tr.ByID("t_no_such"); ok {
+		t.Error("ByID on an unknown id reported found")
+	}
+}
+
+func TestTraceIDNilAndDetached(t *testing.T) {
+	if got := TraceIDFromContext(context.Background()); got != "" {
+		t.Errorf("empty ctx TraceID = %q, want empty", got)
+	}
+	var nilSpan *Span
+	if nilSpan.TraceID() != "" {
+		t.Error("nil span TraceID not empty")
+	}
+	// Detached spans (no tracer) carry no ID.
+	_, s := StartSpan(context.Background(), "orphan")
+	if s.TraceID() != "" {
+		t.Errorf("detached span TraceID = %q, want empty", s.TraceID())
+	}
+	s.End()
+}

@@ -1,0 +1,294 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core/semcache"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/proxy"
+	"repro/internal/sched"
+	"repro/internal/token"
+	"repro/internal/vector"
+)
+
+// corpusSize is the vector-index population for the search benchmarks —
+// big enough that flat vs HNSW scaling is visible, small enough that
+// setup stays sub-second.
+const corpusSize = 2048
+
+// perfText returns the i-th synthetic document/query text.
+func perfText(i int) string {
+	return fmt.Sprintf("document %d about caching and cascades for serving workload %d", i, i%7)
+}
+
+// buildCorpus embeds corpusSize documents once for the search benches.
+func buildCorpus(e *embed.Embedder) []vector.Item {
+	items := make([]vector.Item, corpusSize)
+	for i := range items {
+		items[i] = vector.Item{ID: vector.ID(i), Vec: e.Text(perfText(i))}
+	}
+	return items
+}
+
+// Kernels is the compute-kernel suite: embedding, tokenizing and vector
+// search, the non-model work on the serving path's critical path.
+func Kernels() []Spec {
+	return []Spec{
+		{Name: "embed_text", Bench: func(b *testing.B) {
+			e := embed.New(embed.DefaultDim)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Text(perfText(i % 256))
+			}
+		}},
+		{Name: "tokenizer_count", Bench: func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n += token.Count(perfText(i % 256))
+			}
+			if n < 0 {
+				b.Fatal("impossible token count")
+			}
+		}},
+		{Name: "vector_flat_search", Bench: func(b *testing.B) {
+			e := embed.New(embed.DefaultDim)
+			idx := vector.NewFlat(e.Dim(), vector.Cosine)
+			if err := idx.Add(buildCorpus(e)...); err != nil {
+				b.Fatal(err)
+			}
+			q := e.Text("query about caching for serving")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Search(q, 10)
+			}
+		}},
+		{Name: "vector_hnsw_search", Bench: func(b *testing.B) {
+			e := embed.New(embed.DefaultDim)
+			idx := vector.NewHNSW(vector.HNSWConfig{Dim: e.Dim(), Metric: vector.Cosine, Seed: 42})
+			if err := idx.Add(buildCorpus(e)...); err != nil {
+				b.Fatal(err)
+			}
+			q := e.Text("query about caching for serving")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Search(q, 10)
+			}
+		}},
+	}
+}
+
+// perfModel builds a fresh simulated model for the serving benches; the
+// paced wrapper compresses simulated seconds to wall-clock microseconds.
+func perfModel(reg *obs.Registry, scale float64) (*llm.Paced, *llm.SimModel) {
+	sim := llm.NewSim(llm.SimConfig{
+		Name:         "bench",
+		Capability:   0.9,
+		Price:        token.Price{InputPer1K: 1000, OutputPer1K: 2000},
+		TokensPerSec: 50,
+		Obs:          reg,
+	})
+	return llm.NewPaced(sim, scale), sim
+}
+
+func perfReq(i int) llm.Request {
+	return llm.Request{
+		Task:       llm.TaskQA,
+		Prompt:     fmt.Sprintf("benchmark question %d about serving throughput", i),
+		Gold:       fmt.Sprintf("answer %d", i),
+		Difficulty: 0.3,
+	}
+}
+
+// Serving is the serving-path suite: semantic-cache lookups, proxy
+// completions (cache-hit and full-cascade) and scheduler submission.
+// ctx flows from the caller (the bench CLI's signal-aware root) into
+// every model call so the suite stays cancelable.
+func Serving(ctx context.Context) []Spec {
+	return []Spec{
+		{Name: "semcache_hit_exact", Bench: func(b *testing.B) {
+			c := semcache.New(semcache.Config{
+				Embedder: embed.New(embed.DefaultDim),
+				Obs:      obs.NewRegistry(),
+				Log:      obs.NewLogger(obs.NewEventLog(64), obs.Debug, obs.NewRegistry()),
+			})
+			for i := 0; i < 512; i++ {
+				c.Put(perfText(i), "cached answer", semcache.Original, semcache.Reuse)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := c.Lookup(perfText(i % 512)); !ok {
+					b.Fatal("expected a cache hit")
+				}
+			}
+		}},
+		{Name: "semcache_lookup_miss", Bench: func(b *testing.B) {
+			c := semcache.New(semcache.Config{
+				Embedder:  embed.New(embed.DefaultDim),
+				Threshold: 0.999,
+				Obs:       obs.NewRegistry(),
+				Log:       obs.NewLogger(obs.NewEventLog(64), obs.Debug, obs.NewRegistry()),
+			})
+			for i := 0; i < 512; i++ {
+				c.Put(perfText(i), "cached answer", semcache.Original, semcache.Reuse)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(fmt.Sprintf("completely different probe %d", i))
+			}
+		}},
+		{Name: "proxy_complete_cache_hit", Bench: func(b *testing.B) {
+			var spend token.Cost
+			p := newBenchProxy(proxy.Config{Threshold: 0.5})
+			ans, err := p.Complete(ctx, perfReq(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			spend += ans.Cost
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := p.Complete(ctx, perfReq(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				spend += a.Cost
+			}
+			if spend < 0 {
+				b.Fatal("impossible spend")
+			}
+		}},
+		{Name: "proxy_complete_cascade", Bench: func(b *testing.B) {
+			var spend token.Cost
+			p := newBenchProxy(proxy.Config{Threshold: 0.5, DisableCache: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := p.Complete(ctx, perfReq(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				spend += a.Cost
+			}
+			if spend <= 0 && b.N > 0 {
+				b.Fatal("cascade path billed nothing")
+			}
+		}},
+		{Name: "sched_submit", Bench: func(b *testing.B) {
+			reg := obs.NewRegistry()
+			model, sim := perfModel(reg, 100000)
+			s := sched.New(sched.Config{
+				MaxBatch: 16,
+				MaxWait:  500 * time.Microsecond,
+				MinWait:  20 * time.Microsecond,
+				Obs:      reg,
+				Log:      obs.NewLogger(obs.NewEventLog(64), obs.Debug, reg),
+			}, model)
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Submit(ctx, "bench", perfReq(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if sim.Meter().Spend <= 0 && b.N > 0 {
+				b.Fatal("scheduler path billed nothing")
+			}
+		}},
+	}
+}
+
+// newBenchProxy builds a proxy with private observability state so
+// benchmark iterations never pollute the process-wide rings.
+func newBenchProxy(cfg proxy.Config) *proxy.Proxy {
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	cfg.Tracer = obs.NewTracer(16)
+	cfg.Log = obs.NewLogger(obs.NewEventLog(256), obs.Debug, reg)
+	return proxy.New(cfg)
+}
+
+// ThroughputWin measures the scheduler's headline derived metric: the
+// ratio of batched to direct request throughput for the same 32-way
+// concurrent traffic on the same paced model (mirroring the sched
+// package's TestSchedThroughputWin gate, which requires >= 2x at 64-way).
+func ThroughputWin(ctx context.Context) (float64, error) {
+	const (
+		workers   = 32
+		perWorker = 4
+		scale     = 2000
+	)
+	direct, directSim := perfModel(obs.NewRegistry(), scale)
+	directElapsed, err := driveClients(ctx, workers, perWorker, direct.Complete)
+	if err != nil {
+		return 0, err
+	}
+	if directSim.Meter().Spend <= 0 {
+		return 0, fmt.Errorf("perf: direct path billed nothing")
+	}
+
+	reg := obs.NewRegistry()
+	paced, sim := perfModel(reg, scale)
+	s := sched.New(sched.Config{
+		MaxBatch: 32,
+		MaxWait:  2 * time.Millisecond,
+		Obs:      reg,
+		Log:      obs.NewLogger(obs.NewEventLog(64), obs.Debug, reg),
+	}, paced)
+	defer s.Close()
+	schedElapsed, err := driveClients(ctx, workers, perWorker, func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		return s.Submit(ctx, "bench", req)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if sim.Meter().Spend <= 0 {
+		return 0, fmt.Errorf("perf: scheduled path billed nothing")
+	}
+	if schedElapsed <= 0 {
+		return 0, fmt.Errorf("perf: zero scheduled elapsed time")
+	}
+	return directElapsed.Seconds() / schedElapsed.Seconds(), nil
+}
+
+// driveClients fans total = workers*perWorker requests out over workers
+// goroutines, returning the wall-clock to finish them all.
+func driveClients(ctx context.Context, workers, perWorker int, call func(ctx context.Context, req llm.Request) (llm.Response, error)) (time.Duration, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		spend    token.Cost
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := call(ctx, perfReq(w*perWorker+i))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				spend += resp.Cost
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if spend < 0 {
+		return 0, fmt.Errorf("perf: impossible negative spend")
+	}
+	return time.Since(start), nil
+}

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/sched"
 )
@@ -35,7 +37,9 @@ type CompletionRequest struct {
 	Priority string `json:"priority,omitempty"`
 }
 
-// CompletionResponse is the JSON reply of POST /v1/complete.
+// CompletionResponse is the JSON reply of POST /v1/complete. TraceID
+// keys into /debug/traces?trace= and /debug/events?trace= to replay the
+// request's lifecycle.
 type CompletionResponse struct {
 	Text       string  `json:"text"`
 	Model      string  `json:"model"`
@@ -43,14 +47,18 @@ type CompletionResponse struct {
 	Confidence float64 `json:"confidence"`
 	CostMicro  int64   `json:"cost_micro_usd"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
+	TraceID    string  `json:"trace_id,omitempty"`
 }
 
 // Handler returns the proxy's HTTP mux:
 //
 //	POST /v1/complete   — serve one completion
-//	GET  /v1/stats      — lifetime counters
-//	GET  /metrics       — Prometheus text exposition of the full registry
-//	GET  /debug/traces  — recent request span trees, JSON (?n= limits)
+//	GET  /v1/stats      — lifetime counters (+ latency percentiles)
+//	GET  /v1/slo        — per-class SLO scorecard with burn rates
+//	GET  /metrics       — Prometheus text exposition (?format=json for JSON)
+//	GET  /debug/traces  — recent request span trees, JSON (?n=, ?trace=)
+//	GET  /debug/events  — recent lifecycle events (?trace=, ?level=, ?name=, ?n=)
+//	GET  /debug/pprof/* — net/http/pprof, only with Config.EnablePprof
 //	GET  /healthz       — liveness
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -100,6 +108,7 @@ func (p *Proxy) Handler() http.Handler {
 			Confidence: ans.Confidence,
 			CostMicro:  int64(ans.Cost),
 			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+			TraceID:    ans.Trace,
 		})
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -124,6 +133,25 @@ func (p *Proxy) Handler() http.Handler {
 			}
 			out["breakers"] = breakers
 		}
+		// Latency percentiles per source, estimated from the histograms,
+		// so operators read p99s without scraping raw buckets.
+		latency := make(map[string]map[string]float64)
+		for source, h := range map[string]*obs.Histogram{
+			"cache": p.hLatCache, "coalesced": p.hLatCoalesced,
+			"cascade": p.hLatCascade, "stale": p.hLatStale,
+		} {
+			if h.Count() == 0 {
+				continue
+			}
+			latency[source] = map[string]float64{
+				"p50_ms": h.Quantile(0.50) * 1000,
+				"p95_ms": h.Quantile(0.95) * 1000,
+				"p99_ms": h.Quantile(0.99) * 1000,
+			}
+		}
+		if len(latency) > 0 {
+			out["latency"] = latency
+		}
 		if ss, ok := p.SchedStats(); ok {
 			windows := make(map[string]float64, len(ss.Windows))
 			for model, w := range ss.Windows {
@@ -141,10 +169,26 @@ func (p *Proxy) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
 	})
+	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if p.slo == nil {
+			http.Error(w, "SLO tracking disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.slo.Snapshot())
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
+		}
+		// Refresh the slo_* gauges so every scrape sees current burn rates.
+		if p.slo != nil {
+			p.slo.Snapshot()
 		}
 		// ?format=json selects the JSON exposition; default is Prometheus
 		// text.
@@ -161,6 +205,15 @@ func (p *Proxy) Handler() http.Handler {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			w.Header().Set("Content-Type", "application/json")
+			if td, ok := p.tracer.ByID(id); ok {
+				json.NewEncoder(w).Encode(map[string]interface{}{"traces": []obs.SpanData{td}})
+			} else {
+				json.NewEncoder(w).Encode(map[string]interface{}{"traces": []obs.SpanData{}})
+			}
+			return
+		}
 		n := 0
 		if s := r.URL.Query().Get("n"); s != "" {
 			v, err := strconv.Atoi(s)
@@ -175,6 +228,47 @@ func (p *Proxy) Handler() http.Handler {
 			"traces": p.tracer.Recent(n),
 		})
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		f := obs.EventFilter{Trace: q.Get("trace"), Name: q.Get("name")}
+		if s := q.Get("level"); s != "" {
+			min, ok := obs.ParseLevel(s)
+			if !ok {
+				http.Error(w, "level must be debug, info, warn or error", http.StatusBadRequest)
+				return
+			}
+			f.Min = min
+		}
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			f.Max = v
+		}
+		events := p.events.Events(f)
+		if events == nil {
+			events = []obs.Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"events":      events,
+			"capacity":    p.events.Cap(),
+			"overwritten": p.events.Overwritten(),
+		})
+	})
+	if p.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))

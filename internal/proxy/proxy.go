@@ -66,6 +66,9 @@ type Answer struct {
 	// "error".
 	Source string
 	Cost   token.Cost
+	// Trace is the request's trace ID — the key into /debug/traces and
+	// /debug/events, set even on errors so failures stay explainable.
+	Trace string
 }
 
 // Stats are the proxy's lifetime counters.
@@ -132,6 +135,22 @@ type Config struct {
 	// Tracer retains recent request traces (served by GET /debug/traces).
 	// Nil means obs.DefaultTracer.
 	Tracer *obs.Tracer
+	// Events retains recent structured lifecycle events (served by GET
+	// /debug/events). Nil means obs.DefaultEvents — unless Log is set, in
+	// which case the logger's own sink is served.
+	Events *obs.EventLog
+	// Log emits the serving stack's lifecycle events. Nil builds a logger
+	// over Events at Debug level, counting into Obs.
+	Log *obs.Logger
+	// SLO parameterizes per-class latency/availability objectives served
+	// at GET /v1/slo (its Obs and Now default from the proxy). The zero
+	// value selects defaults; DisableSLO turns tracking off.
+	SLO        obs.SLOConfig
+	DisableSLO bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// proxy's HTTP mux. Off by default: profiling endpoints can stall the
+	// world and belong behind an operator's explicit choice.
+	EnablePprof bool
 }
 
 // Proxy is the serving front end. Proxy is safe for concurrent use.
@@ -140,6 +159,10 @@ type Proxy struct {
 	cache    *semcache.Cache
 	reg      *obs.Registry
 	tracer   *obs.Tracer
+	log      *obs.Logger
+	events   *obs.EventLog
+	slo      *obs.SLOTracker
+	pprof    bool
 	limiter  *resilience.Limiter
 	breakers *resilience.BreakerSet
 	sched    *sched.Scheduler
@@ -194,6 +217,11 @@ func New(cfg Config) *Proxy {
 	if tracer == nil {
 		tracer = obs.DefaultTracer
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewLogger(cfg.Events, obs.Debug, reg)
+	}
+	events := log.Sink()
 	if cfg.UpstreamTimeout == 0 {
 		cfg.UpstreamTimeout = 30 * time.Second
 	}
@@ -206,6 +234,9 @@ func New(cfg Config) *Proxy {
 		if bcfg.Obs == nil {
 			bcfg.Obs = reg
 		}
+		if bcfg.Log == nil {
+			bcfg.Log = log
+		}
 		breakers = resilience.NewBreakerSet(bcfg)
 	}
 	var scheduler *sched.Scheduler
@@ -213,6 +244,9 @@ func New(cfg Config) *Proxy {
 		scfg := *cfg.Scheduler
 		if scfg.Obs == nil {
 			scfg.Obs = reg
+		}
+		if scfg.Log == nil {
+			scfg.Log = log
 		}
 		var batchables []llm.BatchModel
 		for _, m := range models {
@@ -224,15 +258,27 @@ func New(cfg Config) *Proxy {
 			scheduler = sched.New(scfg, batchables...)
 		}
 	}
-	casc := &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, Obs: reg}
+	casc := &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, Obs: reg, Log: log}
 	if scheduler != nil {
 		casc.Sched = scheduler
+	}
+	var slo *obs.SLOTracker
+	if !cfg.DisableSLO {
+		scfg := cfg.SLO
+		if scfg.Obs == nil {
+			scfg.Obs = reg
+		}
+		slo = obs.NewSLOTracker(scfg)
 	}
 	p := &Proxy{
 		casc:     casc,
 		sched:    scheduler,
 		reg:      reg,
 		tracer:   tracer,
+		log:      log,
+		events:   events,
+		slo:      slo,
+		pprof:    cfg.EnablePprof,
 		breakers: breakers,
 		inflight: make(map[string]*call),
 
@@ -258,6 +304,7 @@ func New(cfg Config) *Proxy {
 			MaxConcurrent: cfg.MaxConcurrent,
 			MaxQueue:      cfg.MaxQueue,
 			Obs:           reg,
+			Log:           log,
 		})
 	}
 	if !cfg.DisableCache {
@@ -271,6 +318,7 @@ func New(cfg Config) *Proxy {
 			Threshold: th,
 			Policy:    semcache.Weighted,
 			Obs:       reg,
+			Log:       log,
 		})
 	}
 	return p
@@ -294,6 +342,12 @@ func (p *Proxy) Metrics() *obs.Registry { return p.reg }
 
 // Tracer returns the proxy's trace ring (what GET /debug/traces serves).
 func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
+
+// Events returns the proxy's event ring (what GET /debug/events serves).
+func (p *Proxy) Events() *obs.EventLog { return p.events }
+
+// SLO returns the proxy's SLO tracker, or nil when disabled.
+func (p *Proxy) SLO() *obs.SLOTracker { return p.slo }
 
 // Scheduler returns the proxy's batching scheduler, or nil when
 // batching is not configured (or no model supports it).
@@ -327,17 +381,42 @@ func (p *Proxy) BreakerStates() map[string]resilience.State {
 }
 
 // Complete serves one request through limiter → cache → coalescing →
-// cascade, degrading to a stale cache entry when the cascade fails.
+// cascade, degrading to a stale cache entry when the cascade fails. The
+// root span starts before admission so even shed requests leave a trace
+// and an event trail; the returned Answer carries the trace ID either
+// way.
 func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 	start := time.Now()
 	p.requests.Add(1)
+	ctx, root := p.tracer.Start(ctx, "proxy.complete")
+	defer root.End()
 
+	ans, err := p.serve(ctx, root, start, req)
+	ans.Trace = root.TraceID()
+
+	elapsed := time.Since(start)
+	if p.slo != nil {
+		p.slo.Record(sched.ClassFrom(ctx).String(), elapsed, err == nil)
+	}
+	if err == nil {
+		p.log.Event(ctx, obs.Info, "proxy_complete",
+			"source", ans.Source, "model", ans.Model, "cost_microusd", int64(ans.Cost), "elapsed", elapsed)
+	} else {
+		p.log.Event(ctx, obs.Error, "proxy_error", "error", err.Error(), "elapsed", elapsed)
+	}
+	return ans, err
+}
+
+// serve is Complete minus the bookkeeping that wraps every outcome
+// (trace ID, SLO accounting, terminal event).
+func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req llm.Request) (Answer, error) {
 	// 0. Admission: shed rather than queue without bound.
 	if p.limiter != nil {
 		if err := p.limiter.Acquire(ctx); err != nil {
 			if errors.Is(err, resilience.ErrOverloaded) {
 				p.shed.Add(1)
 				p.mReqShed.Inc()
+				root.SetAttr("source", "shed")
 			} else {
 				p.mReqError.Inc()
 			}
@@ -345,9 +424,7 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 		}
 		defer p.limiter.Release()
 	}
-
-	ctx, root := p.tracer.Start(ctx, "proxy.complete")
-	defer root.End()
+	p.log.Event(ctx, obs.Debug, "proxy_admit", "class", sched.ClassFrom(ctx).String())
 
 	// 1. Cache. The lookup embeds the query — deliberately outside every
 	// proxy lock so concurrent requests don't serialize on the embedder.
@@ -365,8 +442,10 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 			p.mReqCache.Inc()
 			p.hLatCache.Observe(time.Since(start).Seconds())
 			root.SetAttr("source", "cache")
+			p.log.Event(ctx, obs.Info, "proxy_cache_hit", "similarity", hit.Similarity, "exact", hit.Exact)
 			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: 1, Source: "cache"}, nil
 		}
+		p.log.Event(ctx, obs.Debug, "proxy_cache_miss")
 	}
 
 	// 2. In-flight dedup: join an identical pending request.
@@ -376,6 +455,7 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 		p.mu.Unlock()
 		p.coalesced.Add(1)
 		root.SetAttr("source", "coalesced")
+		p.log.Event(ctx, obs.Info, "proxy_coalesce_join")
 		_, wsp := obs.StartSpan(ctx, "coalesce.wait")
 		select {
 		case <-c.done:
@@ -427,6 +507,7 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 			// the money already burned.
 			c.ans = Answer{Source: "error", Cost: trace.TotalCost}
 			c.err = err
+			p.log.Event(upCtx, obs.Warn, "proxy_upstream_error", "error", err.Error(), "steps", len(trace.Steps))
 		}
 		c.steps = len(trace.Steps)
 		p.mu.Lock()
@@ -475,6 +556,7 @@ func (p *Proxy) degrade(ctx context.Context, root *obs.Span, start time.Time, re
 			p.mReqStale.Inc()
 			p.hLatStale.Observe(time.Since(start).Seconds())
 			root.SetAttr("source", "stale")
+			p.log.Event(ctx, obs.Warn, "proxy_stale_serve", "similarity", hit.Similarity)
 			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: hit.Similarity, Source: "stale"}, nil
 		}
 	}

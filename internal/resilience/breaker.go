@@ -66,6 +66,9 @@ type BreakerConfig struct {
 	// Obs receives breaker_state / breaker_transitions_total /
 	// breaker_rejections_total. Nil means obs.Default.
 	Obs *obs.Registry
+	// Log receives breaker_transition lifecycle events. Nil means
+	// obs.DefaultLogger.
+	Log *obs.Logger
 }
 
 // withDefaults fills zero fields.
@@ -90,6 +93,9 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.Default
+	}
+	if c.Log == nil {
+		c.Log = obs.DefaultLogger
 	}
 	return c
 }
@@ -215,10 +221,14 @@ func (b *Breaker) Record(ok bool) {
 }
 
 // transitionLocked moves to next, resetting the bookkeeping the new state
-// starts from and metering the edge. Caller holds b.mu.
+// starts from and metering the edge. Caller holds b.mu. Transitions have
+// no request context (the tripping call is incidental), so the event is
+// emitted uncorrelated.
 func (b *Breaker) transitionLocked(next State) {
+	prev := b.state
 	b.state = next
 	b.gState.Set(float64(next))
+	b.cfg.Log.Emit(obs.Warn, "breaker_transition", "name", b.name, "from", prev.String(), "to", next.String())
 	switch next {
 	case Open:
 		b.resetWindowLocked()

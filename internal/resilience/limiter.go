@@ -24,6 +24,9 @@ type LimiterConfig struct {
 	// limiter_admitted_total / limiter_shed_total counters. Nil means
 	// obs.Default.
 	Obs *obs.Registry
+	// Log receives limiter_shed lifecycle events. Nil means
+	// obs.DefaultLogger.
+	Log *obs.Logger
 }
 
 // Limiter is a concurrency gate with a bounded wait queue. Limiter is safe
@@ -35,6 +38,7 @@ type Limiter struct {
 	gQueued  *obs.Gauge
 	mAdmit   *obs.Counter
 	mShed    *obs.Counter
+	log      *obs.Logger
 }
 
 // NewLimiter builds a Limiter. It panics when MaxConcurrent <= 0 (an
@@ -50,6 +54,10 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 	if reg == nil {
 		reg = obs.Default
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.DefaultLogger
+	}
 	return &Limiter{
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
 		queue:    make(chan struct{}, cfg.MaxQueue),
@@ -57,6 +65,7 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 		gQueued:  reg.Gauge("limiter_queue_depth"),
 		mAdmit:   reg.Counter("limiter_admitted_total"),
 		mShed:    reg.Counter("limiter_shed_total"),
+		log:      log,
 	}
 }
 
@@ -77,6 +86,7 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	case l.queue <- struct{}{}:
 	default:
 		l.mShed.Inc()
+		l.log.Event(ctx, obs.Warn, "limiter_shed", "running", len(l.slots), "queued", len(l.queue))
 		return ErrOverloaded
 	}
 	l.gQueued.Add(1)

@@ -131,6 +131,9 @@ type Config struct {
 	BatchTimeout time.Duration
 	// Obs receives the scheduler's metrics. Nil means obs.Default.
 	Obs *obs.Registry
+	// Log receives sched_batch_flush lifecycle events. Nil means
+	// obs.DefaultLogger.
+	Log *obs.Logger
 }
 
 func (cfg Config) withDefaults() Config {
@@ -160,6 +163,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.Default
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.DefaultLogger
 	}
 	return cfg
 }
@@ -525,11 +531,16 @@ func (s *Scheduler) flush(t *tier, batch []*item) {
 	if len(live) == 0 {
 		return
 	}
+	cause := "deadline"
 	if len(live) == s.cfg.MaxBatch {
 		t.mFlushSize.Inc()
+		cause = "size"
 	} else {
 		t.mFlushDeadline.Inc()
 	}
+	// A flush serves many traces at once, so the event is uncorrelated.
+	s.cfg.Log.Emit(obs.Debug, "sched_batch_flush",
+		"model", t.model.Name(), "size", len(live), "dropped", len(batch)-len(live), "cause", cause)
 	reqs := make([]llm.Request, len(live))
 	for i, it := range live {
 		reqs[i] = it.req
