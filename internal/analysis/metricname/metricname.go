@@ -29,6 +29,13 @@
 // name filter — a dynamic event name is the same cardinality explosion
 // one hop later. This also covers the slo_* families, whose names are
 // plain Counter/Gauge registrations inside the obs SLO tracker.
+//
+// Alert rule names get the same treatment: calls to a method named
+// AddRule (the obs.AlertEngine registration; name at argument index 0)
+// must pass a lowercase_snake constant, because rule names become
+// alert_transition event attributes and /v1/alerts vocabulary — and the
+// alert_* / tenant_* metric families registered by the alert engine and
+// tenant accountant flow through the ordinary Counter/Gauge checks.
 package metricname
 
 import (
@@ -77,6 +84,11 @@ func run(pass *analysis.Pass) error {
 				if len(call.Args) >= 2 {
 					checkNameArg(pass, consts, sel.Sel.Name, "event", call.Args[1])
 				}
+			case "AddRule":
+				// AlertEngine.AddRule(name, cond, opts...): rule names land
+				// in alert_transition event attributes, the alert_state
+				// vocabulary and /v1/alerts — same charter, name at index 0.
+				checkNameArg(pass, consts, sel.Sel.Name, "alert-rule", call.Args[0])
 			}
 			return true
 		})

@@ -24,3 +24,12 @@ func emitEvents(ctx context, log logger, model string) {
 	log.Emit(warnLevel, fmt.Sprintf("breaker_%s", model))             // want "Emit event name is built dynamically"
 	log.Emit(warnLevel, "Breaker_Transition", "from", "closed")       // want "Emit event name \"Breaker_Transition\" is not lowercase_snake"
 }
+
+const badRuleName = "SLO Burn High"
+
+func registerAlerts(eng engine, tenant string) {
+	eng.AddRule("Breaker-Open", cond{})                        // want "AddRule alert-rule name \"Breaker-Open\" is not lowercase_snake"
+	eng.AddRule(badRuleName, cond{})                           // want "AddRule alert-rule name constant badRuleName = \"SLO Burn High\" is not lowercase_snake"
+	eng.AddRule(fmt.Sprintf("spend_spike_%s", tenant), cond{}) // want "AddRule alert-rule name is built dynamically"
+	eng.AddRule("tenant_"+tenant, cond{})                      // want "AddRule alert-rule name is built dynamically"
+}

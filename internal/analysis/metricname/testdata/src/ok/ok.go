@@ -25,3 +25,13 @@ func emitEvents(ctx context, log logger, model string) {
 	log.Emit(warnLevel)     // ditto
 	flag.Emit("NOT A NAME") // single-arg Emit on some other type: ignored
 }
+
+const spendSpikeRule = "tenant_spend_spike"
+
+func registerAlerts(eng engine, tenant string) {
+	eng.AddRule("slo_latency_burn_high", cond{})
+	eng.AddRule(spendSpikeRule, cond{})
+	eng.AddRule(obs.BreakerOpenRule, cond{})
+	// Dynamic dimensions belong in the condition, not the rule name.
+	eng.AddRule("tenant_spend_spike", spendCond{Tenant: tenant})
+}

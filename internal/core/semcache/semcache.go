@@ -200,6 +200,13 @@ func (c *Cache) Stats() Stats {
 // Lookup finds the best cached entry for query: an exact match if present,
 // otherwise the most similar entry above the threshold.
 func (c *Cache) Lookup(query string) (Hit, bool) {
+	return c.LookupTraced(query, "")
+}
+
+// LookupTraced is Lookup with the calling request's trace ID, retained
+// as the hit-similarity histogram's exemplar so a borderline-similarity
+// bucket resolves to a concrete request in /debug/traces.
+func (c *Cache) LookupTraced(query, trace string) (Hit, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++
@@ -217,7 +224,7 @@ func (c *Cache) Lookup(query string) (Hit, bool) {
 			c.stats.Hits++
 			c.stats.ExactHits++
 			c.mHitExact.Inc()
-			c.hSimilarity.Observe(1)
+			c.hSimilarity.ObserveWithExemplar(1, trace)
 			return Hit{Entry: *e, Similarity: 1, Exact: true}, true
 		}
 	}
@@ -239,7 +246,7 @@ func (c *Cache) Lookup(query string) (Hit, bool) {
 	e.lastUsed = c.clock
 	c.stats.Hits++
 	c.mHitSemantic.Inc()
-	c.hSimilarity.Observe(hits[0].Score)
+	c.hSimilarity.ObserveWithExemplar(hits[0].Score, trace)
 	return Hit{Entry: *e, Similarity: hits[0].Score}, true
 }
 

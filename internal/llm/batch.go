@@ -71,7 +71,10 @@ func (m *SimModel) GenerateBatch(ctx context.Context, reqs []Request) ([]Respons
 	var maxLat time.Duration
 	var cost token.Cost
 	for i := range reqs {
-		resps[i] = m.answer(reqs[i])
+		// The batch context is the scheduler's detached one, not any single
+		// submitter's, so per-item exemplars would mislink; items stay
+		// exemplar-free here.
+		resps[i] = m.answer(reqs[i], "")
 		if resps[i].Latency > maxLat {
 			maxLat = resps[i].Latency
 		}

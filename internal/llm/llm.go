@@ -218,7 +218,7 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 	sp.SetAttr("model", m.name)
 	defer sp.End()
 
-	resp := m.answer(req)
+	resp := m.answer(req, obs.TraceIDFromContext(ctx))
 	sp.SetAttr("tokens_in", resp.InputTokens)
 	sp.SetAttr("tokens_out", resp.OutputTokens)
 	sp.SetAttr("cost_microusd", int64(resp.Cost))
@@ -228,8 +228,9 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 
 // answer adjudicates, bills and meters one request — the per-item core
 // shared by Complete and GenerateBatch. The request must be valid (non-
-// empty prompt).
-func (m *SimModel) answer(req Request) Response {
+// empty prompt). trace, when non-empty, becomes the latency and cost
+// histograms' exemplar for the buckets this call lands in.
+func (m *SimModel) answer(req Request, trace string) Response {
 	// Deterministic per-(model, key) noise streams: one for correctness,
 	// one for confidence. Distinct salts keep them independent.
 	key := req.NoiseKey
@@ -282,8 +283,8 @@ func (m *SimModel) answer(req Request) Response {
 	m.mTokensIn.Add(int64(in))
 	m.mTokensOut.Add(int64(out))
 	m.mCost.Add(int64(cost))
-	m.mLatency.Observe(latency.Seconds())
-	m.mCallCost.Observe(float64(cost))
+	m.mLatency.ObserveWithExemplar(latency.Seconds(), trace)
+	m.mCallCost.ObserveWithExemplar(float64(cost), trace)
 
 	return Response{
 		Text:         text,

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// alertHarness wires an engine to a fresh registry, SLO tracker and
+// tenant accountant on a shared settable clock.
+func alertHarness() (*AlertEngine, *Registry, *SLOTracker, *TenantAccountant, *time.Time) {
+	reg := NewRegistry()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	slo := NewSLOTracker(SLOConfig{
+		Objectives: map[string]SLOObjective{"interactive": {LatencyTarget: 10 * time.Millisecond, LatencyGoal: 0.95, AvailabilityGoal: 0.99}},
+		Now:        clock,
+		Obs:        reg,
+	})
+	tenants := NewTenantAccountant(TenantConfig{Capacity: 8, Obs: reg})
+	events := NewEventLog(256)
+	e := NewAlertEngine(AlertConfig{
+		Source:  reg,
+		SLO:     slo,
+		Tenants: tenants,
+		Log:     NewLogger(events, Debug, reg),
+		Now:     clock,
+	})
+	return e, reg, slo, tenants, &now
+}
+
+func TestAlertThresholdLifecycle(t *testing.T) {
+	e, reg, _, _, now := alertHarness()
+	g := reg.Gauge("breaker_state", "model", "gpt_heavy")
+	e.AddRule("breaker_open", Threshold{Metric: "breaker_state", Above: 0.5}, WithSeverity(Error))
+
+	snap := e.Evaluate()
+	if snap.Rules[0].State != "inactive" || snap.Firing != 0 {
+		t.Fatalf("closed breaker: %+v", snap)
+	}
+
+	// For == 0 fires in a single evaluation: pending and firing edges
+	// both happen.
+	g.Set(1)
+	*now = now.Add(time.Second)
+	snap = e.Evaluate()
+	if snap.Firing != 1 || snap.Rules[0].State != "firing" {
+		t.Fatalf("open breaker: %+v", snap)
+	}
+	if snap.Rules[0].Value != 1 {
+		t.Fatalf("value = %g, want 1", snap.Rules[0].Value)
+	}
+	if snap.Rules[0].Since == nil {
+		t.Fatal("firing rule has no since")
+	}
+
+	g.Set(0)
+	*now = now.Add(time.Second)
+	snap = e.Evaluate()
+	if snap.Firing != 0 || snap.Rules[0].State != "inactive" {
+		t.Fatalf("recovered breaker: %+v", snap)
+	}
+
+	if got := reg.Counter("alert_transitions_total", "state", "firing").Value(); got != 1 {
+		t.Fatalf("firing transitions = %d, want 1", got)
+	}
+	if got := reg.Counter("alert_transitions_total", "state", "resolved").Value(); got != 1 {
+		t.Fatalf("resolved transitions = %d, want 1", got)
+	}
+
+	// Every edge landed in the event log: pending, firing, resolved.
+	events := e.log.Sink().Events(EventFilter{Name: "alert_transition"})
+	if len(events) != 3 {
+		t.Fatalf("alert_transition events = %d, want 3", len(events))
+	}
+	wantTo := []string{"pending", "firing", "resolved"}
+	for i, ev := range events {
+		if ev.Attrs["rule"] != "breaker_open" || ev.Attrs["to"] != wantTo[i] {
+			t.Fatalf("event %d = %+v, want to=%s", i, ev.Attrs, wantTo[i])
+		}
+	}
+}
+
+func TestAlertForDurationHoldsPending(t *testing.T) {
+	e, reg, _, _, now := alertHarness()
+	g := reg.Gauge("queue_depth")
+	e.AddRule("queue_deep", Threshold{Metric: "queue_depth", Above: 10}, ForDuration(30*time.Second))
+
+	g.Set(50)
+	snap := e.Evaluate()
+	if snap.Pending != 1 || snap.Firing != 0 {
+		t.Fatalf("first eval: %+v", snap)
+	}
+
+	// Still inside the hold window: pending, not firing.
+	*now = now.Add(10 * time.Second)
+	snap = e.Evaluate()
+	if snap.Pending != 1 || snap.Firing != 0 {
+		t.Fatalf("10s in: %+v", snap)
+	}
+
+	// Condition clears before the hold elapses: resolved without ever
+	// firing.
+	g.Set(0)
+	*now = now.Add(5 * time.Second)
+	snap = e.Evaluate()
+	if snap.Pending != 0 || snap.Firing != 0 {
+		t.Fatalf("cleared: %+v", snap)
+	}
+	if got := reg.Counter("alert_transitions_total", "state", "firing").Value(); got != 0 {
+		t.Fatal("fired despite never holding for-duration")
+	}
+
+	// Re-trips and holds long enough: fires.
+	g.Set(50)
+	*now = now.Add(time.Second)
+	e.Evaluate()
+	*now = now.Add(31 * time.Second)
+	snap = e.Evaluate()
+	if snap.Firing != 1 {
+		t.Fatalf("after hold: %+v", snap)
+	}
+}
+
+func TestAlertRateOfChange(t *testing.T) {
+	e, reg, _, _, now := alertHarness()
+	c := reg.Counter("limiter_shed_total")
+	e.AddRule("shed_rate_high", RateOfChange{Metric: "limiter_shed_total", PerSecondAbove: 1})
+
+	// First evaluation has no previous values — inactive by definition.
+	if snap := e.Evaluate(); snap.Pending+snap.Firing != 0 {
+		t.Fatalf("first eval: %+v", snap)
+	}
+
+	// 30 sheds over 10 seconds = 3/s > 1/s.
+	c.Add(30)
+	*now = now.Add(10 * time.Second)
+	snap := e.Evaluate()
+	if snap.Firing != 1 {
+		t.Fatalf("hot shed rate: %+v", snap)
+	}
+	if v := snap.Rules[0].Value; v < 2.9 || v > 3.1 {
+		t.Fatalf("rate = %g, want ~3", v)
+	}
+
+	// Flat counter → rate 0 → resolved.
+	*now = now.Add(10 * time.Second)
+	if snap = e.Evaluate(); snap.Firing != 0 {
+		t.Fatalf("flat counter: %+v", snap)
+	}
+}
+
+func TestAlertSLOBurn(t *testing.T) {
+	e, _, slo, _, now := alertHarness()
+	e.AddRule("slo_latency_burn_high", SLOBurn{SLO: "latency", Window: "5m", Above: 2})
+
+	// 100 requests all meeting the 10ms target: no burn.
+	for i := 0; i < 100; i++ {
+		slo.Record("interactive", time.Millisecond, true)
+	}
+	if snap := e.Evaluate(); snap.Pending+snap.Firing != 0 {
+		t.Fatalf("healthy: %+v", snap)
+	}
+
+	// Half the next wave blows the target: slow fraction ~0.33 over a
+	// 0.05 budget = burn ~6.7 > 2.
+	for i := 0; i < 50; i++ {
+		slo.Record("interactive", 50*time.Millisecond, true)
+	}
+	*now = now.Add(time.Second)
+	snap := e.Evaluate()
+	if snap.Firing != 1 {
+		t.Fatalf("burning: %+v", snap)
+	}
+}
+
+func TestAlertTenantSpendRate(t *testing.T) {
+	e, _, _, tenants, now := alertHarness()
+	e.AddRule("tenant_spend_spike", TenantSpendRate{MicroUSDPerSecondAbove: 100})
+
+	tenants.AddSpend("acme", 500, 0)
+	e.Evaluate() // baseline
+
+	// 10_000 μ$ in 10s = 1000 μ$/s for acme.
+	tenants.AddSpend("acme", 10_000, 0)
+	tenants.AddSpend("umbrella", 50, 0)
+	*now = now.Add(10 * time.Second)
+	snap := e.Evaluate()
+	if snap.Firing != 1 {
+		t.Fatalf("spike: %+v", snap)
+	}
+
+	*now = now.Add(10 * time.Second)
+	if snap = e.Evaluate(); snap.Firing != 0 {
+		t.Fatalf("quiet: %+v", snap)
+	}
+}
+
+func TestAlertDefaultRulesAndReplace(t *testing.T) {
+	e, _, _, _, _ := alertHarness()
+	e.AddDefaultRules()
+	snap := e.Evaluate()
+	want := []string{"breaker_open", "shed_rate_high", "slo_availability_burn_high", "slo_latency_burn_high", "tenant_spend_spike"}
+	if len(snap.Rules) != len(want) {
+		t.Fatalf("rules = %d, want %d", len(snap.Rules), len(want))
+	}
+	for i, r := range snap.Rules {
+		if r.Rule != want[i] {
+			t.Fatalf("rule %d = %s, want %s (sorted)", i, r.Rule, want[i])
+		}
+		if r.Description == "" {
+			t.Fatalf("rule %s has no description", r.Rule)
+		}
+	}
+
+	// Re-adding a name replaces in place rather than duplicating.
+	e.AddRule("breaker_open", Threshold{Metric: "breaker_state", Above: 5})
+	if got := len(e.Evaluate().Rules); got != len(want) {
+		t.Fatalf("after replace: %d rules, want %d", got, len(want))
+	}
+
+	// Rule names share the metric-name charter.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad rule name did not panic")
+		}
+	}()
+	e.AddRule("Bad-Name", Threshold{})
+}
+
+func TestAlertEngineNilSafe(t *testing.T) {
+	var e *AlertEngine
+	if snap := e.Evaluate(); len(snap.Rules) != 0 {
+		t.Fatal("nil engine evaluated rules")
+	}
+	if snap := e.Snapshot(); len(snap.Rules) != 0 {
+		t.Fatal("nil engine snapshot non-empty")
+	}
+	stop := e.Start(time.Second)
+	stop()
+}
+
+func TestAlertStartStop(t *testing.T) {
+	e, reg, _, _, _ := alertHarness()
+	g := reg.Gauge("breaker_state")
+	g.Set(1)
+	e.AddRule("breaker_open", Threshold{Metric: "breaker_state", Above: 0.5})
+	stop := e.Start(time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.Snapshot().Firing == 1 {
+			stop()
+			stop() // idempotent
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background loop never evaluated")
+}

@@ -148,37 +148,84 @@ type EventFilter struct {
 	Trace string
 	// Name keeps only events with this exact name.
 	Name string
+	// Tenant keeps only events whose "tenant" attribute equals this
+	// value (the attribute the Logger stamps from the request context).
+	Tenant string
 	// Min drops events below this level.
 	Min Level
 	// Max caps the result to the newest Max matching events (0 = all).
 	Max int
 }
 
+// matches reports whether r passes the filter (Max excluded — it is a
+// result cap, not a predicate).
+func (f EventFilter) matches(r eventRecord) bool {
+	if r.level < f.Min {
+		return false
+	}
+	if f.Trace != "" && r.trace != f.Trace {
+		return false
+	}
+	if f.Name != "" && r.name != f.Name {
+		return false
+	}
+	if f.Tenant != "" {
+		found := false
+		for _, a := range r.attrs {
+			if a.Key == "tenant" && a.Value == f.Tenant {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
 // Events returns the retained events matching f in chronological order
 // (oldest first). When f.Max truncates, the newest events win — the
 // tail of a request's story is worth more than its head.
 func (l *EventLog) Events(f EventFilter) []Event {
+	events, _, _ := l.EventsSince(0, f)
+	return events
+}
+
+// EventsSince returns the retained events with seq > since that match
+// f, oldest first, plus cursor bookkeeping: next is the newest seq the
+// log has ever assigned (pass it back as the next call's since), and
+// missing counts events in (since, next] that wraparound already
+// evicted before this read — the consumer's gap. With since == 0,
+// missing equals the log's total overwritten count.
+func (l *EventLog) EventsSince(since uint64, f EventFilter) (events []Event, missing, next uint64) {
 	l.mu.Lock()
 	recs := make([]eventRecord, 0, l.n)
 	for i := 0; i < l.n; i++ {
 		idx := (l.next - l.n + i + len(l.ring)) % len(l.ring)
 		r := l.ring[idx]
-		if r.level < f.Min {
+		if r.seq <= since {
 			continue
 		}
-		if f.Trace != "" && r.trace != f.Trace {
-			continue
+		if f.matches(r) {
+			recs = append(recs, r)
 		}
-		if f.Name != "" && r.name != f.Name {
-			continue
+	}
+	next = l.seq
+	// Oldest retained seq is seq−n+1; anything the cursor wanted below
+	// that is gone regardless of filters.
+	if l.n > 0 {
+		if oldest := l.seq - uint64(l.n) + 1; since+1 < oldest {
+			missing = oldest - 1 - since
 		}
-		recs = append(recs, r)
+	} else if l.seq > since {
+		missing = l.seq - since
 	}
 	l.mu.Unlock()
 	if f.Max > 0 && len(recs) > f.Max {
 		recs = recs[len(recs)-f.Max:]
 	}
-	out := make([]Event, len(recs))
+	events = make([]Event, len(recs))
 	for i, r := range recs {
 		e := Event{Seq: r.seq, Time: r.time, Level: r.level.String(), Name: r.name, Trace: r.trace}
 		if len(r.attrs) > 0 {
@@ -187,9 +234,9 @@ func (l *EventLog) Events(f EventFilter) []Event {
 				e.Attrs[a.Key] = a.Value
 			}
 		}
-		out[i] = e
+		events[i] = e
 	}
-	return out
+	return events, missing, next
 }
 
 // Logger emits leveled, trace-correlated events into an EventLog and
@@ -253,7 +300,9 @@ func checkEventName(name string) {
 // Event emits one event correlated to the trace carried by ctx (if
 // any). kv lists alternating key/value attribute pairs; values render
 // like Span.SetAttr. The name must be lowercase_snake (panics
-// otherwise, matching Registry semantics).
+// otherwise, matching Registry semantics). When ctx carries a tenant
+// identity (WithTenant), the event gains a "tenant" attribute so
+// /debug/events?tenant= replays one tenant's story.
 func (lg *Logger) Event(ctx context.Context, level Level, name string, kv ...interface{}) {
 	if lg == nil || level < lg.min {
 		return
@@ -261,6 +310,9 @@ func (lg *Logger) Event(ctx context.Context, level Level, name string, kv ...int
 	trace := ""
 	if ctx != nil {
 		trace = TraceIDFromContext(ctx)
+		if tenant, ok := tenantFrom(ctx); ok {
+			kv = append(kv, "tenant", tenant)
+		}
 	}
 	lg.emit(level, name, trace, kv)
 }

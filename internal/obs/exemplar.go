@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// exemplarSlot is the stored form of one bucket's most recent exemplar.
+type exemplarSlot struct {
+	value float64
+	trace string
+	at    time.Time
+}
+
+// Exemplar links one histogram bucket to the concrete request that most
+// recently landed in it, so a fat p99 bucket resolves to a
+// /debug/traces?trace= lifecycle instead of staying an anonymous count.
+type Exemplar struct {
+	// Value is the observed sample.
+	Value float64 `json:"value"`
+	// Trace is the request's trace ID — the key into /debug/traces and
+	// /debug/events.
+	Trace string `json:"trace"`
+	// Time is when the sample was observed.
+	Time time.Time `json:"time"`
+}
+
+// ObserveWithExemplar records one sample and, when trace is non-empty,
+// retains it as the bucket's exemplar (last writer wins — recency beats
+// completeness for debugging tails). The exemplar store is a single
+// atomic pointer swap per observation, so the hot path stays lock-free.
+func (h *Histogram) ObserveWithExemplar(v float64, trace string) {
+	h.Observe(v)
+	if trace == "" || h.exemplars == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.exemplars[i].Store(&exemplarSlot{value: v, trace: trace, at: time.Now()})
+}
+
+// Exemplars returns the retained exemplars keyed by bucket upper bound
+// ("0.005", ..., "+Inf"). Buckets that never saw an exemplar-bearing
+// observation are absent; the map is nil when none exist.
+func (h *Histogram) Exemplars() map[string]Exemplar {
+	if h.exemplars == nil {
+		return nil
+	}
+	var out map[string]Exemplar
+	for i := range h.exemplars {
+		slot := h.exemplars[i].Load()
+		if slot == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.buckets) {
+			le = formatValue(h.buckets[i])
+		}
+		if out == nil {
+			out = make(map[string]Exemplar)
+		}
+		out[le] = Exemplar{Value: slot.value, Trace: slot.trace, Time: slot.at}
+	}
+	return out
+}
+
+// ExemplarNear returns an exemplar representative of the q-th quantile:
+// the one retained by the bucket holding that rank, or — because a
+// bucket may have counts but no exemplar yet — the nearest populated
+// bucket, preferring the tail (higher buckets first). ok is false when
+// the histogram holds no exemplars at all.
+func (h *Histogram) ExemplarNear(q float64) (Exemplar, bool) {
+	if h.exemplars == nil || h.Count() == 0 {
+		return Exemplar{}, false
+	}
+	cum := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	at := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if at >= len(h.exemplars) {
+		at = len(h.exemplars) - 1
+	}
+	for i := at; i < len(h.exemplars); i++ {
+		if slot := h.exemplars[i].Load(); slot != nil {
+			return Exemplar{Value: slot.value, Trace: slot.trace, Time: slot.at}, true
+		}
+	}
+	for i := at - 1; i >= 0; i-- {
+		if slot := h.exemplars[i].Load(); slot != nil {
+			return Exemplar{Value: slot.value, Trace: slot.trace, Time: slot.at}, true
+		}
+	}
+	return Exemplar{}, false
+}
+
+// exemplars is the per-bucket exemplar store, one atomic pointer per
+// bucket (+Inf included). It is allocated for every registry-built
+// histogram — 17 pointers for the default latency layout — so opting in
+// is just calling ObserveWithExemplar.
+type exemplarStore = []atomic.Pointer[exemplarSlot]
+
+func newExemplarStore(buckets []float64) exemplarStore {
+	return make(exemplarStore, len(buckets)+1)
+}

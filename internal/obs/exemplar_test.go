@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", LatencyBuckets)
+
+	if got := h.Exemplars(); got != nil {
+		t.Fatalf("fresh histogram exemplars = %v, want nil", got)
+	}
+	if _, ok := h.ExemplarNear(0.99); ok {
+		t.Fatal("empty histogram returned an exemplar")
+	}
+
+	h.ObserveWithExemplar(0.003, "t_fast")
+	h.ObserveWithExemplar(0.004, "t_fast2") // same bucket: last writer wins
+	h.ObserveWithExemplar(0.8, "t_slow")
+	h.Observe(0.002)                 // plain observe never touches exemplars
+	h.ObserveWithExemplar(0.009, "") // empty trace: counted, no exemplar
+
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplar buckets = %d (%v), want 2", len(ex), ex)
+	}
+	if got := ex["0.005"]; got.Trace != "t_fast2" || got.Value != 0.004 {
+		t.Fatalf("0.005 bucket exemplar = %+v, want t_fast2@0.004", got)
+	}
+	if got := ex["1"]; got.Trace != "t_slow" {
+		t.Fatalf("1s bucket exemplar = %+v, want t_slow", got)
+	}
+	if got := ex["0.005"]; got.Time.IsZero() {
+		t.Fatal("exemplar timestamp is zero")
+	}
+
+	// The tail quantile resolves to the slow request's trace.
+	near, ok := h.ExemplarNear(0.99)
+	if !ok || near.Trace != "t_slow" {
+		t.Fatalf("p99 exemplar = %+v,%v want t_slow", near, ok)
+	}
+	// A low quantile resolves to the fast bucket.
+	near, ok = h.ExemplarNear(0.10)
+	if !ok || near.Trace != "t_fast2" {
+		t.Fatalf("p10 exemplar = %+v,%v want t_fast2", near, ok)
+	}
+}
+
+func TestExemplarNearFallsBackAcrossBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_fallback_seconds", LatencyBuckets)
+	// Many plain samples dominate the distribution; only one early bucket
+	// holds an exemplar. ExemplarNear must still return it rather than
+	// reporting none.
+	for i := 0; i < 100; i++ {
+		h.Observe(4.0)
+	}
+	h.ObserveWithExemplar(0.0002, "t_only")
+	near, ok := h.ExemplarNear(0.99)
+	if !ok || near.Trace != "t_only" {
+		t.Fatalf("fallback exemplar = %+v,%v want t_only", near, ok)
+	}
+}
+
+func TestExemplarsInJSONExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_prom_seconds", LatencyBuckets)
+	h.ObserveWithExemplar(0.3, "txpromlink")
+
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"txpromlink"`) {
+		t.Fatalf("JSON exposition lacks exemplar trace:\n%s", b.String())
+	}
+
+	// The Prometheus text format must stay exemplar-free (version 0.0.4
+	// predates them).
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "txpromlink") {
+		t.Fatalf("Prometheus exposition leaked exemplars:\n%s", b.String())
+	}
+}
+
+func TestBareHistogramExemplarSafe(t *testing.T) {
+	// Histograms constructed outside a Registry have no exemplar store;
+	// ObserveWithExemplar must still count the sample without panicking.
+	legacy := &Histogram{buckets: LatencyBuckets, counts: make([]atomic.Int64, len(LatencyBuckets)+1)}
+	legacy.ObserveWithExemplar(0.01, "t_x")
+	if legacy.Count() != 1 {
+		t.Fatalf("count = %d, want 1", legacy.Count())
+	}
+	if legacy.Exemplars() != nil {
+		t.Fatal("nil store grew exemplars")
+	}
+	if _, ok := legacy.ExemplarNear(0.5); ok {
+		t.Fatal("nil store returned an exemplar")
+	}
+}

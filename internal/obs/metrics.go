@@ -78,6 +78,9 @@ type Histogram struct {
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars holds one slot per bucket (+Inf last), populated by
+	// ObserveWithExemplar; nil on histograms built outside a Registry.
+	exemplars exemplarStore
 }
 
 // Observe records one sample.

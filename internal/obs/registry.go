@@ -73,7 +73,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	if m, ok := f.lookup(key); ok {
 		return m.(*Histogram)
 	}
-	h := &Histogram{labels: lbls, buckets: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	h := &Histogram{labels: lbls, buckets: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1), exemplars: newExemplarStore(f.buckets)}
 	m, _ := f.create(key, h)
 	return m.(*Histogram)
 }
@@ -173,6 +173,10 @@ type histPoint struct {
 	Count     int64              `json:"count"`
 	Sum       float64            `json:"sum"`
 	Quantiles map[string]float64 `json:"quantiles,omitempty"` // p50/p95/p99 estimates
+	// Exemplars maps bucket upper bound → the most recent trace-bearing
+	// observation in that bucket (JSON exposition only; the Prometheus
+	// text format predates exemplars).
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 }
 
 // exportQuantiles are the percentile estimates attached to every
@@ -230,6 +234,7 @@ func (r *Registry) export() []familyExport {
 						hp.Quantiles[name] = quantileFromCum(f.buckets, hp.Buckets, q)
 					}
 				}
+				hp.Exemplars = m.Exemplars()
 				fe.points = append(fe.points, point{labels: m.labels, hist: hp})
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/llm"
@@ -50,16 +51,24 @@ type CompletionResponse struct {
 	TraceID    string  `json:"trace_id,omitempty"`
 }
 
+// TenantHeader is the HTTP header carrying the caller's tenant
+// identity. Absent or empty, the request is attributed to
+// obs.DefaultTenant.
+const TenantHeader = "X-LLMDM-Tenant"
+
 // Handler returns the proxy's HTTP mux:
 //
-//	POST /v1/complete   — serve one completion
-//	GET  /v1/stats      — lifetime counters (+ latency percentiles)
+//	POST /v1/complete   — serve one completion (X-LLMDM-Tenant attributes it)
+//	GET  /v1/stats      — lifetime counters (+ latency percentiles, tenants, alerts)
 //	GET  /v1/slo        — per-class SLO scorecard with burn rates
+//	GET  /v1/tenants    — per-tenant attribution table (?n= caps to top spenders)
+//	GET  /v1/alerts     — alert rule states, evaluated on demand
 //	GET  /metrics       — Prometheus text exposition (?format=json for JSON)
 //	GET  /debug/traces  — recent request span trees, JSON (?n=, ?trace=)
-//	GET  /debug/events  — recent lifecycle events (?trace=, ?level=, ?name=, ?n=)
+//	GET  /debug/events  — recent lifecycle events (?trace=, ?level=, ?name=,
+//	                      ?tenant=, ?n=, ?since= cursor)
 //	GET  /debug/pprof/* — net/http/pprof, only with Config.EnablePprof
-//	GET  /healthz       — liveness
+//	GET  /healthz       — liveness + alert summary
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +86,15 @@ func (p *Proxy) Handler() http.Handler {
 			return
 		}
 		ctx := r.Context()
+		tenant := strings.TrimSpace(r.Header.Get(TenantHeader))
+		if len(tenant) > obs.MaxTenantLen {
+			http.Error(w, "tenant identifier too long", http.StatusBadRequest)
+			return
+		}
+		if tenant == "" {
+			tenant = obs.DefaultTenant
+		}
+		ctx = obs.WithTenant(ctx, tenant)
 		if req.Priority != "" {
 			class, err := sched.ParseClass(req.Priority)
 			if err != nil {
@@ -134,8 +152,10 @@ func (p *Proxy) Handler() http.Handler {
 			out["breakers"] = breakers
 		}
 		// Latency percentiles per source, estimated from the histograms,
-		// so operators read p99s without scraping raw buckets.
-		latency := make(map[string]map[string]float64)
+		// so operators read p99s without scraping raw buckets; p99_trace
+		// is the exemplar nearest that quantile — the key into
+		// /debug/traces for "what does a slow one look like".
+		latency := make(map[string]map[string]interface{})
 		for source, h := range map[string]*obs.Histogram{
 			"cache": p.hLatCache, "coalesced": p.hLatCoalesced,
 			"cascade": p.hLatCascade, "stale": p.hLatStale,
@@ -143,14 +163,34 @@ func (p *Proxy) Handler() http.Handler {
 			if h.Count() == 0 {
 				continue
 			}
-			latency[source] = map[string]float64{
+			entry := map[string]interface{}{
 				"p50_ms": h.Quantile(0.50) * 1000,
 				"p95_ms": h.Quantile(0.95) * 1000,
 				"p99_ms": h.Quantile(0.99) * 1000,
 			}
+			if ex, ok := h.ExemplarNear(0.99); ok {
+				entry["p99_trace"] = ex.Trace
+			}
+			latency[source] = entry
 		}
 		if len(latency) > 0 {
 			out["latency"] = latency
+		}
+		if p.tenants != nil {
+			ts := p.tenants.Snapshot(5)
+			out["tenants"] = map[string]interface{}{
+				"capacity": ts.Capacity,
+				"tracked":  ts.Tracked,
+				"evicted":  ts.Evicted,
+				"top":      ts.Tenants,
+			}
+		}
+		if p.alerts != nil {
+			as := p.alerts.Evaluate()
+			out["alerts"] = map[string]interface{}{
+				"firing":  as.Firing,
+				"pending": as.Pending,
+			}
 		}
 		if ss, ok := p.SchedStats(); ok {
 			windows := make(map[string]float64, len(ss.Windows))
@@ -180,6 +220,39 @@ func (p *Proxy) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(p.slo.Snapshot())
+	})
+	mux.HandleFunc("/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if p.tenants == nil {
+			http.Error(w, "tenant attribution disabled", http.StatusNotFound)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.tenants.Snapshot(n))
+	})
+	mux.HandleFunc("/v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if p.alerts == nil {
+			http.Error(w, "alerting disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.alerts.Evaluate())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -234,7 +307,7 @@ func (p *Proxy) Handler() http.Handler {
 			return
 		}
 		q := r.URL.Query()
-		f := obs.EventFilter{Trace: q.Get("trace"), Name: q.Get("name")}
+		f := obs.EventFilter{Trace: q.Get("trace"), Name: q.Get("name"), Tenant: q.Get("tenant")}
 		if s := q.Get("level"); s != "" {
 			min, ok := obs.ParseLevel(s)
 			if !ok {
@@ -251,7 +324,19 @@ func (p *Proxy) Handler() http.Handler {
 			}
 			f.Max = v
 		}
-		events := p.events.Events(f)
+		// ?since=<seq> resumes from a cursor: only events with a higher
+		// seq return, "next" is the cursor for the following call, and
+		// "missing" counts events the ring evicted before this read.
+		var since uint64
+		if s := q.Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		events, missing, next := p.events.EventsSince(since, f)
 		if events == nil {
 			events = []obs.Event{}
 		}
@@ -260,6 +345,8 @@ func (p *Proxy) Handler() http.Handler {
 			"events":      events,
 			"capacity":    p.events.Cap(),
 			"overwritten": p.events.Overwritten(),
+			"next":        next,
+			"missing":     missing,
 		})
 	})
 	if p.pprof {
@@ -270,8 +357,25 @@ func (p *Proxy) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness stays HTTP 200 even while alerting — a firing SLO alert
+		// means "page somebody", not "restart the process" — but the body
+		// summarizes the alert engine so one curl answers "is it healthy".
+		status := "ok"
+		firing, pending := 0, 0
+		if p.alerts != nil {
+			as := p.alerts.Evaluate()
+			firing, pending = as.Firing, as.Pending
+			if firing > 0 {
+				status = "alerting"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok"))
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"status":  status,
+			"firing":  firing,
+			"pending": pending,
+		})
 	})
 	return mux
 }

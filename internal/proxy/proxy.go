@@ -147,6 +147,19 @@ type Config struct {
 	// value selects defaults; DisableSLO turns tracking off.
 	SLO        obs.SLOConfig
 	DisableSLO bool
+	// TenantCapacity bounds the per-tenant attribution table served at
+	// GET /v1/tenants (0 selects obs.DefaultTenantCapacity); beyond it
+	// the accountant degrades to a space-saving heavy-hitter sketch.
+	// DisableTenants turns attribution off.
+	TenantCapacity int
+	DisableTenants bool
+	// Alerts parameterizes the alert engine served at GET /v1/alerts.
+	// Its Source/Obs/Log/SLO/Tenants default from the proxy's own wiring;
+	// the engine starts with the default rule pack unless
+	// Alerts.DisableDefaultRules is set. DisableAlerts turns the engine
+	// off entirely.
+	Alerts        obs.AlertConfig
+	DisableAlerts bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// proxy's HTTP mux. Off by default: profiling endpoints can stall the
 	// world and belong behind an operator's explicit choice.
@@ -162,6 +175,8 @@ type Proxy struct {
 	log      *obs.Logger
 	events   *obs.EventLog
 	slo      *obs.SLOTracker
+	tenants  *obs.TenantAccountant
+	alerts   *obs.AlertEngine
 	pprof    bool
 	limiter  *resilience.Limiter
 	breakers *resilience.BreakerSet
@@ -270,6 +285,33 @@ func New(cfg Config) *Proxy {
 		}
 		slo = obs.NewSLOTracker(scfg)
 	}
+	var tenants *obs.TenantAccountant
+	if !cfg.DisableTenants {
+		tenants = obs.NewTenantAccountant(obs.TenantConfig{Capacity: cfg.TenantCapacity, Obs: reg})
+	}
+	var alerts *obs.AlertEngine
+	if !cfg.DisableAlerts {
+		acfg := cfg.Alerts
+		if acfg.Source == nil {
+			acfg.Source = reg
+		}
+		if acfg.Obs == nil {
+			acfg.Obs = reg
+		}
+		if acfg.Log == nil {
+			acfg.Log = log
+		}
+		if acfg.SLO == nil {
+			acfg.SLO = slo
+		}
+		if acfg.Tenants == nil {
+			acfg.Tenants = tenants
+		}
+		alerts = obs.NewAlertEngine(acfg)
+		if !acfg.DisableDefaultRules {
+			alerts.AddDefaultRules()
+		}
+	}
 	p := &Proxy{
 		casc:     casc,
 		sched:    scheduler,
@@ -278,6 +320,8 @@ func New(cfg Config) *Proxy {
 		log:      log,
 		events:   events,
 		slo:      slo,
+		tenants:  tenants,
+		alerts:   alerts,
 		pprof:    cfg.EnablePprof,
 		breakers: breakers,
 		inflight: make(map[string]*call),
@@ -349,6 +393,14 @@ func (p *Proxy) Events() *obs.EventLog { return p.events }
 // SLO returns the proxy's SLO tracker, or nil when disabled.
 func (p *Proxy) SLO() *obs.SLOTracker { return p.slo }
 
+// Tenants returns the proxy's per-tenant accountant (what GET
+// /v1/tenants serves), or nil when disabled.
+func (p *Proxy) Tenants() *obs.TenantAccountant { return p.tenants }
+
+// Alerts returns the proxy's alert engine (what GET /v1/alerts
+// serves), or nil when disabled.
+func (p *Proxy) Alerts() *obs.AlertEngine { return p.alerts }
+
 // Scheduler returns the proxy's batching scheduler, or nil when
 // batching is not configured (or no model supports it).
 func (p *Proxy) Scheduler() *sched.Scheduler { return p.sched }
@@ -390,6 +442,9 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 	p.requests.Add(1)
 	ctx, root := p.tracer.Start(ctx, "proxy.complete")
 	defer root.End()
+	if tenant, ok := obs.ExplicitTenant(ctx); ok {
+		root.SetAttr("tenant", tenant)
+	}
 
 	ans, err := p.serve(ctx, root, start, req)
 	ans.Trace = root.TraceID()
@@ -398,6 +453,12 @@ func (p *Proxy) Complete(ctx context.Context, req llm.Request) (Answer, error) {
 	if p.slo != nil {
 		p.slo.Record(sched.ClassFrom(ctx).String(), elapsed, err == nil)
 	}
+	p.tenants.Record(obs.TenantFrom(ctx), obs.TenantSample{
+		Latency:  elapsed,
+		CacheHit: ans.Source == "cache",
+		Shed:     errors.Is(err, resilience.ErrOverloaded),
+		Error:    err != nil,
+	})
 	if err == nil {
 		p.log.Event(ctx, obs.Info, "proxy_complete",
 			"source", ans.Source, "model", ans.Model, "cost_microusd", int64(ans.Cost), "elapsed", elapsed)
@@ -430,7 +491,7 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 	// proxy lock so concurrent requests don't serialize on the embedder.
 	if p.cache != nil {
 		_, csp := obs.StartSpan(ctx, "cache.lookup")
-		hit, ok := p.cache.Lookup(req.Prompt)
+		hit, ok := p.cache.LookupTraced(req.Prompt, root.TraceID())
 		csp.SetAttr("hit", ok)
 		if ok {
 			csp.SetAttr("similarity", hit.Similarity)
@@ -440,7 +501,7 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 		if ok {
 			p.cacheHits.Add(1)
 			p.mReqCache.Inc()
-			p.hLatCache.Observe(time.Since(start).Seconds())
+			p.hLatCache.ObserveWithExemplar(time.Since(start).Seconds(), root.TraceID())
 			root.SetAttr("source", "cache")
 			p.log.Event(ctx, obs.Info, "proxy_cache_hit", "similarity", hit.Similarity, "exact", hit.Exact)
 			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: 1, Source: "cache"}, nil
@@ -465,7 +526,7 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 				ans.Source = "coalesced"
 				ans.Cost = 0 // the first caller paid
 				p.mReqCoalesced.Inc()
-				p.hLatCoalesced.Observe(time.Since(start).Seconds())
+				p.hLatCoalesced.ObserveWithExemplar(time.Since(start).Seconds(), root.TraceID())
 				return ans, nil
 			}
 			return p.degrade(ctx, root, start, req, c)
@@ -497,6 +558,11 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 		p.modelCalls.Add(int64(len(trace.Steps)))
 		p.spend.Add(int64(trace.TotalCost))
 		p.mSpend.Add(int64(trace.TotalCost))
+		// Per-tenant attribution rides the same once-per-run spot, so the
+		// sum across tenants stays meter-exact with the spend counter:
+		// coalesced waiters pay 0 and the leader's tenant pays the run.
+		// upCtx still carries the tenant — values survive WithoutCancel.
+		p.tenants.AddSpend(obs.TenantFrom(upCtx), int64(trace.TotalCost), trace.Escalations())
 		if err == nil {
 			if p.cache != nil {
 				p.cache.Put(req.Prompt, resp.Text, semcache.Original, semcache.Reuse)
@@ -521,7 +587,7 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 	case <-c.done:
 		if c.err == nil {
 			p.mReqCascade.Inc()
-			p.hLatCascade.Observe(time.Since(start).Seconds())
+			p.hLatCascade.ObserveWithExemplar(time.Since(start).Seconds(), root.TraceID())
 			root.SetAttr("source", "cascade")
 			root.SetAttr("model", c.ans.Model)
 			root.SetAttr("steps", c.steps)
@@ -554,7 +620,7 @@ func (p *Proxy) degrade(ctx context.Context, root *obs.Span, start time.Time, re
 		if ok {
 			p.staleServes.Add(1)
 			p.mReqStale.Inc()
-			p.hLatStale.Observe(time.Since(start).Seconds())
+			p.hLatStale.ObserveWithExemplar(time.Since(start).Seconds(), root.TraceID())
 			root.SetAttr("source", "stale")
 			p.log.Event(ctx, obs.Warn, "proxy_stale_serve", "similarity", hit.Similarity)
 			return Answer{Text: hit.Entry.Response, Model: "cache", Confidence: hit.Similarity, Source: "stale"}, nil

@@ -321,20 +321,31 @@ func TestStatsLatencyPercentiles(t *testing.T) {
 	}
 
 	var st struct {
-		Latency map[string]map[string]float64 `json:"latency"`
+		Latency map[string]map[string]interface{} `json:"latency"`
 	}
 	getJSON(t, srv, "/v1/stats", &st)
 	casc, ok := st.Latency["cascade"]
 	if !ok {
 		t.Fatalf("stats latency = %v, want a cascade entry", st.Latency)
 	}
+	quantile := func(name string) float64 {
+		v, ok := casc[name].(float64)
+		if !ok {
+			t.Fatalf("%s = %v (%T), want float64", name, casc[name], casc[name])
+		}
+		return v
+	}
 	for _, q := range []string{"p50_ms", "p95_ms", "p99_ms"} {
-		if casc[q] < 0 {
-			t.Errorf("%s = %g, want >= 0", q, casc[q])
+		if quantile(q) < 0 {
+			t.Errorf("%s = %g, want >= 0", q, quantile(q))
 		}
 	}
-	if casc["p50_ms"] > casc["p99_ms"] {
-		t.Errorf("p50 %g > p99 %g", casc["p50_ms"], casc["p99_ms"])
+	if quantile("p50_ms") > quantile("p99_ms") {
+		t.Errorf("p50 %g > p99 %g", quantile("p50_ms"), quantile("p99_ms"))
+	}
+	// The p99 bucket links to a concrete request's trace.
+	if tr, ok := casc["p99_trace"].(string); !ok || tr == "" {
+		t.Errorf("p99_trace = %v, want a trace ID", casc["p99_trace"])
 	}
 	if _, ok := st.Latency["cache"]; !ok {
 		t.Errorf("stats latency = %v, want a cache entry after repeat hits", st.Latency)

@@ -3,6 +3,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -38,6 +39,7 @@ type Limiter struct {
 	gQueued  *obs.Gauge
 	mAdmit   *obs.Counter
 	mShed    *obs.Counter
+	hWait    *obs.Histogram
 	log      *obs.Logger
 }
 
@@ -65,6 +67,7 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 		gQueued:  reg.Gauge("limiter_queue_depth"),
 		mAdmit:   reg.Counter("limiter_admitted_total"),
 		mShed:    reg.Counter("limiter_shed_total"),
+		hWait:    reg.Histogram("limiter_queue_wait_seconds", obs.LatencyBuckets),
 		log:      log,
 	}
 }
@@ -90,9 +93,14 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 		return ErrOverloaded
 	}
 	l.gQueued.Add(1)
+	enq := time.Now()
 	defer func() {
 		<-l.queue
 		l.gQueued.Add(-1)
+		// Queue-wait exemplars let a fat wait bucket resolve to the trace
+		// that sat in line (only queued requests observe; fast-path admits
+		// never waited).
+		l.hWait.ObserveWithExemplar(time.Since(enq).Seconds(), obs.TraceIDFromContext(ctx))
 	}()
 	select {
 	case l.slots <- struct{}{}:

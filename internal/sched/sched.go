@@ -102,11 +102,15 @@ var (
 	ErrUnknownModel = errors.New("sched: model not registered")
 )
 
+// DefaultMaxBatch is the batch size that triggers an immediate flush
+// when Config.MaxBatch is zero.
+const DefaultMaxBatch = 16
+
 // Config parameterizes a Scheduler. The zero value selects the defaults
 // documented per field.
 type Config struct {
 	// MaxBatch is the batch size that triggers an immediate flush.
-	// Defaults to 16.
+	// Defaults to DefaultMaxBatch.
 	MaxBatch int
 	// MaxWait is the ceiling of the adaptive flush window — the longest a
 	// queued request waits for cohort-mates under heavy load. Defaults to
@@ -138,7 +142,7 @@ type Config struct {
 
 func (cfg Config) withDefaults() Config {
 	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 16
+		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.MaxWait <= 0 {
 		cfg.MaxWait = 4 * time.Millisecond
@@ -518,8 +522,12 @@ func (s *Scheduler) flush(t *tier, batch []*item) {
 	}
 	now := time.Now()
 	live := batch[:0]
+	tenants := make(map[string]struct{})
 	for _, it := range batch {
-		s.hWait[it.class].Observe(now.Sub(it.enq).Seconds())
+		// The wait exemplar ties a fat queue-wait bucket back to one
+		// concrete request's trace; tenant fan-in is reported per flush.
+		s.hWait[it.class].ObserveWithExemplar(now.Sub(it.enq).Seconds(), obs.TraceIDFromContext(it.ctx))
+		tenants[obs.TenantFrom(it.ctx)] = struct{}{}
 		if err := it.ctx.Err(); err != nil {
 			s.canceled.Add(1)
 			s.mCanceled.Inc()
@@ -538,9 +546,10 @@ func (s *Scheduler) flush(t *tier, batch []*item) {
 	} else {
 		t.mFlushDeadline.Inc()
 	}
-	// A flush serves many traces at once, so the event is uncorrelated.
+	// A flush serves many traces at once, so the event is uncorrelated;
+	// "tenants" reports how many distinct tenants shared the batch.
 	s.cfg.Log.Emit(obs.Debug, "sched_batch_flush",
-		"model", t.model.Name(), "size", len(live), "dropped", len(batch)-len(live), "cause", cause)
+		"model", t.model.Name(), "size", len(live), "dropped", len(batch)-len(live), "cause", cause, "tenants", len(tenants))
 	reqs := make([]llm.Request, len(live))
 	for i, it := range live {
 		reqs[i] = it.req
