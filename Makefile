@@ -31,9 +31,11 @@ race:
 	$(GO) test -race ./...
 
 # The serving-path packages that run concurrent under load; the CI race
-# gate covers exactly these.
+# gate covers exactly these. internal/vector and internal/embed are here
+# because their kernels shard searches across goroutines and share pooled
+# scratch buffers.
 race-concurrent:
-	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/ ./internal/exper/
+	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/ ./internal/exper/ ./internal/vector/ ./internal/embed/
 
 cover:
 	$(GO) test -cover ./...

@@ -229,8 +229,12 @@ func (c *Cache) LookupTraced(query, trace string) (Hit, bool) {
 		}
 	}
 
-	q := c.emb.Text(query)
-	hits := c.idx.Search(q, 1)
+	// Scratch embedding: the query vector is only needed for this one
+	// search, so it is drawn from (and returned to) the embedder's pool
+	// instead of allocating per lookup.
+	qv := c.emb.TextScratch(query)
+	hits := c.idx.Search(*qv, 1)
+	c.emb.ReleaseScratch(qv)
 	if len(hits) == 0 || hits[0].Score < c.threshold {
 		c.mMisses.Inc()
 		return Hit{}, false
@@ -261,8 +265,9 @@ func (c *Cache) LookupStale(query string, floor float64) (Hit, bool) {
 	defer c.mu.Unlock()
 	c.clock++
 	c.mStaleLookups.Inc()
-	q := c.emb.Text(query)
-	hits := c.idx.Search(q, 1)
+	qv := c.emb.TextScratch(query)
+	hits := c.idx.Search(*qv, 1)
+	c.emb.ReleaseScratch(qv)
 	if len(hits) == 0 || hits[0].Score < floor {
 		return Hit{}, false
 	}

@@ -115,6 +115,145 @@ func TestNewPanicsOnBadDim(t *testing.T) {
 	New(0)
 }
 
+// Regression: Cosine on mismatched lengths used to index past the shorter
+// vector and panic. The documented behavior is now similarity 0.
+func TestCosineMismatchedLengths(t *testing.T) {
+	a := Vector{1, 0, 0}
+	b := Vector{1, 0}
+	if c := Cosine(a, b); c != 0 {
+		t.Errorf("Cosine(len 3, len 2) = %v, want 0", c)
+	}
+	if c := Cosine(b, a); c != 0 {
+		t.Errorf("Cosine(len 2, len 3) = %v, want 0", c)
+	}
+	if c := Cosine(nil, Vector{1}); c != 0 {
+		t.Errorf("Cosine(nil, len 1) = %v, want 0", c)
+	}
+	if c := Cosine(nil, nil); c != 0 {
+		t.Errorf("Cosine(nil, nil) = %v, want 0", c)
+	}
+}
+
+func TestDotL2CommonPrefix(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5}
+	if d := Dot(a, b); d != 14 {
+		t.Errorf("Dot over prefix = %v, want 14", d)
+	}
+	if d := Dot(b, a); d != 14 {
+		t.Errorf("Dot over prefix (swapped) = %v, want 14", d)
+	}
+	want := math.Sqrt(9 + 9)
+	if d := L2(a, b); math.Abs(d-want) > 1e-9 {
+		t.Errorf("L2 over prefix = %v, want %v", d, want)
+	}
+	if d := SqL2(b, a); math.Abs(d-18) > 1e-9 {
+		t.Errorf("SqL2 over prefix = %v, want 18", d)
+	}
+}
+
+func TestTextIntoReusesBuffer(t *testing.T) {
+	e := New(DefaultDim)
+	buf := make(Vector, DefaultDim)
+	got := e.TextInto(buf, "semantic cache lookup")
+	if &got[0] != &buf[0] {
+		t.Error("TextInto did not reuse the provided buffer")
+	}
+	if !vecsEqual(got, e.Text("semantic cache lookup")) {
+		t.Error("TextInto output differs from Text")
+	}
+	// Stale contents must be cleared.
+	got = e.TextInto(buf, "completely different text")
+	if !vecsEqual(got, e.Text("completely different text")) {
+		t.Error("TextInto with dirty buffer differs from Text")
+	}
+	// Undersized buffer: allocates instead of truncating.
+	small := make(Vector, 3)
+	got = e.TextInto(small, "hello")
+	if len(got) != DefaultDim {
+		t.Errorf("TextInto(small) returned len %d, want %d", len(got), DefaultDim)
+	}
+}
+
+func TestTextScratchRoundTrip(t *testing.T) {
+	e := New(DefaultDim)
+	want := e.Text("prompt store retrieval")
+	for i := 0; i < 3; i++ {
+		vp := e.TextScratch("prompt store retrieval")
+		if !vecsEqual(*vp, want) {
+			t.Fatalf("TextScratch iteration %d differs from Text", i)
+		}
+		e.ReleaseScratch(vp)
+	}
+	// Releasing nil or a foreign, wrong-sized vector must not poison the pool.
+	e.ReleaseScratch(nil)
+	small := make(Vector, 3)
+	e.ReleaseScratch(&small)
+	if vp := e.TextScratch("after foreign release"); len(*vp) != DefaultDim {
+		t.Errorf("scratch vector len %d after foreign release", len(*vp))
+	} else {
+		e.ReleaseScratch(vp)
+	}
+}
+
+// TestTextAllocBudget pins the tentpole's allocation budget: one embedding
+// must cost at most 1 allocation (the result vector) plus a small slack for
+// pool refills. The race detector instruments allocations, so the budget is
+// only checked in non-race builds.
+func TestTextAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	e := New(DefaultDim)
+	const text = "What are the names of stadiums that had concerts in 2014 or sports meetings in 2015?"
+	if n := testing.AllocsPerRun(200, func() { e.Text(text) }); n > 8 {
+		t.Errorf("Text allocates %v times per call, budget 8", n)
+	}
+	buf := make(Vector, DefaultDim)
+	if n := testing.AllocsPerRun(200, func() { e.TextInto(buf, text) }); n > 0 {
+		t.Errorf("TextInto allocates %v times per call, budget 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { e.ReleaseScratch(e.TextScratch(text)) }); n > 0 {
+		t.Errorf("TextScratch+Release allocates %v times per call, budget 0", n)
+	}
+}
+
+func TestScratchConcurrent(t *testing.T) {
+	e := New(DefaultDim)
+	texts := []string{"alpha beta", "gamma delta", "epsilon zeta", "eta theta"}
+	wants := make([]Vector, len(texts))
+	for i, s := range texts {
+		wants[i] = e.Text(s)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				j := (g + i) % len(texts)
+				vp := e.TextScratch(texts[j])
+				ok := vecsEqual(*vp, wants[j])
+				e.ReleaseScratch(vp)
+				if !ok {
+					done <- errInterleaved
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errInterleaved = errScratch("scratch vector corrupted by concurrent use")
+
+type errScratch string
+
+func (e errScratch) Error() string { return string(e) }
+
 func BenchmarkText(b *testing.B) {
 	e := New(DefaultDim)
 	b.ReportAllocs()

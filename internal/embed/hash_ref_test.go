@@ -1,0 +1,147 @@
+package embed
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+)
+
+// Reference implementation of the original (allocating) feature hasher:
+// materialize each feature key as a string and hash it with hash/fnv. The
+// streaming embedder must produce bit-identical vectors, or every persisted
+// embedding and recorded benchmark corpus silently changes meaning.
+
+func refAdd(v Vector, key string, w float32) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	addHash(v, h.Sum64(), w)
+}
+
+func refText(e *Embedder, s string) Vector {
+	v := make(Vector, e.dim)
+	for _, t := range token.Tokenize(s) {
+		refAdd(v, "w:"+t, 1)
+	}
+	norm := strings.ToLower(strings.Join(strings.Fields(s), " "))
+	runes := []rune(norm)
+	for i := 0; i+3 <= len(runes); i++ {
+		refAdd(v, "g:"+string(runes[i:i+3]), 0.5)
+	}
+	normalize(v)
+	return v
+}
+
+func refRow(e *Embedder, cols, vals []string) Vector {
+	v := make(Vector, e.dim)
+	for i, c := range cols {
+		refAdd(v, "c:"+strings.ToLower(c), 0.75)
+		if i < len(vals) {
+			for _, t := range token.Tokenize(vals[i]) {
+				refAdd(v, "v:"+strings.ToLower(c)+"="+t, 1)
+				refAdd(v, "w:"+t, 0.5)
+			}
+		}
+	}
+	normalize(v)
+	return v
+}
+
+func refColumn(e *Embedder, name string, sample []string) Vector {
+	v := make(Vector, e.dim)
+	refAdd(v, "c:"+strings.ToLower(name), 2)
+	for _, s := range sample {
+		for _, t := range token.Tokenize(s) {
+			refAdd(v, "w:"+t, 1)
+		}
+	}
+	normalize(v)
+	return v
+}
+
+func refImage(e *Embedder, caption string, features []float64) Vector {
+	v := make(Vector, e.dim)
+	for _, t := range token.Tokenize(caption) {
+		refAdd(v, "w:"+t, 1)
+	}
+	for i, f := range features {
+		refAdd(v, "f:"+strconv.Itoa(i), float32(f))
+	}
+	normalize(v)
+	return v
+}
+
+func vecsEqual(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextMatchesReferenceHasher(t *testing.T) {
+	e := New(DefaultDim)
+	cases := []string{
+		"",
+		"hello",
+		"Show the names of stadiums that had concerts in 2014?",
+		"  leading and   interior \t runs\nof whitespace  ",
+		"日本語のテスト text with ünïcode and ÀÉÎ CASE",
+		"punct,u.a;tion!everywhere(here)",
+		"internationalization antidisestablishmentarianism",
+		"a",
+		"ab",
+		"abc",
+		" a b ",
+	}
+	for _, s := range cases {
+		if got, want := e.Text(s), refText(e, s); !vecsEqual(got, want) {
+			t.Errorf("Text(%q) diverges from reference hasher", s)
+		}
+	}
+	f := func(s string) bool { return vecsEqual(e.Text(s), refText(e, s)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowMatchesReferenceHasher(t *testing.T) {
+	e := New(DefaultDim)
+	got := e.Row([]string{"Name", "City"}, []string{"Anfield Road", "Liverpool"})
+	want := refRow(e, []string{"Name", "City"}, []string{"Anfield Road", "Liverpool"})
+	if !vecsEqual(got, want) {
+		t.Error("Row diverges from reference hasher")
+	}
+	// More columns than values.
+	got = e.Row([]string{"a", "b", "c"}, []string{"x"})
+	want = refRow(e, []string{"a", "b", "c"}, []string{"x"})
+	if !vecsEqual(got, want) {
+		t.Error("Row with missing values diverges from reference hasher")
+	}
+}
+
+func TestColumnMatchesReferenceHasher(t *testing.T) {
+	e := New(DefaultDim)
+	got := e.Column("Country", []string{"USA", "UK", "France"})
+	want := refColumn(e, "Country", []string{"USA", "UK", "France"})
+	if !vecsEqual(got, want) {
+		t.Error("Column diverges from reference hasher")
+	}
+}
+
+func TestImageMatchesReferenceHasher(t *testing.T) {
+	e := New(DefaultDim)
+	feats := []float64{0.25, -0.5, 0.75, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	got := e.Image("chest x-ray of patient", feats)
+	want := refImage(e, "chest x-ray of patient", feats)
+	if !vecsEqual(got, want) {
+		t.Error("Image diverges from reference hasher")
+	}
+}

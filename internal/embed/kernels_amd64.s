@@ -1,0 +1,180 @@
+// AVX2+FMA distance kernels. Callers (kernels_amd64.go) guarantee:
+//   - dotAVX2 / sqL2AVX2: n is a multiple of 8, n >= 8
+//   - dotInt8AVX2:        n is a multiple of 16, n >= 16
+// and that AVX2+FMA were detected before any kernel is invoked.
+// Four independent accumulators per kernel keep the FMA pipeline full;
+// the remainder under one unrolled stride runs in a narrow loop.
+
+#include "textflag.h"
+
+// func cpuidAsm(leaf, sub uint32) (ax, bx, cx, dx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, ax+8(FP)
+	MOVL BX, bx+12(FP)
+	MOVL CX, cx+16(FP)
+	MOVL DX, dx+20(FP)
+	RET
+
+// func xgetbvAsm() (ax, dx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ax+0(FP)
+	MOVL DX, dx+4(FP)
+	RET
+
+// func dotAVX2(a, b *float32, n int) float32
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	CMPQ DX, $0
+	JE   dot_tail
+dot_loop32:
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS 32(SI)(AX*4), Y5
+	VMOVUPS 64(SI)(AX*4), Y6
+	VMOVUPS 96(SI)(AX*4), Y7
+	VMOVUPS (DI)(AX*4), Y8
+	VMOVUPS 32(DI)(AX*4), Y9
+	VMOVUPS 64(DI)(AX*4), Y10
+	VMOVUPS 96(DI)(AX*4), Y11
+	VFMADD231PS Y8, Y4, Y0
+	VFMADD231PS Y9, Y5, Y1
+	VFMADD231PS Y10, Y6, Y2
+	VFMADD231PS Y11, Y7, Y3
+	ADDQ $32, AX
+	CMPQ AX, DX
+	JL   dot_loop32
+dot_tail:
+	CMPQ AX, CX
+	JGE  dot_reduce
+dot_loop8:
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS (DI)(AX*4), Y8
+	VFMADD231PS Y8, Y4, Y0
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   dot_loop8
+dot_reduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func sqL2AVX2(a, b *float32, n int) float32
+TEXT ·sqL2AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	CMPQ DX, $0
+	JE   sq_tail
+sq_loop32:
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS 32(SI)(AX*4), Y5
+	VMOVUPS 64(SI)(AX*4), Y6
+	VMOVUPS 96(SI)(AX*4), Y7
+	VSUBPS (DI)(AX*4), Y4, Y4
+	VSUBPS 32(DI)(AX*4), Y5, Y5
+	VSUBPS 64(DI)(AX*4), Y6, Y6
+	VSUBPS 96(DI)(AX*4), Y7, Y7
+	VFMADD231PS Y4, Y4, Y0
+	VFMADD231PS Y5, Y5, Y1
+	VFMADD231PS Y6, Y6, Y2
+	VFMADD231PS Y7, Y7, Y3
+	ADDQ $32, AX
+	CMPQ AX, DX
+	JL   sq_loop32
+sq_tail:
+	CMPQ AX, CX
+	JGE  sq_reduce
+sq_loop8:
+	VMOVUPS (SI)(AX*4), Y4
+	VSUBPS (DI)(AX*4), Y4, Y4
+	VFMADD231PS Y4, Y4, Y0
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   sq_loop8
+sq_reduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func dotInt8AVX2(a, b *int8, n int) int32
+// Widens int8 to int16 (VPMOVSXBW), multiply-accumulates int16 pairs into
+// int32 lanes (VPMADDWD): 127*127*2 per lane per step fits int16-pair
+// products comfortably in int32.
+TEXT ·dotInt8AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	CMPQ DX, $0
+	JE   i8_tail
+i8_loop32:
+	VPMOVSXBW (SI)(AX*1), Y2
+	VPMOVSXBW 16(SI)(AX*1), Y3
+	VPMOVSXBW (DI)(AX*1), Y4
+	VPMOVSXBW 16(DI)(AX*1), Y5
+	VPMADDWD Y4, Y2, Y2
+	VPMADDWD Y5, Y3, Y3
+	VPADDD Y2, Y0, Y0
+	VPADDD Y3, Y1, Y1
+	ADDQ $32, AX
+	CMPQ AX, DX
+	JL   i8_loop32
+i8_tail:
+	CMPQ AX, CX
+	JGE  i8_reduce
+i8_loop16:
+	VPMOVSXBW (SI)(AX*1), Y2
+	VPMOVSXBW (DI)(AX*1), Y4
+	VPMADDWD Y4, Y2, Y2
+	VPADDD Y2, Y0, Y0
+	ADDQ $16, AX
+	CMPQ AX, CX
+	JL   i8_loop16
+i8_reduce:
+	VPADDD Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPHADDD X0, X0, X0
+	VPHADDD X0, X0, X0
+	VMOVD X0, AX
+	VZEROUPPER
+	MOVL AX, ret+24(FP)
+	RET

@@ -1,0 +1,246 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+// refDot is the straightforward sequential float64 reference.
+func refDot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func refSqL2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Lengths chosen to hit every code path: below archMinLen, odd tails,
+// exact multiples of the 8- and 32-wide strides.
+var kernelLens = []int{0, 1, 3, 7, 8, 15, 16, 17, 31, 32, 33, 64, 100, 128, 256, 300}
+
+func TestDotKernelMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range kernelLens {
+		a, b := randVec(r, n), randVec(r, n)
+		got := dotF32(a, b)
+		want := refDot(a, b)
+		tol := 1e-4 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("dotF32 len=%d: got %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSqL2KernelMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range kernelLens {
+		a, b := randVec(r, n), randVec(r, n)
+		got := sqL2F32(a, b)
+		want := refSqL2(a, b)
+		tol := 1e-4 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("sqL2F32 len=%d: got %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDotNormMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range kernelLens {
+		a, b := randVec(r, n), randVec(r, n)
+		dot, na, nb := dotNormF32(a, b)
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"dot", dot, refDot(a, b)},
+			{"na", na, refDot(a, a)},
+			{"nb", nb, refDot(b, b)},
+		} {
+			tol := 1e-4 * (1 + math.Abs(c.want))
+			if math.Abs(c.got-c.want) > tol {
+				t.Errorf("dotNormF32 len=%d %s: got %v, want %v", n, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+// TestDotInt8Exact: integer accumulation has no rounding, so the SIMD and
+// generic paths must agree exactly with the reference.
+func TestDotInt8Exact(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range kernelLens {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(r.Intn(256) - 128)
+			b[i] = int8(r.Intn(256) - 128)
+		}
+		var want int32
+		for i := range a {
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := DotInt8(a, b); got != want {
+			t.Errorf("DotInt8 len=%d: got %d, want %d", n, got, want)
+		}
+		if got := dotInt8Generic(a, b); got != want {
+			t.Errorf("dotInt8Generic len=%d: got %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDotInt8ExtremesNoOverflow(t *testing.T) {
+	// Worst case per pair is (-128)*(-128); 2048 dims stays far from
+	// int32 overflow and must be exact.
+	n := 2048
+	a := make([]int8, n)
+	b := make([]int8, n)
+	for i := range a {
+		a[i], b[i] = -128, -128
+	}
+	want := int32(n) * 128 * 128
+	if got := DotInt8(a, b); got != want {
+		t.Errorf("DotInt8 extremes: got %d, want %d", got, want)
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dotF32":   func() { dotF32([]float32{1}, []float32{1, 2}) },
+		"sqL2F32":  func() { sqL2F32([]float32{1}, []float32{1, 2}) },
+		"DotInt8":  func() { DotInt8([]int8{1}, []int8{1, 2}) },
+		"Quantize": func() { QuantizeInto(make([]int8, 3), Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantizeIntoBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 7, 64, 128, 300} {
+		v := Vector(randVec(r, n))
+		code := make([]int8, n)
+		scale := QuantizeInto(code, v)
+		if scale < 0 {
+			t.Fatalf("negative scale %v", scale)
+		}
+		var maxAbs float64
+		for _, x := range v {
+			maxAbs = math.Max(maxAbs, math.Abs(float64(x)))
+		}
+		// Documented bound: per component |v[i] - code[i]*scale| <= scale/2.
+		for i := range v {
+			err := math.Abs(float64(v[i]) - float64(code[i])*float64(scale))
+			if err > float64(scale)/2+1e-7 {
+				t.Errorf("len=%d component %d: error %v exceeds scale/2 = %v",
+					n, i, err, scale/2)
+			}
+		}
+		// Extremes map to ±127.
+		for i := range v {
+			if math.Abs(float64(v[i])) == maxAbs && maxAbs > 0 {
+				if code[i] != 127 && code[i] != -127 {
+					t.Errorf("max-magnitude component quantized to %d", code[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	code := []int8{5, -5, 5}
+	if scale := QuantizeInto(code, Vector{0, 0, 0}); scale != 0 {
+		t.Errorf("zero vector scale = %v, want 0", scale)
+	}
+	for i, c := range code {
+		if c != 0 {
+			t.Errorf("code[%d] = %d, want 0", i, c)
+		}
+	}
+}
+
+// TestQuantizedDotApproximatesExact checks the bound the quantized
+// prefilter relies on: for unit-norm embeddings the int8 dot recovers the
+// float dot to well under the rescore margin.
+func TestQuantizedDotApproximatesExact(t *testing.T) {
+	e := New(DefaultDim)
+	texts := []string{
+		"what are the names of stadiums that had concerts",
+		"show stadium names with concerts in 2014",
+		"predict execution time of analytical join queries",
+		"cache the generated answer for similar prompts",
+	}
+	q := e.Text("stadium concert names")
+	qc := make([]int8, e.dim)
+	qs := QuantizeInto(qc, q)
+	for _, s := range texts {
+		v := e.Text(s)
+		vc := make([]int8, e.dim)
+		vs := QuantizeInto(vc, v)
+		exact := Dot(q, v)
+		approx := float64(DotInt8(qc, vc)) * float64(qs) * float64(vs)
+		if math.Abs(exact-approx) > 0.05 {
+			t.Errorf("quantized dot %v vs exact %v for %q", approx, exact, s)
+		}
+	}
+}
+
+func BenchmarkDotF32(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	x, y := randVec(r, DefaultDim), randVec(r, DefaultDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF64 = dotF32(x, y)
+	}
+}
+
+func BenchmarkDotGeneric(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	x, y := randVec(r, DefaultDim), randVec(r, DefaultDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkF64 = dotGeneric(x, y)
+	}
+}
+
+func BenchmarkDotInt8(b *testing.B) {
+	x := make([]int8, DefaultDim)
+	y := make([]int8, DefaultDim)
+	for i := range x {
+		x[i], y[i] = int8(i), int8(-i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkI32 = DotInt8(x, y)
+	}
+}
+
+var (
+	sinkF64 float64
+	sinkI32 int32
+)

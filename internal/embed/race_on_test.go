@@ -1,0 +1,5 @@
+//go:build race
+
+package embed
+
+const raceEnabled = true

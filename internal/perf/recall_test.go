@@ -1,0 +1,50 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/vector"
+)
+
+// TestQuantizedRecallOnPerfCorpus gates the int8-quantized scan measured
+// by the vector_flat_search_quantized benchmark: over the same corpus the
+// kernel benchmarks use, the quantized prefilter must keep recall@10
+// against the exact scan at 0.95 or better. If quantization error ever
+// grows past what the shortlist absorbs, this fails before the benchmark
+// numbers quietly degrade in quality.
+func TestQuantizedRecallOnPerfCorpus(t *testing.T) {
+	e := embed.New(embed.DefaultDim)
+	items := buildCorpus(e)
+
+	exact := vector.NewFlat(e.Dim(), vector.Cosine, vector.Exact())
+	quant := vector.NewFlat(e.Dim(), vector.Cosine, vector.Quantized())
+	if err := exact.Add(items...); err != nil {
+		t.Fatal(err)
+	}
+	if err := quant.Add(items...); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 10
+	const queries = 64
+	var matched, total int
+	for qi := 0; qi < queries; qi++ {
+		q := e.Text(perfText(qi * 31 % corpusSize))
+		truth := make(map[vector.ID]bool, k)
+		for _, r := range exact.Search(q, k) {
+			truth[r.ID] = true
+		}
+		for _, r := range quant.Search(q, k) {
+			if truth[r.ID] {
+				matched++
+			}
+		}
+		total += k
+	}
+	recall := float64(matched) / float64(total)
+	t.Logf("quantized recall@%d over %d queries: %.4f", k, queries, recall)
+	if recall < 0.95 {
+		t.Errorf("quantized recall@%d = %.4f, want >= 0.95", k, recall)
+	}
+}

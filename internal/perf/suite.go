@@ -56,9 +56,30 @@ func Kernels() []Spec {
 				b.Fatal("impossible token count")
 			}
 		}},
+		{Name: "embed_text_scratch", Bench: func(b *testing.B) {
+			e := embed.New(embed.DefaultDim)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ReleaseScratch(e.TextScratch(perfText(i % 256)))
+			}
+		}},
 		{Name: "vector_flat_search", Bench: func(b *testing.B) {
+			// Default configuration: exact SIMD scan at this scale (the
+			// int8 prefilter auto-enables only on memory-bound stores).
 			e := embed.New(embed.DefaultDim)
 			idx := vector.NewFlat(e.Dim(), vector.Cosine)
+			if err := idx.Add(buildCorpus(e)...); err != nil {
+				b.Fatal(err)
+			}
+			q := e.Text("query about caching for serving")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Search(q, 10)
+			}
+		}},
+		{Name: "vector_flat_search_quantized", Bench: func(b *testing.B) {
+			e := embed.New(embed.DefaultDim)
+			idx := vector.NewFlat(e.Dim(), vector.Cosine, vector.Quantized())
 			if err := idx.Add(buildCorpus(e)...); err != nil {
 				b.Fatal(err)
 			}
@@ -74,6 +95,19 @@ func Kernels() []Spec {
 			if err := idx.Add(buildCorpus(e)...); err != nil {
 				b.Fatal(err)
 			}
+			q := e.Text("query about caching for serving")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Search(q, 10)
+			}
+		}},
+		{Name: "vector_ivf_search_quantized", Bench: func(b *testing.B) {
+			e := embed.New(embed.DefaultDim)
+			idx := vector.NewIVF(vector.IVFConfig{Dim: e.Dim(), Metric: vector.Cosine, NList: 16, NProbe: 4, Seed: 42, Quantized: true})
+			if err := idx.Add(buildCorpus(e)...); err != nil {
+				b.Fatal(err)
+			}
+			idx.Train()
 			q := e.Text("query about caching for serving")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

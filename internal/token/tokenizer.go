@@ -6,11 +6,18 @@
 // fixed-size pieces. It is not byte-pair encoding, but it produces stable,
 // realistic token counts (roughly 1.3 tokens per English word), which is all
 // the billing and benchmarking layers need.
+//
+// The tokenizer is pooled: Each streams pieces through a callback using a
+// scratch buffer from a package-level pool, so the hot serving path
+// (embedding, token counting) tokenizes without allocating. Tokenize and
+// Count are both built on Each — one scan, structurally incapable of
+// disagreeing about token counts.
 package token
 
 import (
-	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // MaxPiece is the maximum length, in runes, of a single word piece. Words
@@ -21,22 +28,91 @@ const MaxPiece = 6
 // Tokenizer splits text into word pieces. The zero value is ready to use.
 type Tokenizer struct{}
 
-// Tokenize returns the word pieces of text, in order.
-func (Tokenizer) Tokenize(text string) []string {
-	var out []string
-	for _, w := range splitWords(text) {
-		out = append(out, splitPieces(w)...)
+// pieceBufPool holds the scratch buffers Each accumulates pieces in. A
+// piece is at most MaxPiece runes of at most utf8.UTFMax bytes each, so a
+// buffer never grows past its initial capacity.
+var pieceBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxPiece*utf8.UTFMax)
+		return &b
+	},
+}
+
+// Each calls fn once per token piece of text, in order, without
+// materializing a slice. The slice passed to fn holds the piece's UTF-8
+// bytes in a pooled scratch buffer that is reused for the next piece —
+// fn must not retain it (copy via string(piece) to keep it).
+//
+// Each is the allocation-free scan underneath both Tokenize and Count.
+func (Tokenizer) Each(text string, fn func(piece []byte)) {
+	bp := pieceBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	runes := 0
+	for _, r := range text {
+		switch {
+		case 'a' <= r && r <= 'z' || '0' <= r && r <= '9':
+			b = append(b, byte(r))
+			runes++
+			if runes == MaxPiece {
+				fn(b)
+				b, runes = b[:0], 0
+			}
+		case 'A' <= r && r <= 'Z':
+			b = append(b, byte(r+'a'-'A'))
+			runes++
+			if runes == MaxPiece {
+				fn(b)
+				b, runes = b[:0], 0
+			}
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			if runes > 0 {
+				fn(b)
+				b, runes = b[:0], 0
+			}
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b = utf8.AppendRune(b, unicode.ToLower(r))
+			runes++
+			if runes == MaxPiece {
+				fn(b)
+				b, runes = b[:0], 0
+			}
+		case unicode.IsSpace(r):
+			if runes > 0 {
+				fn(b)
+				b, runes = b[:0], 0
+			}
+		default:
+			// Punctuation: flush the current word, then emit the mark as
+			// its own single-rune piece, unlowered.
+			if runes > 0 {
+				fn(b)
+				b, runes = b[:0], 0
+			}
+			b = utf8.AppendRune(b, r)
+			fn(b)
+			b = b[:0]
+		}
 	}
+	if runes > 0 {
+		fn(b)
+	}
+	*bp = b[:0]
+	pieceBufPool.Put(bp)
+}
+
+// Tokenize returns the word pieces of text, in order.
+func (t Tokenizer) Tokenize(text string) []string {
+	var out []string
+	t.Each(text, func(piece []byte) { out = append(out, string(piece)) })
 	return out
 }
 
 // Count returns the number of tokens in text without materializing them.
-func (Tokenizer) Count(text string) int {
+// Count(s) == len(Tokenize(s)) holds by construction: both count the
+// pieces emitted by the same Each scan.
+func (t Tokenizer) Count(text string) int {
 	n := 0
-	for _, w := range splitWords(text) {
-		r := []rune(w)
-		n += (len(r) + MaxPiece - 1) / MaxPiece
-	}
+	t.Each(text, func([]byte) { n++ })
 	return n
 }
 
@@ -47,47 +123,3 @@ func Count(text string) int { return Tokenizer{}.Count(text) }
 // Tokenize is a convenience wrapper around Tokenizer.Tokenize using the
 // default tokenizer.
 func Tokenize(text string) []string { return Tokenizer{}.Tokenize(text) }
-
-// splitWords breaks text into maximal runs of letters/digits and single
-// punctuation marks. Whitespace is discarded.
-func splitWords(text string) []string {
-	var words []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			words = append(words, b.String())
-			b.Reset()
-		}
-	}
-	for _, r := range text {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-		case unicode.IsSpace(r):
-			flush()
-		default:
-			flush()
-			words = append(words, string(r))
-		}
-	}
-	flush()
-	return words
-}
-
-// splitPieces fragments a single word into pieces of at most MaxPiece runes.
-func splitPieces(w string) []string {
-	r := []rune(w)
-	if len(r) <= MaxPiece {
-		return []string{w}
-	}
-	var pieces []string
-	for len(r) > 0 {
-		n := MaxPiece
-		if len(r) < n {
-			n = len(r)
-		}
-		pieces = append(pieces, string(r[:n]))
-		r = r[n:]
-	}
-	return pieces
-}

@@ -90,6 +90,97 @@ func TestTokenizeCaseInsensitive(t *testing.T) {
 	}
 }
 
+func TestEachMatchesTokenize(t *testing.T) {
+	var tok Tokenizer
+	f := func(s string) bool {
+		want := tok.Tokenize(s)
+		var got []string
+		tok.Each(s, func(piece []byte) { got = append(got, string(piece)) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// tokenizerInputs generates adversarial tokenizer inputs: dense unicode,
+// punctuation runs, words far beyond MaxPiece, and boundary whitespace —
+// the classes where Count and Tokenize historically risk diverging.
+func tokenizerInputs() []string {
+	long := strings.Repeat("überlängenwörter", 40)
+	return []string{
+		"",
+		" ",
+		"\t\n\r ",
+		"a",
+		".",
+		"...!!!???,,,",
+		"word",
+		"word.",
+		".word",
+		"a,b.c;d:e",
+		long,
+		long + " " + long,
+		"日本語のテキスト処理",
+		"ελληνικά και ΚΕΦΑΛΑΙΑ",
+		"mixedASCIIと日本語123",
+		"emoji 🚀🔥 inside",
+		"combining á marks",
+		"tab\tseparated\nlines\rhere",
+		"123456789012345678901234567890",
+		"under_score-dash",
+		strings.Repeat("🚀", 25),
+		strings.Repeat("x", 1) + strings.Repeat("𝔘", 13),
+		" nbsp separated words",
+	}
+}
+
+// TestCountMatchesTokenizeAdversarial pins Count(s) == len(Tokenize(s)) on
+// hand-built unicode / punctuation / long-word inputs in addition to the
+// quick.Check fuzzing above. Both now share one streaming scan (Each), so a
+// divergence means the scan itself is broken, not just one consumer.
+func TestCountMatchesTokenizeAdversarial(t *testing.T) {
+	for _, s := range tokenizerInputs() {
+		if got, want := Count(s), len(Tokenize(s)); got != want {
+			t.Errorf("Count(%.40q) = %d, len(Tokenize) = %d", s, got, want)
+		}
+	}
+}
+
+func TestTokenizePiecesRespectMaxPiece(t *testing.T) {
+	for _, s := range tokenizerInputs() {
+		for _, p := range Tokenize(s) {
+			if n := len([]rune(p)); n > MaxPiece {
+				t.Errorf("piece %q has %d runes, max %d", p, n, MaxPiece)
+			}
+		}
+	}
+}
+
+func TestCountZeroAlloc(t *testing.T) {
+	text := strings.Repeat("What are the names of stadiums that had concerts in 2014? ", 20)
+	if n := testing.AllocsPerRun(100, func() { Count(text) }); n > 0 {
+		t.Errorf("Count allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkEach(b *testing.B) {
+	var tok Tokenizer
+	text := strings.Repeat("What are the names of stadiums that had concerts in 2014? ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok.Each(text, func([]byte) {})
+	}
+}
+
 func BenchmarkTokenize(b *testing.B) {
 	text := strings.Repeat("What are the names of stadiums that had concerts in 2014? ", 20)
 	b.ReportAllocs()

@@ -10,21 +10,59 @@ import (
 // Flat is a brute-force exact index: Search scans every stored vector. It is
 // the accuracy baseline the approximate indexes are validated against, and
 // the right choice for small collections such as the semantic cache.
+//
+// Vectors live in a contiguous column store (scan.go); once the collection
+// reaches quantAutoMin rows an int8-quantized prefilter ranks the scan and
+// only a shortlist is rescored exactly, so returned scores are always exact.
+// Unfiltered scans over large collections shard across goroutines when
+// GOMAXPROCS allows. Both behaviors are tunable via FlatOptions.
 // Flat is safe for concurrent use.
 type Flat struct {
-	mu     sync.RWMutex
-	metric Metric
-	dim    int
-	items  []Item
-	byID   map[ID]int
+	mu          sync.RWMutex
+	metric      Metric
+	dim         int
+	store       *colStore
+	items       []Item // aligned with store rows
+	byID        map[ID]int
+	parallelMin int
 }
 
+// FlatOption configures a Flat index at construction.
+type FlatOption func(*flatConfig)
+
+type flatConfig struct {
+	mode        quantMode
+	parallelMin int
+}
+
+// Exact disables the int8-quantized prefilter: every scan scores every row
+// with the full-precision kernels regardless of collection size.
+func Exact() FlatOption { return func(c *flatConfig) { c.mode = quantOff } }
+
+// Quantized maintains int8 codes from the first row instead of waiting for
+// the collection to reach the automatic threshold.
+func Quantized() FlatOption { return func(c *flatConfig) { c.mode = quantOn } }
+
+// ParallelMin sets the collection size at which unfiltered scans shard
+// across goroutines (default flatParallelMin). n <= 0 disables sharding.
+func ParallelMin(n int) FlatOption { return func(c *flatConfig) { c.parallelMin = n } }
+
 // NewFlat returns an empty flat index over dim-dimensional vectors.
-func NewFlat(dim int, metric Metric) *Flat {
+func NewFlat(dim int, metric Metric, opts ...FlatOption) *Flat {
 	if dim <= 0 {
 		panic("vector: non-positive dimension")
 	}
-	return &Flat{metric: metric, dim: dim, byID: make(map[ID]int)}
+	cfg := flatConfig{mode: quantAuto, parallelMin: flatParallelMin}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Flat{
+		metric:      metric,
+		dim:         dim,
+		store:       newColStore(dim, cfg.mode),
+		byID:        make(map[ID]int),
+		parallelMin: cfg.parallelMin,
+	}
 }
 
 // Add implements Index.
@@ -40,6 +78,7 @@ func (f *Flat) Add(items ...Item) error {
 		}
 		f.byID[it.ID] = len(f.items)
 		f.items = append(f.items, it)
+		f.store.appendRow(it.Vec)
 	}
 	return nil
 }
@@ -56,6 +95,7 @@ func (f *Flat) Remove(id ID) bool {
 	f.items[i] = f.items[last]
 	f.byID[f.items[i].ID] = i
 	f.items = f.items[:last]
+	f.store.swapRemove(i)
 	delete(f.byID, id)
 	return true
 }
@@ -77,19 +117,33 @@ func (f *Flat) Search(q embed.Vector, k int) []Result {
 }
 
 // SearchFiltered is Search restricted to items whose attributes satisfy
-// keep. A nil keep admits everything.
+// keep. A nil keep admits everything; filtered scans run serially and
+// score exactly.
 func (f *Flat) SearchFiltered(q embed.Vector, k int, keep func(attrs map[string]string) bool) []Result {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	t := newTopK(k)
-	for _, it := range f.items {
-		if keep != nil && !keep(it.Attrs) {
-			continue
+	if len(q) != f.dim {
+		// Mismatched query dimensionality keeps the historical per-metric
+		// semantics (Cosine scores 0, Dot/L2 use the common prefix)
+		// instead of feeding the column kernels an undefined layout.
+		t := newTopK(k)
+		for _, it := range f.items {
+			if keep != nil && !keep(it.Attrs) {
+				continue
+			}
+			t.offer(Result{ID: it.ID, Score: f.metric.Score(q, it.Vec)})
 		}
-		t.offer(Result{ID: it.ID, Score: f.metric.Score(q, it.Vec)})
+		return t.results()
 	}
-	return t.results()
+	var keepRow func(int) bool
+	if keep != nil {
+		keepRow = func(i int) bool { return keep(f.items[i].Attrs) }
+	}
+	return f.store.search(f.metric, q, k, f.rowID, keepRow, f.parallelMin)
 }
+
+// rowID maps a store row index to its item ID.
+func (f *Flat) rowID(i int) ID { return f.items[i].ID }
 
 // Len implements Index.
 func (f *Flat) Len() int {

@@ -5,30 +5,41 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"repro/internal/embed"
+	"repro/internal/obs"
 )
 
 // HNSW is a hierarchical navigable small world graph index, the structure
 // behind most production approximate-nearest-neighbor systems. Inserts build
 // a multi-layer proximity graph; queries greedily descend from the sparse
 // top layer and then run a best-first beam search on the base layer.
+//
+// The beam search runs on pooled scratch state (an epoch-stamped visited
+// array and reusable heaps), node norms are cached at insert so cosine
+// distance is one dot product per edge, and on large graphs the layer-0
+// frontier is expanded in parallel batches (see searchLayerLocked).
 // HNSW is safe for concurrent use.
 type HNSW struct {
-	mu     sync.RWMutex
-	metric Metric
-	dim    int
-	m      int // max neighbors per node per upper layer (2m at layer 0)
-	efCons int
-	efSrch int
-	levelP float64
-	rng    *rand.Rand
+	mu          sync.RWMutex
+	metric      Metric
+	dim         int
+	m           int // max neighbors per node per upper layer (2m at layer 0)
+	efCons      int
+	efSrch      int
+	parallelMin int
+	levelP      float64
+	rng         *rand.Rand
 
 	nodes []hnswNode
+	norms []float32 // L2 norm per node, aligned with nodes
 	byID  map[ID]int
 	entry int // index into nodes of the entry point, -1 if empty
 	maxL  int
+
+	scratch sync.Pool // *hnswScratch
 }
 
 type hnswNode struct {
@@ -50,7 +61,16 @@ type HNSWConfig struct {
 	EfSearch int
 	// Seed drives random level assignment; fixed for reproducibility.
 	Seed int64
+	// ParallelThreshold is the graph size at which layer-0 frontier
+	// expansion parallelizes (when GOMAXPROCS > 1). 0 means the default
+	// (8192); negative disables parallel search entirely.
+	ParallelThreshold int
 }
+
+// hnswParallelMin is the default HNSWConfig.ParallelThreshold: below this
+// many nodes a beam search finishes in tens of microseconds and goroutine
+// handoff would dominate.
+const hnswParallelMin = 8192
 
 // NewHNSW returns an empty HNSW index.
 func NewHNSW(cfg HNSWConfig) *HNSW {
@@ -66,21 +86,69 @@ func NewHNSW(cfg HNSWConfig) *HNSW {
 	if cfg.EfSearch <= 0 {
 		cfg.EfSearch = 32
 	}
-	return &HNSW{
-		metric: cfg.Metric,
-		dim:    cfg.Dim,
-		m:      cfg.M,
-		efCons: cfg.EfConstruction,
-		efSrch: cfg.EfSearch,
-		levelP: 1 / math.E,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		byID:   make(map[ID]int),
-		entry:  -1,
+	if cfg.ParallelThreshold == 0 {
+		cfg.ParallelThreshold = hnswParallelMin
+	}
+	h := &HNSW{
+		metric:      cfg.Metric,
+		dim:         cfg.Dim,
+		m:           cfg.M,
+		efCons:      cfg.EfConstruction,
+		efSrch:      cfg.EfSearch,
+		parallelMin: cfg.ParallelThreshold,
+		levelP:      1 / math.E,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		byID:        make(map[ID]int),
+		entry:       -1,
+	}
+	h.scratch.New = func() any { return &hnswScratch{} }
+	return h
+}
+
+// hnswQuery is the per-search hoisted state: the query vector and its norm,
+// computed once instead of per visited edge.
+type hnswQuery struct {
+	q     embed.Vector
+	qnorm float64
+}
+
+func (h *HNSW) prepare(q embed.Vector) hnswQuery {
+	return hnswQuery{q: q, qnorm: embed.Norm(q)}
+}
+
+// distNode is the search distance (lower is closer) from the prepared
+// query to node n, using the cached node norm.
+func (h *HNSW) distNode(p *hnswQuery, n int) float64 {
+	v := h.nodes[n].item.Vec
+	switch h.metric {
+	case Cosine:
+		denom := p.qnorm * float64(h.norms[n])
+		if denom == 0 {
+			return 0
+		}
+		return -embed.Dot(p.q, v) / denom
+	case Dot:
+		return -embed.Dot(p.q, v)
+	default: // L2
+		return math.Sqrt(embed.SqL2(p.q, v))
 	}
 }
 
-// dist is the search distance: lower is closer, for any metric.
-func (h *HNSW) dist(a, b embed.Vector) float64 { return -h.metric.Score(a, b) }
+// distNodes is the search distance between two stored nodes.
+func (h *HNSW) distNodes(a, b int) float64 {
+	switch h.metric {
+	case Cosine:
+		denom := float64(h.norms[a]) * float64(h.norms[b])
+		if denom == 0 {
+			return 0
+		}
+		return -embed.Dot(h.nodes[a].item.Vec, h.nodes[b].item.Vec) / denom
+	case Dot:
+		return -embed.Dot(h.nodes[a].item.Vec, h.nodes[b].item.Vec)
+	default: // L2
+		return math.Sqrt(embed.SqL2(h.nodes[a].item.Vec, h.nodes[b].item.Vec))
+	}
+}
 
 // randomLevel draws a level from the standard HNSW geometric distribution.
 func (h *HNSW) randomLevel() int {
@@ -112,6 +180,7 @@ func (h *HNSW) insertLocked(it Item) {
 	n := hnswNode{item: it, level: level, neighbors: make([][]int, level+1)}
 	idx := len(h.nodes)
 	h.nodes = append(h.nodes, n)
+	h.norms = append(h.norms, float32(embed.Norm(it.Vec)))
 	h.byID[it.ID] = idx
 
 	if h.entry == -1 {
@@ -120,18 +189,20 @@ func (h *HNSW) insertLocked(it Item) {
 		return
 	}
 
+	p := h.prepare(it.Vec)
 	cur := h.entry
 	// Greedy descent through layers above the new node's level.
 	for l := h.maxL; l > level; l-- {
-		cur = h.greedyClosestLocked(it.Vec, cur, l)
+		cur = h.greedyClosestLocked(&p, cur, l)
 	}
 	// Insert with beam search on each layer from min(level, maxL) down to 0.
 	top := level
 	if top > h.maxL {
 		top = h.maxL
 	}
+	sc := h.scratch.Get().(*hnswScratch)
 	for l := top; l >= 0; l-- {
-		cands := h.searchLayerLocked(it.Vec, cur, h.efCons, l)
+		cands := h.searchLayerLocked(sc, &p, cur, h.efCons, l, false)
 		max := h.m
 		if l == 0 {
 			max = 2 * h.m
@@ -149,6 +220,7 @@ func (h *HNSW) insertLocked(it Item) {
 			cur = cands[0].node
 		}
 	}
+	h.scratch.Put(sc)
 	if level > h.maxL {
 		h.maxL = level
 		h.entry = idx
@@ -166,14 +238,13 @@ func (h *HNSW) pruneLocked(node, l int) {
 	if len(nb) <= max {
 		return
 	}
-	v := h.nodes[node].item.Vec
 	type nd struct {
 		n int
 		d float64
 	}
 	ds := make([]nd, len(nb))
 	for i, x := range nb {
-		ds[i] = nd{x, h.dist(v, h.nodes[x].item.Vec)}
+		ds[i] = nd{x, h.distNodes(node, x)}
 	}
 	// Selection by distance, deterministic tie-break on node index.
 	for i := 0; i < max; i++ {
@@ -193,13 +264,13 @@ func (h *HNSW) pruneLocked(node, l int) {
 }
 
 // greedyClosestLocked walks layer l greedily from start toward q.
-func (h *HNSW) greedyClosestLocked(q embed.Vector, start, l int) int {
+func (h *HNSW) greedyClosestLocked(p *hnswQuery, start, l int) int {
 	cur := start
-	curD := h.dist(q, h.nodes[cur].item.Vec)
+	curD := h.distNode(p, cur)
 	for {
 		improved := false
 		for _, nb := range h.nodes[cur].neighbors[l] {
-			if d := h.dist(q, h.nodes[nb].item.Vec); d < curD {
+			if d := h.distNode(p, nb); d < curD {
 				cur, curD = nb, d
 				improved = true
 			}
@@ -245,35 +316,106 @@ func (c *farHeap) Pop() interface{} {
 	return x
 }
 
+// hnswScratch is pooled per-search state. The visited set is an
+// epoch-stamped array: marking is one store, resetting is one increment,
+// and the array is reused across searches, so the beam search allocates
+// nothing in steady state.
+type hnswScratch struct {
+	visited []uint32
+	epoch   uint32
+	cands   candHeap
+	best    farHeap
+	batch   []int
+	nbrs    []int
+	dists   []float64
+}
+
+func (sc *hnswScratch) reset(n int) {
+	if len(sc.visited) < n {
+		sc.visited = append(sc.visited, make([]uint32, n-len(sc.visited))...)
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could alias, clear once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.cands = sc.cands[:0]
+	sc.best = sc.best[:0]
+}
+
+func (sc *hnswScratch) seen(n int) bool { return sc.visited[n] == sc.epoch }
+func (sc *hnswScratch) visit(n int)     { sc.visited[n] = sc.epoch }
+
 // searchLayerLocked runs the HNSW best-first beam search on layer l and
 // returns up to ef candidates sorted by ascending distance.
-func (h *HNSW) searchLayerLocked(q embed.Vector, start, ef, l int) []hnswCand {
-	visited := map[int]bool{start: true}
-	d0 := h.dist(q, h.nodes[start].item.Vec)
-	cands := candHeap{{start, d0}}
-	best := farHeap{{start, d0}}
-	for len(cands) > 0 {
-		c := heap.Pop(&cands).(hnswCand)
-		if len(best) >= ef && c.d > best[0].d {
+//
+// With parallel set (layer 0 on large graphs), the frontier is expanded in
+// batches: up to GOMAXPROCS admissible candidates are popped, their
+// undiscovered neighbors deduplicated sequentially, the distance
+// computations — the only expensive part — fanned out across workers, and
+// the heap updates applied sequentially. Batch selection, visited marking
+// and heap mutation all stay single-threaded, so the result is
+// deterministic for a given graph; with one worker the batch is one
+// candidate and the traversal is exactly the classic sequential search.
+func (h *HNSW) searchLayerLocked(sc *hnswScratch, p *hnswQuery, start, ef, l int, parallel bool) []hnswCand {
+	sc.reset(len(h.nodes))
+	sc.visit(start)
+	d0 := h.distNode(p, start)
+	sc.cands = append(sc.cands, hnswCand{start, d0})
+	sc.best = append(sc.best, hnswCand{start, d0})
+	workers := 1
+	if parallel && l == 0 {
+		workers = min(runtime.GOMAXPROCS(0), maxScanWorkers)
+	}
+	for len(sc.cands) > 0 {
+		c := heap.Pop(&sc.cands).(hnswCand)
+		if len(sc.best) >= ef && c.d > sc.best[0].d {
 			break
 		}
-		for _, nb := range h.nodes[c.node].neighbors[l] {
-			if visited[nb] {
-				continue
+		sc.batch = append(sc.batch[:0], c.node)
+		for workers > 1 && len(sc.batch) < workers && len(sc.cands) > 0 {
+			if len(sc.best) >= ef && sc.cands[0].d > sc.best[0].d {
+				break
 			}
-			visited[nb] = true
-			d := h.dist(q, h.nodes[nb].item.Vec)
-			if len(best) < ef || d < best[0].d {
-				heap.Push(&cands, hnswCand{nb, d})
-				heap.Push(&best, hnswCand{nb, d})
-				if len(best) > ef {
-					heap.Pop(&best)
+			c2 := heap.Pop(&sc.cands).(hnswCand)
+			sc.batch = append(sc.batch, c2.node)
+		}
+		sc.nbrs = sc.nbrs[:0]
+		for _, b := range sc.batch {
+			for _, nb := range h.nodes[b].neighbors[l] {
+				if sc.seen(nb) {
+					continue
+				}
+				sc.visit(nb)
+				sc.nbrs = append(sc.nbrs, nb)
+			}
+		}
+		if cap(sc.dists) < len(sc.nbrs) {
+			sc.dists = make([]float64, len(sc.nbrs))
+		}
+		sc.dists = sc.dists[:len(sc.nbrs)]
+		if workers > 1 && len(sc.nbrs) >= 2*workers {
+			h.distBatch(p, sc.nbrs, sc.dists, workers)
+		} else {
+			for i, nb := range sc.nbrs {
+				sc.dists[i] = h.distNode(p, nb)
+			}
+		}
+		for i, nb := range sc.nbrs {
+			d := sc.dists[i]
+			if len(sc.best) < ef || d < sc.best[0].d {
+				heap.Push(&sc.cands, hnswCand{nb, d})
+				heap.Push(&sc.best, hnswCand{nb, d})
+				if len(sc.best) > ef {
+					heap.Pop(&sc.best)
 				}
 			}
 		}
 	}
-	out := make([]hnswCand, len(best))
-	copy(out, best)
+	out := make([]hnswCand, len(sc.best))
+	copy(out, sc.best)
 	// Sort ascending by distance, tie-break on node for determinism.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && (out[j].d < out[j-1].d || (out[j].d == out[j-1].d && out[j].node < out[j-1].node)); j-- {
@@ -283,6 +425,31 @@ func (h *HNSW) searchLayerLocked(q embed.Vector, start, ef, l int) []hnswCand {
 	return out
 }
 
+// distBatch computes distances from p to each node in nbrs, sharding across
+// workers goroutines.
+func (h *HNSW) distBatch(p *hnswQuery, nbrs []int, dists []float64, workers int) {
+	chunk := (len(nbrs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(nbrs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		obs.Go(nil, "vector.hnsw_dist", func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				dists[i] = h.distNode(p, nbrs[i])
+			}
+		})
+	}
+	// Distance workers are pure reads of immutable node data; they take no
+	// locks, so joining them under the index read lock cannot deadlock.
+	//llmdm:allow lockscope bounded distance workers take no locks and are joined immediately
+	wg.Wait()
+}
+
 // Search implements Index.
 func (h *HNSW) Search(q embed.Vector, k int) []Result {
 	h.mu.RLock()
@@ -290,15 +457,19 @@ func (h *HNSW) Search(q embed.Vector, k int) []Result {
 	if h.entry == -1 || k <= 0 {
 		return nil
 	}
+	p := h.prepare(q)
 	cur := h.entry
 	for l := h.maxL; l > 0; l-- {
-		cur = h.greedyClosestLocked(q, cur, l)
+		cur = h.greedyClosestLocked(&p, cur, l)
 	}
 	ef := h.efSrch
 	if ef < k {
 		ef = k
 	}
-	cands := h.searchLayerLocked(q, cur, ef, 0)
+	parallel := h.parallelMin > 0 && len(h.nodes) >= h.parallelMin && runtime.GOMAXPROCS(0) > 1
+	sc := h.scratch.Get().(*hnswScratch)
+	cands := h.searchLayerLocked(sc, &p, cur, ef, 0, parallel)
+	h.scratch.Put(sc)
 	if len(cands) > k {
 		cands = cands[:k]
 	}

@@ -13,6 +13,12 @@ import (
 // a k-means coarse quantizer, and a query probes only the nprobe nearest
 // cells. It trades a little recall for large scan savings on big
 // collections — the paper's multi-modal data lake scenario.
+//
+// Each cell is a contiguous column store (scan.go), so probing a cell runs
+// the same SIMD scan kernels as the flat index; with IVFConfig.Quantized the
+// cells also keep int8 codes and large-cell scans use the quantized
+// prefilter with exact rescoring.
+//
 // IVF is safe for concurrent use. The quantizer is trained lazily on first
 // search (or explicitly via Train) from the vectors added so far; later
 // additions are assigned to existing cells.
@@ -23,12 +29,19 @@ type IVF struct {
 	nlist   int
 	nprobe  int
 	seed    int64
+	mode    quantMode
 	trained bool
 
 	centroids []embed.Vector
-	cells     [][]Item
+	cells     []ivfCell
 	byID      map[ID]struct{}
 	pending   []Item // items added before training
+}
+
+// ivfCell is one inverted list: a column store plus the item ID per row.
+type ivfCell struct {
+	store *colStore
+	ids   []ID
 }
 
 // IVFConfig parameterizes an IVF index.
@@ -41,6 +54,10 @@ type IVFConfig struct {
 	NProbe int
 	// Seed drives k-means initialization; fixed for reproducibility.
 	Seed int64
+	// Quantized maintains int8 codes in every cell from the start, so cell
+	// scans use the quantized prefilter (with exact rescoring) regardless
+	// of cell size.
+	Quantized bool
 }
 
 // NewIVF returns an empty IVF index.
@@ -57,12 +74,17 @@ func NewIVF(cfg IVFConfig) *IVF {
 	if cfg.NProbe > cfg.NList {
 		cfg.NProbe = cfg.NList
 	}
+	mode := quantAuto
+	if cfg.Quantized {
+		mode = quantOn
+	}
 	return &IVF{
 		metric: cfg.Metric,
 		dim:    cfg.Dim,
 		nlist:  cfg.NList,
 		nprobe: cfg.NProbe,
 		seed:   cfg.Seed,
+		mode:   mode,
 		byID:   make(map[ID]struct{}),
 	}
 }
@@ -84,7 +106,8 @@ func (x *IVF) Add(items ...Item) error {
 			continue
 		}
 		c := x.nearestCentroidLocked(it.Vec)
-		x.cells[c] = append(x.cells[c], it)
+		x.cells[c].store.appendRow(it.Vec)
+		x.cells[c].ids = append(x.cells[c].ids, it.ID)
 	}
 	return nil
 }
@@ -110,10 +133,14 @@ func (x *IVF) trainLocked() {
 		k = 1
 	}
 	x.centroids = kmeans(x.pending, k, x.dim, x.seed)
-	x.cells = make([][]Item, len(x.centroids))
+	x.cells = make([]ivfCell, len(x.centroids))
+	for i := range x.cells {
+		x.cells[i].store = newColStore(x.dim, x.mode)
+	}
 	for _, it := range x.pending {
 		c := x.nearestCentroidLocked(it.Vec)
-		x.cells[c] = append(x.cells[c], it)
+		x.cells[c].store.appendRow(it.Vec)
+		x.cells[c].ids = append(x.cells[c].ids, it.ID)
 	}
 	x.pending = nil
 	x.trained = true
@@ -121,11 +148,11 @@ func (x *IVF) trainLocked() {
 
 // nearestCentroidLocked returns the index of the centroid closest to v by
 // Euclidean distance (the standard IVF assignment regardless of the search
-// metric).
+// metric). Squared distance ranks identically and skips the square root.
 func (x *IVF) nearestCentroidLocked(v embed.Vector) int {
-	best, bestD := 0, embed.L2(v, x.centroids[0])
+	best, bestD := 0, embed.SqL2(v, x.centroids[0])
 	for i := 1; i < len(x.centroids); i++ {
-		if d := embed.L2(v, x.centroids[i]); d < bestD {
+		if d := embed.SqL2(v, x.centroids[i]); d < bestD {
 			best, bestD = i, d
 		}
 	}
@@ -150,7 +177,7 @@ func (x *IVF) Search(q embed.Vector, k int) []Result {
 	}
 	order := make([]cd, len(x.centroids))
 	for i, c := range x.centroids {
-		order[i] = cd{i, embed.L2(q, c)}
+		order[i] = cd{i, embed.SqL2(q, c)}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
 	probes := x.nprobe
@@ -159,8 +186,20 @@ func (x *IVF) Search(q embed.Vector, k int) []Result {
 	}
 	t := newTopK(k)
 	for _, o := range order[:probes] {
-		for _, it := range x.cells[o.cell] {
-			t.offer(Result{ID: it.ID, Score: x.metric.Score(q, it.Vec)})
+		cell := &x.cells[o.cell]
+		if cell.store.n == 0 {
+			continue
+		}
+		if len(q) != x.dim {
+			// Historical per-metric semantics for mismatched queries.
+			for i := 0; i < cell.store.n; i++ {
+				t.offer(Result{ID: cell.ids[i], Score: x.metric.Score(q, cell.store.row(i))})
+			}
+			continue
+		}
+		ids := cell.ids
+		for _, r := range cell.store.search(x.metric, q, k, func(i int) ID { return ids[i] }, nil, 0) {
+			t.offer(r)
 		}
 	}
 	return t.results()
@@ -195,13 +234,13 @@ func kmeans(items []Item, k, dim int, seed int64) []embed.Vector {
 	for len(cents) < k {
 		var sum float64
 		for i, it := range items {
-			best := embed.L2(it.Vec, cents[0])
+			best := embed.SqL2(it.Vec, cents[0])
 			for _, c := range cents[1:] {
-				if d := embed.L2(it.Vec, c); d < best {
+				if d := embed.SqL2(it.Vec, c); d < best {
 					best = d
 				}
 			}
-			d2[i] = best * best
+			d2[i] = best
 			sum += d2[i]
 		}
 		if sum == 0 {
@@ -224,9 +263,9 @@ func kmeans(items []Item, k, dim int, seed int64) []embed.Vector {
 	for iter := 0; iter < 25; iter++ {
 		changed := false
 		for i, it := range items {
-			best, bestD := 0, embed.L2(it.Vec, cents[0])
+			best, bestD := 0, embed.SqL2(it.Vec, cents[0])
 			for c := 1; c < len(cents); c++ {
-				if d := embed.L2(it.Vec, cents[c]); d < bestD {
+				if d := embed.SqL2(it.Vec, cents[c]); d < bestD {
 					best, bestD = c, d
 				}
 			}

@@ -27,7 +27,7 @@ type PQ struct {
 
 	subDim    int
 	codebooks [][]embed.Vector // [m][k] sub-centroids
-	codes     [][]byte         // per item: m codes
+	codes     []byte           // flattened: m bytes per item, contiguous
 	ids       []ID
 	byID      map[ID]struct{}
 	pending   []Item
@@ -86,7 +86,7 @@ func (p *PQ) Add(items ...Item) error {
 			p.pending = append(p.pending, it)
 			continue
 		}
-		p.codes = append(p.codes, p.encodeLocked(it.Vec))
+		p.codes = p.appendCodeLocked(p.codes, it.Vec)
 		p.ids = append(p.ids, it.ID)
 	}
 	return nil
@@ -120,37 +120,28 @@ func (p *PQ) trainLocked() {
 		p.codebooks[s] = kmeans(subItems, k, p.subDim, p.seed+int64(s))
 	}
 	for _, it := range p.pending {
-		p.codes = append(p.codes, p.encodeLocked(it.Vec))
+		p.codes = p.appendCodeLocked(p.codes, it.Vec)
 		p.ids = append(p.ids, it.ID)
 	}
 	p.pending = nil
 	p.trained = true
 }
 
-// encodeLocked maps a vector to its m-byte code.
-func (p *PQ) encodeLocked(v embed.Vector) []byte {
-	code := make([]byte, p.m)
+// appendCodeLocked appends v's m-byte code to dst. Codes live flattened in
+// one contiguous array so the scan in Search walks a single allocation.
+func (p *PQ) appendCodeLocked(dst []byte, v embed.Vector) []byte {
 	for s := 0; s < p.m; s++ {
 		sub := v[s*p.subDim : (s+1)*p.subDim]
 		best, bestD := 0, math.Inf(1)
 		for c, cent := range p.codebooks[s] {
-			d := sqL2(sub, cent)
+			d := embed.SqL2(sub, cent)
 			if d < bestD {
 				best, bestD = c, d
 			}
 		}
-		code[s] = byte(best)
+		dst = append(dst, byte(best))
 	}
-	return code
-}
-
-func sqL2(a, b embed.Vector) float64 {
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return s
+	return dst
 }
 
 // Search implements Index. Scores are negative approximate L2 distances
@@ -172,11 +163,12 @@ func (p *PQ) Search(q embed.Vector, k int) []Result {
 		sub := q[s*p.subDim : (s+1)*p.subDim]
 		tables[s] = make([]float64, len(p.codebooks[s]))
 		for c, cent := range p.codebooks[s] {
-			tables[s][c] = sqL2(sub, cent)
+			tables[s][c] = embed.SqL2(sub, cent)
 		}
 	}
 	t := newTopK(k)
-	for i, code := range p.codes {
+	for i := range p.ids {
+		code := p.codes[i*p.m : (i+1)*p.m]
 		var d float64
 		for s := 0; s < p.m; s++ {
 			d += tables[s][code[s]]

@@ -1,0 +1,275 @@
+package vector
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/embed"
+	"repro/internal/obs"
+)
+
+// Scan kernel layer: a contiguous column store plus the exact and
+// int8-quantized scoring loops shared by the flat and IVF indexes.
+//
+// Storing vectors row-major in one []float32 (instead of one heap object
+// per item) keeps scans sequential in memory, lets the embed package's
+// SIMD kernels run without per-item slice-header chasing, and makes the
+// optional int8 code array a parallel column rather than a second index.
+// See DESIGN.md "Kernel architecture".
+
+const (
+	// quantAutoMin is the collection size at which a store in auto mode
+	// starts maintaining int8 codes. The int8 kernel's arithmetic rate is
+	// close to the AVX2 float kernel's, so the prefilter only wins once
+	// the float rows outgrow the last-level cache and the scan turns
+	// memory-bound — there the 4x-smaller codes are a 4x bandwidth cut.
+	// 16k rows at the default 128 dims is 8 MB of float32, around where
+	// that transition starts; smaller stores (and every exact-accuracy
+	// test) scan exactly. Quantized() forces codes on regardless of size.
+	quantAutoMin = 16384
+
+	// flatParallelMin is the default collection size at which an
+	// unfiltered flat scan shards across goroutines. Sharding a scan that
+	// takes tens of microseconds costs more in handoff than it saves, so
+	// the default is deliberately high; ParallelMin tunes it per index.
+	flatParallelMin = 4096
+
+	// minShard is the smallest number of rows worth giving one worker.
+	minShard = 512
+
+	// maxScanWorkers bounds scan fan-out regardless of GOMAXPROCS so one
+	// search cannot monopolize a large machine.
+	maxScanWorkers = 8
+)
+
+// shortlistFor is the quantized-prefilter shortlist size: wide enough that
+// int8 ranking error (see embed.QuantizeInto) essentially never evicts a
+// true top-k hit, small enough that exact rescoring stays negligible.
+func shortlistFor(k int) int { return k*4 + 16 }
+
+// quantMode selects how a colStore decides to maintain int8 codes.
+type quantMode int
+
+const (
+	quantAuto quantMode = iota // quantize once the store reaches quantAutoMin
+	quantOff                   // never quantize
+	quantOn                    // quantize from the first row
+)
+
+// colStore is a row-major contiguous vector store with cached norms and
+// optional int8 codes. It has no lock of its own: the owning index
+// serializes mutation.
+type colStore struct {
+	dim      int
+	n        int
+	vecs     []float32 // n*dim, row-major
+	norms    []float32 // n, L2 norm of each row
+	invNorms []float32 // n, 1/norm (0 for zero rows): scans multiply, never divide
+	mode     quantMode
+	quant    bool // int8 codes are live
+	codes    []int8
+	scales   []float32
+}
+
+func newColStore(dim int, mode quantMode) *colStore {
+	return &colStore{dim: dim, mode: mode}
+}
+
+func (s *colStore) row(i int) embed.Vector {
+	return embed.Vector(s.vecs[i*s.dim : (i+1)*s.dim : (i+1)*s.dim])
+}
+
+func (s *colStore) code(i int) []int8 {
+	return s.codes[i*s.dim : (i+1)*s.dim : (i+1)*s.dim]
+}
+
+// appendRow copies v into the store (the caller keeps ownership of v).
+func (s *colStore) appendRow(v embed.Vector) {
+	s.vecs = append(s.vecs, v...)
+	n := embed.Norm(v)
+	s.norms = append(s.norms, float32(n))
+	if n == 0 {
+		s.invNorms = append(s.invNorms, 0)
+	} else {
+		s.invNorms = append(s.invNorms, float32(1/n))
+	}
+	s.n++
+	if s.quant {
+		s.codes = append(s.codes, make([]int8, s.dim)...)
+		s.scales = append(s.scales, embed.QuantizeInto(s.code(s.n-1), v))
+	} else if s.mode == quantOn || (s.mode == quantAuto && s.n >= quantAutoMin) {
+		s.enableQuant()
+	}
+}
+
+// enableQuant materializes int8 codes for every stored row.
+func (s *colStore) enableQuant() {
+	s.quant = true
+	s.codes = make([]int8, s.n*s.dim)
+	s.scales = make([]float32, s.n)
+	for i := 0; i < s.n; i++ {
+		s.scales[i] = embed.QuantizeInto(s.code(i), s.row(i))
+	}
+}
+
+// swapRemove removes row i by moving the last row into its place,
+// mirroring the swap-remove the owning index performs on its own arrays.
+func (s *colStore) swapRemove(i int) {
+	last := s.n - 1
+	if i != last {
+		copy(s.row(i), s.row(last))
+		s.norms[i] = s.norms[last]
+		s.invNorms[i] = s.invNorms[last]
+		if s.quant {
+			copy(s.code(i), s.code(last))
+			s.scales[i] = s.scales[last]
+		}
+	}
+	s.vecs = s.vecs[:last*s.dim]
+	s.norms = s.norms[:last]
+	s.invNorms = s.invNorms[:last]
+	if s.quant {
+		s.codes = s.codes[:last*s.dim]
+		s.scales = s.scales[:last]
+	}
+	s.n = last
+}
+
+// preparedQuery hoists the per-query work (norm, squared norm, int8 code)
+// out of the per-row loop.
+type preparedQuery struct {
+	metric Metric
+	q      embed.Vector
+	qsq    float64 // q·q
+	qnorm  float64 // sqrt(qsq)
+	qinv   float64 // 1/qnorm (0 for the zero query)
+	qcode  []int8
+	qscale float32
+}
+
+func (s *colStore) prepare(m Metric, q embed.Vector) preparedQuery {
+	p := preparedQuery{metric: m, q: q, qsq: embed.Dot(q, q)}
+	p.qnorm = math.Sqrt(p.qsq)
+	if p.qnorm != 0 {
+		p.qinv = 1 / p.qnorm
+	}
+	if s.quant {
+		p.qcode = make([]int8, s.dim)
+		p.qscale = embed.QuantizeInto(p.qcode, q)
+	}
+	return p
+}
+
+// scoreExact scores row i exactly under p's metric (higher is closer),
+// using the cached reciprocal norm so cosine is one dot product and two
+// multiplies — no per-row division, no recomputed norms.
+func (s *colStore) scoreExact(p *preparedQuery, i int) float64 {
+	switch p.metric {
+	case Cosine:
+		return embed.Dot(p.q, s.row(i)) * float64(s.invNorms[i]) * p.qinv
+	case Dot:
+		return embed.Dot(p.q, s.row(i))
+	default: // L2
+		return -math.Sqrt(embed.SqL2(p.q, s.row(i)))
+	}
+}
+
+// scoreApprox ranks row i from its int8 code. The value is monotone in the
+// exact score per metric but carries quantization error, so it is only
+// ever used to build a shortlist that is rescored exactly.
+func (s *colStore) scoreApprox(p *preparedQuery, i int) float64 {
+	d := float64(embed.DotInt8(p.qcode, s.code(i))) * float64(p.qscale) * float64(s.scales[i])
+	switch p.metric {
+	case Cosine:
+		return d * float64(s.invNorms[i]) * p.qinv
+	case Dot:
+		return d
+	default: // L2: rank by -||q-x||^2 = 2(q·x) - q·q - x·x
+		n := float64(s.norms[i])
+		return 2*d - p.qsq - n*n
+	}
+}
+
+// search scans the store for the top k rows under m. id maps a row index
+// to the caller's item ID (scores and tie-breaks are reported in ID
+// space); keep, when non-nil, admits a row. parallelMin <= 0 disables
+// sharding. Returned results carry exact scores even when the quantized
+// prefilter ran.
+func (s *colStore) search(m Metric, q embed.Vector, k int, id func(int) ID, keep func(int) bool, parallelMin int) []Result {
+	t := newTopK(k)
+	if k <= 0 || s.n == 0 {
+		return t.results()
+	}
+	p := s.prepare(m, q)
+	if s.quant && s.n > 4*shortlistFor(k) {
+		// Quantized prefilter: rank every row by int8 score, keep a
+		// generous shortlist (tie-broken by row index), then rescore the
+		// shortlist exactly so callers only ever observe exact scores.
+		short := newTopK(shortlistFor(k))
+		s.scan(short, &p, s.scoreApprox, rowAsID, keep, parallelMin)
+		for _, r := range short.h {
+			i := int(r.ID)
+			t.offer(Result{ID: id(i), Score: s.scoreExact(&p, i)})
+		}
+		return t.results()
+	}
+	s.scan(t, &p, s.scoreExact, id, keep, parallelMin)
+	return t.results()
+}
+
+// rowAsID is the identity row-index-to-ID mapping used by prefilter scans.
+func rowAsID(i int) ID { return ID(i) }
+
+// scan runs score over every row, offering hits into t. Unfiltered scans
+// over at least parallelMin rows shard across up to maxScanWorkers
+// goroutines; each worker fills a private topK and the shards are merged
+// in deterministic shard order, so results match the serial scan exactly
+// (topK tie-breaking is order-insensitive).
+func (s *colStore) scan(t *topK, p *preparedQuery, score func(*preparedQuery, int) float64, id func(int) ID, keep func(int) bool, parallelMin int) {
+	workers := 1
+	if keep == nil && parallelMin > 0 && s.n >= parallelMin {
+		workers = runtime.GOMAXPROCS(0)
+		if m := s.n / minShard; workers > m {
+			workers = m
+		}
+		if workers > maxScanWorkers {
+			workers = maxScanWorkers
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < s.n; i++ {
+			if keep != nil && !keep(i) {
+				continue
+			}
+			t.offer(Result{ID: id(i), Score: score(p, i)})
+		}
+		return
+	}
+	parts := make([]*topK, workers)
+	chunk := (s.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, s.n)
+		part := newTopK(t.k)
+		parts[w] = part
+		wg.Add(1)
+		obs.Go(nil, "vector.scan_shard", func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				part.offer(Result{ID: id(i), Score: score(p, i)})
+			}
+		})
+	}
+	// Shard workers read immutable rows and private heaps only; they can
+	// never take index locks, so joining them while the caller holds the
+	// index read lock cannot deadlock.
+	//llmdm:allow lockscope bounded scan shards take no locks and are joined immediately
+	wg.Wait()
+	for _, part := range parts {
+		for _, r := range part.h {
+			t.offer(r)
+		}
+	}
+}
