@@ -9,6 +9,7 @@
 //	llmdm-proxy -addr :8080 -batch
 //	curl -s localhost:8080/v1/complete -H 'X-LLMDM-Tenant: acme' -d '{"prompt":"...","gold":"...","difficulty":0.3}'
 //	curl -s localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","priority":"batch"}'
+//	curl -sN localhost:8080/v1/complete -d '{"prompt":"...","gold":"...","stream":true}'   # SSE token stream
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/slo           # per-class SLO scorecard + burn rates
 //	curl -s localhost:8080/v1/tenants       # per-tenant spend/latency attribution
@@ -51,6 +52,8 @@ func run(args []string, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8080", "listen address")
 	threshold := fs.Float64("threshold", 0.62, "cascade confidence threshold")
+	exitThreshold := fs.Float64("exit-threshold", 0.35, "streamed early-exit confidence threshold (abort + escalate a tier mid-generation below it)")
+	noEarlyExit := fs.Bool("no-early-exit", false, "disable mid-generation early exit on streamed requests")
 	capacity := fs.Int("cache-capacity", 10000, "semantic cache capacity (0 = unbounded)")
 	noCache := fs.Bool("no-cache", false, "disable the semantic cache")
 	traces := fs.Int("traces", obs.DefaultTraceCapacity, "request traces retained for /debug/traces")
@@ -83,6 +86,9 @@ func run(args []string, stderr io.Writer) error {
 	if *threshold < 0 || *threshold > 1 {
 		return fmt.Errorf("-threshold must be in [0, 1] (got %g)", *threshold)
 	}
+	if *exitThreshold < 0 || *exitThreshold > 1 {
+		return fmt.Errorf("-exit-threshold must be in [0, 1] (got %g)", *exitThreshold)
+	}
 	if *capacity < 0 {
 		return fmt.Errorf("-cache-capacity must be >= 0 (got %d)", *capacity)
 	}
@@ -114,18 +120,20 @@ func run(args []string, stderr io.Writer) error {
 
 	ring := obs.NewEventLog(*events)
 	cfg := proxy.Config{
-		Threshold:      *threshold,
-		CacheCapacity:  *capacity,
-		DisableCache:   *noCache,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		Tracer:         obs.NewTracer(*traces),
-		Log:            obs.NewLogger(ring, min, obs.Default),
-		DisableSLO:     *noSLO,
-		TenantCapacity: *tenantCap,
-		DisableTenants: *noTenants,
-		DisableAlerts:  *noAlerts,
-		EnablePprof:    *pprofOn,
+		Threshold:        *threshold,
+		ExitThreshold:    *exitThreshold,
+		DisableEarlyExit: *noEarlyExit,
+		CacheCapacity:    *capacity,
+		DisableCache:     *noCache,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		Tracer:           obs.NewTracer(*traces),
+		Log:              obs.NewLogger(ring, min, obs.Default),
+		DisableSLO:       *noSLO,
+		TenantCapacity:   *tenantCap,
+		DisableTenants:   *noTenants,
+		DisableAlerts:    *noAlerts,
+		EnablePprof:      *pprofOn,
 	}
 	if *batch {
 		cfg.Scheduler = &sched.Config{
@@ -143,8 +151,8 @@ func run(args []string, stderr io.Writer) error {
 		stop := a.Start(*alertInterval)
 		defer stop()
 	}
-	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, batching=%t, trace ring=%d, event ring=%d, slo=%t, tenants=%t, alerts=%t, pprof=%t)",
-		*addr, !*noCache, *threshold, *batch, *traces, *events, !*noSLO, !*noTenants, !*noAlerts, *pprofOn)
+	log.Printf("llmdm-proxy listening on %s (cache=%t, cascade threshold=%.2f, stream early-exit=%t@%.2f, batching=%t, trace ring=%d, event ring=%d, slo=%t, tenants=%t, alerts=%t, pprof=%t)",
+		*addr, !*noCache, *threshold, !*noEarlyExit, *exitThreshold, *batch, *traces, *events, !*noSLO, !*noTenants, !*noAlerts, *pprofOn)
 	log.Printf("endpoints: POST /v1/complete · GET /v1/stats /v1/slo /v1/tenants /v1/alerts /metrics /debug/traces /debug/events /healthz")
 	return listenAndServe(*addr, p.Handler())
 }

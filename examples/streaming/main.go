@@ -1,0 +1,101 @@
+// Streaming: serve completions token by token through the proxy's
+// unified streaming API — an easy request streams from the cheap tier,
+// a hard one early-exits mid-generation and restarts on the strong
+// tier, a repeat streams instantly from the semantic cache — then the
+// same answers over the SSE HTTP surface.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	llmdm "repro"
+	"repro/internal/llm"
+)
+
+func main() {
+	ctx := context.Background()
+	client := llmdm.NewClient(llmdm.WithMetricsRegistry(llmdm.NewMetricsRegistry()))
+	p := client.Proxy(
+		llmdm.WithCascadeThreshold(0.62),
+		llmdm.WithEarlyExit(0.35), // abort a collapsing tier mid-generation
+	)
+	defer p.Close()
+
+	easy := llm.Request{
+		Prompt:     "Q: which column holds the order date?",
+		Gold:       "the order_date column in the orders table",
+		Difficulty: 0.1,
+	}
+	hard := llm.Request{
+		Prompt:     "Q: derive the join selectivity bound from the histogram",
+		Gold:       "the bound follows from the histogram overlap",
+		Wrong:      "the answer could not be determined from the available statistics in the catalog",
+		Difficulty: 0.9,
+	}
+
+	fmt.Println("— easy request: streams straight through the cheap tier —")
+	stream(ctx, p, easy)
+
+	fmt.Println("\n— hard request: early exit mid-generation, restart on the strong tier —")
+	stream(ctx, p, hard)
+
+	fmt.Println("\n— repeat of the easy request: instant single-chunk cache hit —")
+	stream(ctx, p, easy)
+
+	// The same path over HTTP: POST /v1/complete with "stream": true
+	// replies with Server-Sent Events.
+	fmt.Println("\n— the SSE surface —")
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/complete", "application/json",
+		strings.NewReader(`{"prompt":"Q: which table holds shipments?","gold":"the shipments table","difficulty":0.1,"stream":true}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			fmt.Println("  " + line)
+		}
+	}
+
+	fmt.Printf("\ntotal spend this session: %s\n", client.Spend())
+}
+
+// stream drains one streamed completion, printing chunks as a client
+// UI would render them.
+func stream(ctx context.Context, p interface {
+	CompleteStream(context.Context, llm.Request) (llmdm.Stream, error)
+}, req llm.Request) {
+	s, err := p.CompleteStream(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	for {
+		ch, err := s.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ch.Restart {
+			fmt.Printf("\n  [restart: escalated to %s]\n", ch.Model)
+		}
+		fmt.Printf("  #%-2d %-12s conf=%.2f cost=%-8s %q\n", ch.Index, ch.Model, ch.Confidence, ch.Cost, ch.Text)
+	}
+	ans, err := s.Answer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  => %q from %s via %s, %s\n", ans.Text, ans.Model, ans.Source, ans.Cost)
+}

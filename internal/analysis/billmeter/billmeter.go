@@ -9,13 +9,16 @@
 // The rule: in library code outside the serving layers that ARE the
 // accounting flow (internal/llm, internal/core/cascade, internal/sched,
 // internal/proxy), every function that calls a model — a method named
-// Complete or GenerateBatch — must visibly do one of:
+// Complete, GenerateBatch, or a streaming open (GenerateStream /
+// CompleteStream, whose chunks each carry incremental cost) — must
+// visibly do one of:
 //
 //   - read spend off the result or a meter in the same function
 //     (a .Cost / .TotalCost / .Spend / .TotalSpend / .Meter / .Stats /
-//     .Escalations selector), or
-//   - propagate the response to its caller (return the call's results,
-//     directly or via the assigned variables), or
+//     .Escalations selector — for streams, summing chunk .Cost or
+//     reading the settled .Result / .Final / .Answer response), or
+//   - propagate the response (or the open stream) to its caller (return
+//     the call's results, directly or via the assigned variables), or
 //   - route through the scheduler (.Submit), whose flush path bills, or
 //   - carry an //llmdm:allow billmeter annotation with a reason.
 //
@@ -33,8 +36,9 @@ import (
 // Analyzer is the billmeter rule.
 var Analyzer = &analysis.Analyzer{
 	Name: "billmeter",
-	Doc: "every Complete/GenerateBatch call site outside internal/llm, cascade, sched and proxy " +
-		"must record spend (Cost/Meter/Spend use) or propagate the response to its caller",
+	Doc: "every Complete/GenerateBatch/GenerateStream/CompleteStream call site outside internal/llm, " +
+		"cascade, sched and proxy must record spend (Cost/Meter/Spend use, or a stream's settled " +
+		"Result/Final/Answer) or propagate the response to its caller",
 	Run: run,
 }
 
@@ -58,6 +62,21 @@ var spendSelectors = map[string]bool{
 	"ResetMeter":  true,
 	"Stats":       true,
 	"Escalations": true,
+	// Stream settlement accessors: each returns the fully billed response
+	// (llm.Stream.Final, cascade.RunStream.Result, proxy.Stream.Answer),
+	// so reading one is reading spend.
+	"Final":  true,
+	"Result": true,
+	"Answer": true,
+}
+
+// modelCallNames are the method names that move money: request/response
+// completions and streaming opens (whose chunks carry incremental cost).
+var modelCallNames = map[string]bool{
+	"Complete":       true,
+	"GenerateBatch":  true,
+	"GenerateStream": true,
+	"CompleteStream": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -96,15 +115,13 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				switch sel.Sel.Name {
-				case "Complete", "GenerateBatch":
+				switch {
+				case modelCallNames[sel.Sel.Name]:
 					modelCalls = append(modelCalls, n)
-				case "Submit":
+				case sel.Sel.Name == "Submit":
 					hasSpendFlow = true // scheduler path bills in its flush
-				default:
-					if spendSelectors[sel.Sel.Name] {
-						hasSpendFlow = true
-					}
+				case spendSelectors[sel.Sel.Name]:
+					hasSpendFlow = true
 				}
 			}
 		case *ast.SelectorExpr:
@@ -171,5 +188,5 @@ func isModelCall(e ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	return sel.Sel.Name == "Complete" || sel.Sel.Name == "GenerateBatch"
+	return modelCallNames[sel.Sel.Name]
 }

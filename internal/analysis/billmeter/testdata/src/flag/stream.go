@@ -1,0 +1,22 @@
+// Fixture: streaming opens whose chunk costs are neither summed nor
+// settled nor propagated are dropped spend, exactly like a discarded
+// Complete response.
+package fixture
+
+func dropsStream(m model, req request) error {
+	s, err := m.GenerateStream(nil, req) // want "model call \.GenerateStream: response spend is neither recorded"
+	if err != nil {
+		return err
+	}
+	for {
+		ch, rerr := s.Recv()
+		if rerr != nil {
+			return nil
+		}
+		use(ch.Text)
+	}
+}
+
+func discardsRunStream(c cascadeRunner, req request) {
+	_, _ = c.CompleteStream(nil, req) // want "model call \.CompleteStream: response spend is neither recorded"
+}

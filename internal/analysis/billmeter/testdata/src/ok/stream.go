@@ -1,0 +1,52 @@
+// Fixture: the accepted spend flows for streaming calls — sum the
+// chunks' incremental costs, read the settled response (Result / Final
+// / Answer), or propagate the open stream to the caller.
+package fixture
+
+func sumsChunkCosts(m model, req request) error {
+	s, err := m.GenerateStream(nil, req)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for {
+		ch, rerr := s.Recv()
+		if rerr != nil {
+			break
+		}
+		total += int64(ch.Cost)
+	}
+	addSpend(total)
+	return nil
+}
+
+func readsSettledResult(c cascadeRunner, req request) error {
+	rs, err := c.CompleteStream(nil, req)
+	if err != nil {
+		return err
+	}
+	drain(rs)
+	resp, _, err := rs.Result()
+	use(resp)
+	return err
+}
+
+func readsSettledAnswer(p proxyLike, req request) error {
+	s, err := p.CompleteStream(nil, req)
+	if err != nil {
+		return err
+	}
+	drain(s)
+	ans, err := s.Answer()
+	use(ans)
+	return err
+}
+
+func returnsStreamDirectly(m model, req request) (stream, error) {
+	return m.GenerateStream(nil, req)
+}
+
+func propagatesAssignedStream(m model, req request) (stream, error) {
+	s, err := m.GenerateStream(nil, req)
+	return s, err
+}

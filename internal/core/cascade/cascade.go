@@ -132,6 +132,16 @@ type Cascade struct {
 	// calling tiers one request at a time. Tiers unknown to the
 	// scheduler still go direct.
 	Sched Submitter
+	// ExitThreshold arms mid-generation early exit for streamed runs
+	// (CompleteStream): once a non-final tier has emitted ExitMinChunks
+	// chunks, a chunk confidence below this threshold aborts the tier and
+	// escalates immediately, billing only the chunks already emitted.
+	// Zero disables early exit. Choose a value below the accept
+	// threshold: collapse, not mere mediocrity, should trigger an abort.
+	ExitThreshold float64
+	// ExitMinChunks is the minimum chunks a tier streams before the exit
+	// rule applies. Zero means DefaultExitMinChunks.
+	ExitMinChunks int
 	// Obs receives the cascade's step/escalation/error counters. Nil means
 	// obs.Default.
 	Obs *obs.Registry

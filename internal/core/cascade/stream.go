@@ -1,0 +1,368 @@
+// Streamed cascade runs: the cascade consumes model token streams,
+// watches per-chunk confidence, and aborts a cheap tier mid-generation
+// the moment its confidence collapses — escalating to the next tier
+// while having billed only the chunks actually emitted. The unstreamed
+// remainder of the aborted tier is never charged (the "refund" relative
+// to a request/response cascade, which always pays failed tiers in
+// full).
+package cascade
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/token"
+)
+
+// DefaultExitMinChunks is how many chunks a tier must emit before the
+// early-exit rule may abort it — the first chunks of a stream carry
+// mostly prior, not signal.
+const DefaultExitMinChunks = 2
+
+// ErrStreamActive is returned by RunStream.Result while the stream has
+// not yet finished.
+var ErrStreamActive = errors.New("cascade: stream still active")
+
+// StreamChunk is one chunk of a streamed cascade run: the model chunk
+// plus which tier produced it. A cascade stream may switch tiers
+// mid-flight (early exit or rejection), signalled by Restart — consumers
+// rendering text should discard what they buffered from earlier tiers.
+type StreamChunk struct {
+	llm.Chunk
+	// Model names the tier that produced this chunk.
+	Model string
+	// Tier is the model's index in the cascade (0 = cheapest).
+	Tier int
+	// Restart marks the first chunk of a new tier after an escalation:
+	// everything streamed before it belongs to an abandoned attempt.
+	Restart bool
+}
+
+// CompleteStream runs the request through the cascade as a chunk
+// stream. Chunks carry incremental cost; billing accrues only for
+// delivered chunks, so an early-exited tier bills exactly what it
+// emitted. The chunk marked Final belongs to the accepted tier; a
+// rejected tier's last chunk arrives with Final false, followed by the
+// next tier's Restart chunk. Tiers whose model does not implement
+// llm.StreamModel degrade to a single-chunk stream around the regular
+// call (billed in full, as before).
+func (c *Cascade) CompleteStream(ctx context.Context, req llm.Request) (*RunStream, error) {
+	if len(c.Models) == 0 {
+		return nil, ErrNoModels
+	}
+	minChunks := c.ExitMinChunks
+	if minChunks <= 0 {
+		minChunks = DefaultExitMinChunks
+	}
+	_, sp := obs.StartSpan(ctx, "cascade.complete_stream")
+	return &RunStream{c: c, ctx: ctx, req: req, sp: sp, minChunks: minChunks, tier: -1}, nil
+}
+
+// RunStream is one in-flight streamed cascade run. It is a synchronous
+// pull state machine: Recv advances tiers, applies the early-exit rule
+// and the accept decision, and surfaces exactly the chunks that were
+// billed. Not safe for concurrent Recv.
+type RunStream struct {
+	c         *Cascade
+	ctx       context.Context
+	req       llm.Request
+	sp        *obs.Span
+	minChunks int
+
+	// tier iteration state.
+	tier        int
+	cur         llm.Stream
+	curModel    llm.Model
+	tierChunks  int
+	tierCost    token.Cost
+	tierRestart bool
+
+	tr     Trace
+	last   llm.Response
+	hasAns bool
+	forced bool
+
+	done   bool
+	result llm.Response
+	err    error
+	closed bool
+}
+
+// Recv returns the next chunk of the run. After the accepted tier's
+// Final chunk it returns io.EOF; a tier error or exhausted cascade
+// surfaces as the terminal error.
+func (r *RunStream) Recv() (StreamChunk, error) {
+	if r.closed {
+		return StreamChunk{}, llm.ErrStreamClosed
+	}
+	if r.done {
+		if r.err != nil {
+			return StreamChunk{}, r.err
+		}
+		return StreamChunk{}, io.EOF
+	}
+	for {
+		if r.cur == nil {
+			if err := r.openNextTier(); err != nil {
+				return StreamChunk{}, err
+			}
+		}
+		ch, err := r.cur.Recv()
+		if errors.Is(err, io.EOF) {
+			// Defensive: sim streams end on a Final chunk, which we
+			// finalize below; a bare EOF means the tier produced nothing
+			// more — move on.
+			r.cur = nil
+			continue
+		}
+		if err != nil {
+			return StreamChunk{}, r.tierError(err)
+		}
+		r.tierChunks++
+		r.tierCost += ch.Cost
+		out := StreamChunk{Chunk: ch, Model: r.curModel.Name(), Tier: r.tier, Restart: r.tierRestart}
+		r.tierRestart = false
+		if ch.Final {
+			out.Final = r.finalizeTier()
+			return out, nil
+		}
+		if r.shouldExit(ch) {
+			r.earlyExit(ch)
+		}
+		return out, nil
+	}
+}
+
+// openNextTier advances past open breakers to the next usable tier and
+// starts its stream. When every remaining tier is skipped it terminates
+// the run: forced-accept of the last completed answer if one exists,
+// ErrAllTiersOpen otherwise.
+func (r *RunStream) openNextTier() error {
+	c := r.c
+	reg := c.reg()
+	lg := c.logger()
+	for i := r.tier + 1; i < len(c.Models); i++ {
+		m := c.Models[i]
+		if c.Breakers != nil && !c.Breakers.Allow(m.Name()) {
+			reg.Counter("cascade_tier_skipped_total", "model", m.Name()).Inc()
+			lg.Event(r.ctx, obs.Warn, "cascade_tier_skip", "model", m.Name(), "tier", i)
+			continue
+		}
+		lg.Event(r.ctx, obs.Debug, "cascade_tier_attempt", "model", m.Name(), "tier", i)
+		stream, err := r.openStream(m)
+		if err != nil {
+			r.tier, r.curModel = i, m
+			return r.tierError(err)
+		}
+		r.tier, r.curModel, r.cur = i, m, stream
+		r.tierChunks, r.tierCost = 0, 0
+		r.tierRestart = len(r.tr.Steps) > 0
+		return nil
+	}
+	// No usable tier left.
+	if r.hasAns {
+		// The escalation target was skipped: serve the answer we already
+		// paid for (mirrors Complete's forced accept). The consumer saw
+		// its chunks already; finish() leaves the result readable.
+		r.tr.Steps[len(r.tr.Steps)-1].Accepted = true
+		reg.Counter("cascade_forced_accept_total").Inc()
+		r.forced = true
+		r.finish(r.last, nil)
+		return io.EOF
+	}
+	if len(r.tr.Steps) == 0 {
+		reg.Counter("cascade_errors_total", "model", "none").Inc()
+	}
+	r.finish(llm.Response{}, ErrAllTiersOpen)
+	return ErrAllTiersOpen
+}
+
+// openStream starts a tier's token stream, degrading tiers without
+// stream support to a single pre-billed chunk around the regular
+// (possibly scheduler-batched) call path.
+func (r *RunStream) openStream(m llm.Model) (llm.Stream, error) {
+	if sm, ok := m.(llm.StreamModel); ok {
+		return sm.GenerateStream(r.ctx, r.req)
+	}
+	resp, err := r.c.step(r.ctx, m, r.req)
+	if err != nil {
+		return nil, err
+	}
+	return llm.StaticStream(resp), nil
+}
+
+// shouldExit applies the early-exit rule to a non-final chunk:
+// confidence collapsed below the exit threshold, the tier has emitted
+// enough chunks to trust the signal, and a later tier is actually
+// available to escalate to.
+func (r *RunStream) shouldExit(ch llm.Chunk) bool {
+	if r.c.ExitThreshold <= 0 || r.tier >= len(r.c.Models)-1 {
+		return false
+	}
+	if r.tierChunks < r.minChunks || ch.Confidence >= r.c.ExitThreshold {
+		return false
+	}
+	return r.escalationAvailable()
+}
+
+// escalationAvailable reports whether any tier after the current one
+// would be admitted by its breaker right now.
+func (r *RunStream) escalationAvailable() bool {
+	if r.c.Breakers == nil {
+		return r.tier < len(r.c.Models)-1
+	}
+	for i := r.tier + 1; i < len(r.c.Models); i++ {
+		if r.c.Breakers.Allow(r.c.Models[i].Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// earlyExit aborts the current tier mid-generation: the stream is
+// closed (unstreamed remainder never billed), the tier is recorded as a
+// rejected step costing only its emitted chunks, and the next Recv
+// opens the escalation target.
+func (r *RunStream) earlyExit(ch llm.Chunk) {
+	c := r.c
+	r.cur.Close()
+	if c.Breakers != nil {
+		// An abort for quality is not a tier failure.
+		c.Breakers.Record(r.curModel.Name(), true)
+	}
+	r.tr.Steps = append(r.tr.Steps, Step{
+		Model:      r.curModel.Name(),
+		Confidence: ch.Confidence,
+		Accepted:   false,
+		Cost:       r.tierCost,
+	})
+	r.tr.TotalCost += r.tierCost
+	reg := c.reg()
+	reg.Counter("cascade_steps_total", "model", r.curModel.Name(), "outcome", "early_exit").Inc()
+	reg.Counter("cascade_early_exit_total", "model", r.curModel.Name()).Inc()
+	c.logger().Event(r.ctx, obs.Info, "stream_early_exit",
+		"model", r.curModel.Name(), "tier", r.tier,
+		"confidence", ch.Confidence, "chunks", r.tierChunks,
+		"billed_microusd", int64(r.tierCost))
+	r.cur = nil
+	r.hasAns = false
+}
+
+// finalizeTier runs the accept decision once a tier's stream completed,
+// and reports whether the tier's last chunk should be marked Final for
+// the consumer (i.e. the run is over).
+func (r *RunStream) finalizeTier() bool {
+	c := r.c
+	reg := c.reg()
+	resp, ok := r.cur.Final()
+	if !ok {
+		// A stream that ended without a final response degrades to what
+		// we observed; should not happen with sim streams.
+		resp = llm.Response{Model: r.curModel.Name(), Cost: r.tierCost}
+	}
+	if c.Breakers != nil {
+		c.Breakers.Record(r.curModel.Name(), true)
+	}
+	r.cur = nil
+	r.last, r.hasAns = resp, true
+	r.tr.TotalCost += resp.Cost
+
+	final := r.tier == len(c.Models)-1
+	accepted := final || c.Decide.Accept(resp)
+	if !accepted && !r.escalationAvailable() {
+		// Nowhere to escalate: forced accept of the answer we just paid
+		// for, decided now so the consumer still gets a Final chunk.
+		accepted = true
+		r.forced = true
+		reg.Counter("cascade_forced_accept_total").Inc()
+	}
+	outcome := "reject"
+	if accepted {
+		outcome = "accept"
+	}
+	reg.Counter("cascade_steps_total", "model", r.curModel.Name(), "outcome", outcome).Inc()
+	r.tr.Steps = append(r.tr.Steps, Step{
+		Model:      r.curModel.Name(),
+		Confidence: resp.Confidence,
+		Accepted:   accepted,
+		Cost:       resp.Cost,
+	})
+	if accepted {
+		r.finish(resp, nil)
+		return true
+	}
+	c.logger().Event(r.ctx, obs.Info, "cascade_escalate",
+		"from", r.curModel.Name(), "tier", r.tier, "confidence", resp.Confidence)
+	return false
+}
+
+// tierError terminates the run on a tier failure, mirroring Complete's
+// error accounting.
+func (r *RunStream) tierError(err error) error {
+	c := r.c
+	if c.Breakers != nil && !errors.Is(err, context.Canceled) {
+		c.Breakers.Record(r.curModel.Name(), false)
+	}
+	c.reg().Counter("cascade_errors_total", "model", r.curModel.Name()).Inc()
+	c.reg().Counter("cascade_escalations_total").Add(int64(r.tr.Escalations()))
+	c.logger().Event(r.ctx, obs.Warn, "cascade_tier_error",
+		"model", r.curModel.Name(), "tier", r.tier, "error", err.Error())
+	r.cur = nil
+	r.finish(llm.Response{}, err)
+	return err
+}
+
+// finish seals the run and settles the success counters.
+func (r *RunStream) finish(resp llm.Response, err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.result, r.err = resp, err
+	if err == nil {
+		reg := r.c.reg()
+		reg.Counter("cascade_requests_total").Inc()
+		reg.Counter("cascade_escalations_total").Add(int64(r.tr.Escalations()))
+		reg.Counter("cascade_final_model_total", "model", resp.Model).Inc()
+	}
+	r.sp.SetAttr("tiers", len(r.tr.Steps))
+	r.sp.SetAttr("cost_microusd", int64(r.tr.TotalCost))
+	r.sp.SetAttr("forced", r.forced)
+	if err != nil {
+		r.sp.SetAttr("error", err.Error())
+	}
+	r.sp.End()
+}
+
+// Close aborts the run. Chunks already delivered stay billed; an open
+// tier stream is closed so its remainder never bills. Idempotent.
+func (r *RunStream) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	if !r.done {
+		r.done = true
+		r.err = llm.ErrStreamClosed
+		r.sp.SetAttr("aborted", true)
+		r.sp.End()
+	}
+	return nil
+}
+
+// Result returns the accepted response and the run trace once the
+// stream has finished (Recv returned io.EOF or a terminal error).
+// Trace.TotalCost is exactly the sum of delivered chunk costs.
+func (r *RunStream) Result() (llm.Response, Trace, error) {
+	if !r.done {
+		return llm.Response{}, r.tr, ErrStreamActive
+	}
+	return r.result, r.tr, r.err
+}

@@ -231,6 +231,27 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 // empty prompt). trace, when non-empty, becomes the latency and cost
 // histograms' exemplar for the buckets this call lands in.
 func (m *SimModel) answer(req Request, trace string) Response {
+	resp := m.adjudicate(req)
+
+	m.mu.Lock()
+	m.meter.Add(resp.InputTokens, resp.OutputTokens, resp.Cost)
+	m.mu.Unlock()
+
+	m.mCalls.Inc()
+	m.mTokensIn.Add(int64(resp.InputTokens))
+	m.mTokensOut.Add(int64(resp.OutputTokens))
+	m.mCost.Add(int64(resp.Cost))
+	m.mLatency.ObserveWithExemplar(resp.Latency.Seconds(), trace)
+	m.mCallCost.ObserveWithExemplar(float64(resp.Cost), trace)
+	return resp
+}
+
+// adjudicate decides one request — text, correctness, confidence, token
+// counts, cost and simulated latency — with no side effects on the meter
+// or metrics. It is the shared core of answer (which bills the whole call
+// at once) and GenerateStream (which bills chunk by chunk as the text is
+// emitted).
+func (m *SimModel) adjudicate(req Request) Response {
 	// Deterministic per-(model, key) noise streams: one for correctness,
 	// one for confidence. Distinct salts keep them independent.
 	key := req.NoiseKey
@@ -273,18 +294,7 @@ func (m *SimModel) answer(req Request, trace string) Response {
 		out = 1
 	}
 	cost := m.price.ForTokens(in, out)
-
-	m.mu.Lock()
-	m.meter.Add(in, out, cost)
-	m.mu.Unlock()
-
 	latency := time.Duration(float64(in+out) / m.tokensPerSec * float64(time.Second))
-	m.mCalls.Inc()
-	m.mTokensIn.Add(int64(in))
-	m.mTokensOut.Add(int64(out))
-	m.mCost.Add(int64(cost))
-	m.mLatency.ObserveWithExemplar(latency.Seconds(), trace)
-	m.mCallCost.ObserveWithExemplar(float64(cost), trace)
 
 	return Response{
 		Text:         text,

@@ -1,0 +1,283 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/token"
+)
+
+func newStreamTestModel(t *testing.T, capability float64) *SimModel {
+	t.Helper()
+	return NewSim(SimConfig{
+		Name:       "stream-test",
+		Capability: capability,
+		Price:      token.Price{InputPer1K: 1000, OutputPer1K: 2000},
+		Obs:        obs.NewRegistry(),
+	})
+}
+
+func drain(t *testing.T, s Stream) []Chunk {
+	t.Helper()
+	var chunks []Chunk
+	for {
+		ch, err := s.Recv()
+		if errors.Is(err, io.EOF) {
+			return chunks
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		chunks = append(chunks, ch)
+	}
+}
+
+// The headline invariant: a drained stream reproduces Complete exactly —
+// same text, same confidence, and meter-exact billing (sum of chunk
+// costs equals Response.Cost, token counts identical).
+func TestStreamMatchesCompleteExactly(t *testing.T) {
+	req := Request{
+		Task:       TaskQA,
+		Prompt:     "what is the average monthly revenue per region over the last fiscal year",
+		Gold:       "the average monthly revenue per region was 4.2 million dollars across all regions last year",
+		Wrong:      "insufficient data",
+		Difficulty: 0.4,
+	}
+
+	mComplete := newStreamTestModel(t, 0.8)
+	resp, err := mComplete.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+
+	mStream := newStreamTestModel(t, 0.8)
+	s, err := mStream.GenerateStream(context.Background(), req)
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	chunks := drain(t, s)
+
+	if len(chunks) < 2 {
+		t.Fatalf("expected a multi-chunk stream, got %d chunks", len(chunks))
+	}
+	var text string
+	var sum token.Cost
+	for i, ch := range chunks {
+		if ch.Index != i {
+			t.Fatalf("chunk %d has Index %d", i, ch.Index)
+		}
+		if ch.Final != (i == len(chunks)-1) {
+			t.Fatalf("chunk %d Final=%v", i, ch.Final)
+		}
+		if ch.Cost < 0 {
+			t.Fatalf("chunk %d has negative cost %d", i, ch.Cost)
+		}
+		text += ch.Text
+		sum += ch.Cost
+	}
+	if text != resp.Text {
+		t.Fatalf("concatenated chunks = %q, Complete text = %q", text, resp.Text)
+	}
+	if sum != resp.Cost {
+		t.Fatalf("sum of chunk costs = %d, Complete cost = %d", sum, resp.Cost)
+	}
+	last := chunks[len(chunks)-1]
+	if last.Confidence != resp.Confidence {
+		t.Fatalf("final chunk confidence %v != Complete confidence %v", last.Confidence, resp.Confidence)
+	}
+	if last.Latency != resp.Latency {
+		t.Fatalf("final chunk latency %v != Complete latency %v", last.Latency, resp.Latency)
+	}
+
+	final, ok := s.Final()
+	if !ok {
+		t.Fatal("Final() not available after drain")
+	}
+	if final.Text != resp.Text || final.Cost != resp.Cost || final.Confidence != resp.Confidence {
+		t.Fatalf("Final() = %+v, Complete = %+v", final, resp)
+	}
+
+	// Meter-exactness: the streamed model's meter must equal the
+	// non-streamed model's meter field for field.
+	if got, want := mStream.Meter(), mComplete.Meter(); got != want {
+		t.Fatalf("stream meter %+v != complete meter %+v", got, want)
+	}
+
+	if _, err := s.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Recv after drain: %v, want io.EOF", err)
+	}
+}
+
+// Abandoning a stream early bills exactly the chunks that were emitted —
+// the remainder is never charged.
+func TestStreamEarlyCloseBillsOnlyEmittedChunks(t *testing.T) {
+	req := Request{
+		Task:       TaskQA,
+		Prompt:     "list the top five customers by total order volume in the west region",
+		Gold:       "acme corp globex initech umbrella and stark are the top five customers by volume",
+		Difficulty: 0.3,
+	}
+	m := newStreamTestModel(t, 0.8)
+	s, err := m.GenerateStream(context.Background(), req)
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+
+	var sum token.Cost
+	for i := 0; i < 3; i++ {
+		ch, err := s.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		sum += ch.Cost
+		if ch.Final {
+			t.Fatalf("stream finished in %d chunks; test needs a longer gold answer", i+1)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Recv(); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Recv after Close: %v, want ErrStreamClosed", err)
+	}
+	if _, ok := s.Final(); ok {
+		t.Fatal("Final() reported completion for an aborted stream")
+	}
+
+	meter := m.Meter()
+	if meter.Spend != sum {
+		t.Fatalf("meter spend %d != sum of emitted chunk costs %d", meter.Spend, sum)
+	}
+	full := newStreamTestModel(t, 0.8)
+	resp, err := full.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if meter.Spend >= resp.Cost {
+		t.Fatalf("aborted stream billed %d, full call costs %d — no refund", meter.Spend, resp.Cost)
+	}
+}
+
+// A canceled context stops both delivery and billing.
+func TestStreamContextCancel(t *testing.T) {
+	req := Request{
+		Prompt:     "describe the schema of the orders table including all column types",
+		Gold:       "orders has id integer customer integer total numeric and created timestamp columns",
+		Difficulty: 0.2,
+	}
+	m := newStreamTestModel(t, 0.9)
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := m.GenerateStream(ctx, req)
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	ch, err := s.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	cancel()
+	if _, err := s.Recv(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Recv after cancel: %v, want context.Canceled", err)
+	}
+	if got := m.Meter().Spend; got != ch.Cost {
+		t.Fatalf("meter spend %d after cancel, want only first chunk's %d", got, ch.Cost)
+	}
+}
+
+// Streams are deterministic: two runs of the same request produce
+// identical chunk sequences.
+func TestStreamDeterministic(t *testing.T) {
+	req := Request{
+		Prompt:     "summarize weekly active user growth for the analytics dashboard",
+		Gold:       "weekly active users grew eleven percent quarter over quarter",
+		Difficulty: 0.5,
+	}
+	a := drain(t, mustStream(t, newStreamTestModel(t, 0.7), req))
+	b := drain(t, mustStream(t, newStreamTestModel(t, 0.7), req))
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func mustStream(t *testing.T, m *SimModel, req Request) Stream {
+	t.Helper()
+	s, err := m.GenerateStream(context.Background(), req)
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	return s
+}
+
+// Mid-stream confidence converges toward the final value: for a
+// confident answer the trajectory's last pre-final chunk is closer to
+// the final confidence than the first chunk is.
+func TestStreamConfidenceConverges(t *testing.T) {
+	req := Request{
+		Prompt:     "what table stores customer billing addresses in the warehouse schema",
+		Gold:       "customer billing addresses live in the dim customer address table of the warehouse",
+		Difficulty: 0.1,
+	}
+	m := newStreamTestModel(t, 0.95)
+	chunks := drain(t, mustStream(t, m, req))
+	if len(chunks) < 3 {
+		t.Fatalf("need >=3 chunks, got %d", len(chunks))
+	}
+	final := chunks[len(chunks)-1].Confidence
+	first := chunks[0].Confidence
+	preFinal := chunks[len(chunks)-2].Confidence
+	if abs(preFinal-final) > abs(first-final) {
+		t.Fatalf("confidence diverged: first %.3f, pre-final %.3f, final %.3f", first, preFinal, final)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// GenerateStream validates like Complete.
+func TestStreamValidation(t *testing.T) {
+	m := newStreamTestModel(t, 0.5)
+	if _, err := m.GenerateStream(context.Background(), Request{}); !errors.Is(err, ErrEmptyPrompt) {
+		t.Fatalf("empty prompt: %v, want ErrEmptyPrompt", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.GenerateStream(ctx, Request{Prompt: "p", Gold: "g"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context: %v, want context.Canceled", err)
+	}
+}
+
+// StaticStream replays a pre-billed response as one final chunk and
+// never touches any meter.
+func TestStaticStream(t *testing.T) {
+	resp := Response{Text: "cached answer", Confidence: 0.9, Model: "m", Cost: 123}
+	s := StaticStream(resp)
+	ch, err := s.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !ch.Final || ch.Text != resp.Text || ch.Cost != resp.Cost || ch.Confidence != resp.Confidence {
+		t.Fatalf("chunk %+v does not mirror response %+v", ch, resp)
+	}
+	if _, err := s.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("second Recv: %v, want io.EOF", err)
+	}
+	got, ok := s.Final()
+	if !ok || got.Text != resp.Text {
+		t.Fatalf("Final() = %+v, %v", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -211,6 +211,40 @@ func Serving(ctx context.Context) []Spec {
 				b.Fatal("cascade path billed nothing")
 			}
 		}},
+		{Name: "stream_ttft", Bench: func(b *testing.B) {
+			// Time-to-first-token through the streaming path: the timer
+			// runs only from CompleteStream to the first chunk; draining
+			// and settling the rest of the stream happens off the clock.
+			var spend token.Cost
+			p := newBenchProxy(proxy.Config{Threshold: 0.5, DisableCache: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := p.CompleteStream(ctx, perfReq(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Recv(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for {
+					if _, rerr := s.Recv(); rerr != nil {
+						break
+					}
+				}
+				ans, err := s.Answer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				spend += ans.Cost
+				s.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if spend <= 0 && b.N > 0 {
+				b.Fatal("stream path billed nothing")
+			}
+		}},
 		{Name: "sched_submit", Bench: func(b *testing.B) {
 			reg := obs.NewRegistry()
 			model, sim := perfModel(reg, 100000)

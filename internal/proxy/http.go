@@ -33,9 +33,52 @@ type CompletionRequest struct {
 	// request instead of the full prompt (see llm.Request.NoiseKey).
 	NoiseKey string `json:"noise_key,omitempty"`
 	// Priority selects the batching scheduler's class: "interactive"
-	// (default) or "batch" for bulk traffic that must not crowd out
-	// interactive requests. Ignored when the scheduler is off.
+	// (default), "batch" for bulk traffic that must not crowd out
+	// interactive requests, or "streaming" (implied by Stream). Ignored
+	// when the scheduler is off.
 	Priority string `json:"priority,omitempty"`
+	// Stream selects the server-sent-events response: chunk events as
+	// tokens arrive, then a terminal done event (see Handler docs).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// ErrorBody is the typed error detail inside ErrorEnvelope.
+type ErrorBody struct {
+	// Code is a stable machine-readable error class: "bad_request",
+	// "method_not_allowed", "overloaded", "upstream_timeout",
+	// "upstream_error", "disabled" or "internal".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Retryable tells well-behaved clients whether retrying (after any
+	// Retry-After) can succeed.
+	Retryable bool `json:"retryable"`
+}
+
+// ErrorEnvelope is the uniform JSON shape of every non-200 response
+// from the proxy's HTTP surface.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryable bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg, Retryable: retryable}})
+}
+
+// completionError maps a serving-path error to its envelope.
+func completionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, resilience.ErrOverloaded):
+		// Shed by the limiter: tell well-behaved clients to retry.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(), true)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "upstream_timeout", err.Error(), true)
+	default:
+		writeError(w, http.StatusBadGateway, "upstream_error", err.Error(), false)
+	}
 }
 
 // CompletionResponse is the JSON reply of POST /v1/complete. TraceID
@@ -58,7 +101,14 @@ const TenantHeader = "X-LLMDM-Tenant"
 
 // Handler returns the proxy's HTTP mux:
 //
-//	POST /v1/complete   — serve one completion (X-LLMDM-Tenant attributes it)
+//	POST /v1/complete   — serve one completion (X-LLMDM-Tenant attributes it);
+//	                      with "stream": true the reply is Server-Sent Events:
+//	                      one "chunk" event per token group (data: Chunk JSON),
+//	                      then a terminal "done" event carrying the full text,
+//	                      cost, tier and trace id — or an "error" event with
+//	                      the same ErrorBody JSON the non-streamed surface
+//	                      returns. Every non-200 response on every endpoint
+//	                      is an ErrorEnvelope.
 //	GET  /v1/stats      — lifetime counters (+ latency percentiles, tenants, alerts)
 //	GET  /v1/slo        — per-class SLO scorecard with burn rates
 //	GET  /v1/tenants    — per-tenant attribution table (?n= caps to top spenders)
@@ -73,22 +123,22 @@ func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", false)
 			return
 		}
 		var req CompletionRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", "bad JSON: "+err.Error(), false)
 			return
 		}
 		if req.Prompt == "" {
-			http.Error(w, "prompt is required", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", "prompt is required", false)
 			return
 		}
 		ctx := r.Context()
 		tenant := strings.TrimSpace(r.Header.Get(TenantHeader))
 		if len(tenant) > obs.MaxTenantLen {
-			http.Error(w, "tenant identifier too long", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request", "tenant identifier too long", false)
 			return
 		}
 		if tenant == "" {
@@ -98,24 +148,19 @@ func (p *Proxy) Handler() http.Handler {
 		if req.Priority != "" {
 			class, err := sched.ParseClass(req.Priority)
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, "bad_request", err.Error(), false)
 				return
 			}
 			ctx = sched.WithClass(ctx, class)
 		}
 		start := time.Now()
+		if req.Stream {
+			p.serveStream(w, r, ctx, start, toLLMRequest(req))
+			return
+		}
 		ans, err := p.Complete(ctx, toLLMRequest(req))
 		if err != nil {
-			switch {
-			case errors.Is(err, resilience.ErrOverloaded):
-				// Shed by the limiter: tell well-behaved clients to retry.
-				w.Header().Set("Retry-After", "1")
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			case errors.Is(err, context.DeadlineExceeded):
-				http.Error(w, err.Error(), http.StatusGatewayTimeout)
-			default:
-				http.Error(w, err.Error(), http.StatusBadGateway)
-			}
+			completionError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -131,7 +176,7 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		st := p.Stats()
@@ -142,6 +187,7 @@ func (p *Proxy) Handler() http.Handler {
 			"model_calls":     st.ModelCalls,
 			"stale_serves":    st.StaleServes,
 			"shed":            st.Shed,
+			"streams":         st.Streams,
 			"spend_micro_usd": int64(st.Spend),
 		}
 		if states := p.BreakerStates(); states != nil {
@@ -203,6 +249,7 @@ func (p *Proxy) Handler() http.Handler {
 				"batched_items": ss.BatchedItems,
 				"canceled":      ss.Canceled,
 				"failed":        ss.Failed,
+				"bypassed":      ss.Bypassed,
 				"window_ms":     windows,
 			}
 		}
@@ -211,11 +258,11 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		if p.slo == nil {
-			http.Error(w, "SLO tracking disabled", http.StatusNotFound)
+			writeError(w, http.StatusNotFound, "disabled", "SLO tracking disabled", false)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -223,18 +270,18 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		if p.tenants == nil {
-			http.Error(w, "tenant attribution disabled", http.StatusNotFound)
+			writeError(w, http.StatusNotFound, "disabled", "tenant attribution disabled", false)
 			return
 		}
 		n := 0
 		if s := r.URL.Query().Get("n"); s != "" {
 			v, err := strconv.Atoi(s)
 			if err != nil || v < 0 {
-				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, "bad_request", "n must be a non-negative integer", false)
 				return
 			}
 			n = v
@@ -244,11 +291,11 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/alerts", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		if p.alerts == nil {
-			http.Error(w, "alerting disabled", http.StatusNotFound)
+			writeError(w, http.StatusNotFound, "disabled", "alerting disabled", false)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -256,7 +303,7 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		// Refresh the slo_* gauges so every scrape sees current burn rates.
@@ -275,7 +322,7 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		if id := r.URL.Query().Get("trace"); id != "" {
@@ -291,7 +338,7 @@ func (p *Proxy) Handler() http.Handler {
 		if s := r.URL.Query().Get("n"); s != "" {
 			v, err := strconv.Atoi(s)
 			if err != nil || v < 0 {
-				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, "bad_request", "n must be a non-negative integer", false)
 				return
 			}
 			n = v
@@ -303,7 +350,7 @@ func (p *Proxy) Handler() http.Handler {
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 			return
 		}
 		q := r.URL.Query()
@@ -311,7 +358,7 @@ func (p *Proxy) Handler() http.Handler {
 		if s := q.Get("level"); s != "" {
 			min, ok := obs.ParseLevel(s)
 			if !ok {
-				http.Error(w, "level must be debug, info, warn or error", http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, "bad_request", "level must be debug, info, warn or error", false)
 				return
 			}
 			f.Min = min
@@ -319,7 +366,7 @@ func (p *Proxy) Handler() http.Handler {
 		if s := q.Get("n"); s != "" {
 			v, err := strconv.Atoi(s)
 			if err != nil || v < 0 {
-				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, "bad_request", "n must be a non-negative integer", false)
 				return
 			}
 			f.Max = v
@@ -331,7 +378,7 @@ func (p *Proxy) Handler() http.Handler {
 		if s := q.Get("since"); s != "" {
 			v, err := strconv.ParseUint(s, 10, 64)
 			if err != nil {
-				http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+				writeError(w, http.StatusBadRequest, "bad_request", "since must be a non-negative integer", false)
 				return
 			}
 			since = v

@@ -83,6 +83,9 @@ type Stats struct {
 	// Shed counts requests rejected by the concurrency limiter.
 	Shed  int64
 	Spend token.Cost
+	// Streams counts requests served through CompleteStream (they also
+	// count in Requests).
+	Streams int64
 }
 
 // Config parameterizes a Proxy.
@@ -92,6 +95,13 @@ type Config struct {
 	Models []llm.Model
 	// Threshold is the cascade decision threshold. Defaults to 0.62.
 	Threshold float64
+	// ExitThreshold arms mid-generation early exit on streamed requests:
+	// a non-final tier whose chunk confidence drops below it is aborted
+	// and escalated, billing only the chunks already emitted. Defaults
+	// to 0.35 (collapse, well under the accept threshold); set
+	// DisableEarlyExit to turn it off.
+	ExitThreshold    float64
+	DisableEarlyExit bool
 	// CacheCapacity bounds the semantic cache (0 = unbounded).
 	CacheCapacity int
 	// CacheThreshold is the semantic-hit similarity bound. Defaults to 0.97.
@@ -191,7 +201,7 @@ type Proxy struct {
 	mu       sync.Mutex
 	inflight map[string]*call
 
-	requests, cacheHits, coalesced, modelCalls, staleServes, shed, spend atomic.Int64
+	requests, cacheHits, coalesced, modelCalls, staleServes, shed, spend, streams atomic.Int64
 
 	// Metric handles, resolved once at construction.
 	mReqCache, mReqCoalesced, mReqCascade, mReqStale, mReqShed, mReqError *obs.Counter
@@ -209,6 +219,10 @@ type call struct {
 	ans   Answer
 	err   error
 	steps int
+	// log is the call's chunk replay log: streamed leaders pump cascade
+	// chunks into it live; request/response leaders append one final
+	// chunk on completion. Streamed followers replay it either way.
+	log *chunkLog
 }
 
 // New builds a Proxy.
@@ -273,7 +287,14 @@ func New(cfg Config) *Proxy {
 			scheduler = sched.New(scfg, batchables...)
 		}
 	}
-	casc := &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, Obs: reg, Log: log}
+	if cfg.ExitThreshold == 0 && !cfg.DisableEarlyExit {
+		cfg.ExitThreshold = 0.35
+	}
+	exit := cfg.ExitThreshold
+	if cfg.DisableEarlyExit {
+		exit = 0
+	}
+	casc := &cascade.Cascade{Models: models, Decide: cascade.Threshold{Tau: cfg.Threshold}, Breakers: breakers, ExitThreshold: exit, Obs: reg, Log: log}
 	if scheduler != nil {
 		casc.Sched = scheduler
 	}
@@ -378,6 +399,7 @@ func (p *Proxy) Stats() Stats {
 		StaleServes: p.staleServes.Load(),
 		Shed:        p.shed.Load(),
 		Spend:       token.Cost(p.spend.Load()),
+		Streams:     p.streams.Load(),
 	}
 }
 
@@ -537,7 +559,7 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 			return Answer{}, ctx.Err()
 		}
 	}
-	c := &call{done: make(chan struct{})}
+	c := &call{done: make(chan struct{}), log: newChunkLog()}
 	p.inflight[key] = c
 	p.gInflight.Add(1)
 	p.mu.Unlock()
@@ -580,6 +602,12 @@ func (p *Proxy) serve(ctx context.Context, root *obs.Span, start time.Time, req 
 		delete(p.inflight, key)
 		p.gInflight.Add(-1)
 		p.mu.Unlock()
+		// Streamed followers coalesced onto this request/response call
+		// replay it as one final chunk (cost zeroed on their side).
+		if c.err == nil {
+			c.log.append(Chunk{Text: c.ans.Text, Model: c.ans.Model, Confidence: c.ans.Confidence, Cost: c.ans.Cost, Final: true})
+		}
+		c.log.finish(c.ans, c.err)
 		close(c.done)
 	})
 

@@ -1,0 +1,545 @@
+// Token-streaming serving path. CompleteStream serves the same
+// limiter → cache → coalesce → cascade pipeline as Complete, but as an
+// incremental chunk stream:
+//
+//   - semantic-cache hits stream instantly as a single pre-paid chunk;
+//   - the upstream cascade runs detached and *streams* (with
+//     mid-generation early exit when configured), appending every chunk
+//     to a per-call chunk log;
+//   - coalesced followers replay the leader's chunk log live — they see
+//     the same chunks with costs zeroed, because the leader's tenant
+//     paid for the run — and a follower (or the leader) disconnecting
+//     mid-stream never disturbs the rest of the cohort, since every
+//     client is just a reader of the log;
+//   - a failed upstream degrades per client to a stale cache chunk,
+//     exactly like the request/response path.
+//
+// Billing stays meter-exact: the sum of a leader stream's chunk costs
+// equals the cascade trace's TotalCost, which is what the spend counter
+// and the tenant accountant record — once, on the leader's run.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core/cascade"
+	"repro/internal/core/semcache"
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/sched"
+	"repro/internal/token"
+)
+
+// Chunk is one server-sent piece of a streamed completion.
+type Chunk struct {
+	Text string `json:"text"`
+	// Index orders chunks within the stream (0-based).
+	Index int `json:"index"`
+	// Model and Tier identify the cascade tier that produced the chunk
+	// ("cache" for cache-served chunks).
+	Model string `json:"model"`
+	Tier  int    `json:"tier"`
+	// Confidence is the producing model's running confidence after this
+	// chunk.
+	Confidence float64 `json:"confidence"`
+	// Cost is the incremental cost of this chunk in micro-dollars. Zero
+	// for followers and cache hits — the leader's tenant paid.
+	Cost token.Cost `json:"cost_micro_usd"`
+	// Restart marks the first chunk of a new attempt (tier escalation or
+	// stale degrade): discard previously buffered text.
+	Restart bool `json:"restart,omitempty"`
+	// Final marks the last chunk of the stream.
+	Final bool `json:"final,omitempty"`
+}
+
+// Stream is one client's view of a streamed completion.
+type Stream interface {
+	// Recv returns the next chunk, blocking until one is available. It
+	// returns io.EOF after the Final chunk, llm.ErrStreamClosed after
+	// Close, or the terminal error (context or upstream).
+	Recv() (Chunk, error)
+	// Close abandons the stream. The upstream keeps running for any
+	// coalesced cohort; only this client stops reading. Idempotent.
+	Close() error
+	// Answer returns the settled Answer once the stream finished —
+	// ErrStreamActive before that. Its Cost is the client's cost: the
+	// full run for the leader, zero for followers and cache hits.
+	Answer() (Answer, error)
+}
+
+// ErrStreamActive is returned by Stream.Answer before the stream has
+// finished.
+var ErrStreamActive = errors.New("proxy: stream still active")
+
+// chunkLog is the shared replay log of one in-flight streamed call: the
+// leader's upstream pump appends, every client (leader included) reads.
+// notify is closed and replaced on every append so readers at the tail
+// can block without polling.
+type chunkLog struct {
+	mu     sync.Mutex
+	chunks []Chunk
+	done   bool
+	ans    Answer
+	err    error
+	notify chan struct{}
+}
+
+func newChunkLog() *chunkLog {
+	return &chunkLog{notify: make(chan struct{})}
+}
+
+// append adds one chunk, stamping its stream-order index, and wakes
+// blocked readers.
+func (l *chunkLog) append(ch Chunk) {
+	l.mu.Lock()
+	ch.Index = len(l.chunks)
+	l.chunks = append(l.chunks, ch)
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// finish seals the log with the call's outcome and wakes blocked
+// readers for the last time.
+func (l *chunkLog) finish(ans Answer, err error) {
+	l.mu.Lock()
+	l.done = true
+	l.ans, l.err = ans, err
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// CompleteStream serves one request as a chunk stream through the same
+// pipeline as Complete. The caller must drain or Close the returned
+// stream; the limiter slot is held until it does. Streamed requests run
+// in the sched.Streaming priority class: their upstream calls bypass
+// micro-batching, and their SLO/admission records carry the "streaming"
+// class.
+func (p *Proxy) CompleteStream(ctx context.Context, req llm.Request) (Stream, error) {
+	start := time.Now()
+	p.requests.Add(1)
+	p.streams.Add(1)
+	ctx = sched.WithClass(ctx, sched.Streaming)
+	ctx, root := p.tracer.Start(ctx, "proxy.stream")
+	if tenant, ok := obs.ExplicitTenant(ctx); ok {
+		root.SetAttr("tenant", tenant)
+	}
+	s, err := p.openStream(ctx, root, start, req)
+	if err != nil {
+		elapsed := time.Since(start)
+		src := "error"
+		if errors.Is(err, resilience.ErrOverloaded) {
+			src = "shed"
+		}
+		p.reg.Counter("proxy_stream_requests_total", "source", src).Inc()
+		if p.slo != nil {
+			p.slo.Record(sched.ClassFrom(ctx).String(), elapsed, false)
+		}
+		p.tenants.Record(obs.TenantFrom(ctx), obs.TenantSample{
+			Latency: elapsed,
+			Shed:    errors.Is(err, resilience.ErrOverloaded),
+			Error:   true,
+		})
+		p.log.Event(ctx, obs.Error, "proxy_error", "error", err.Error(), "elapsed", elapsed)
+		root.End()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openStream is the admission + routing half of CompleteStream: it
+// either returns a live client stream or the error that shed the
+// request.
+func (p *Proxy) openStream(ctx context.Context, root *obs.Span, start time.Time, req llm.Request) (*clientStream, error) {
+	var release func()
+	if p.limiter != nil {
+		if err := p.limiter.Acquire(ctx); err != nil {
+			if errors.Is(err, resilience.ErrOverloaded) {
+				p.shed.Add(1)
+				p.mReqShed.Inc()
+				root.SetAttr("source", "shed")
+			} else {
+				p.mReqError.Inc()
+			}
+			return nil, err
+		}
+		release = p.limiter.Release
+	}
+	p.log.Event(ctx, obs.Debug, "stream_start", "class", sched.ClassFrom(ctx).String())
+
+	// Cache hits stream instantly: one pre-paid chunk, cost 0.
+	if p.cache != nil {
+		_, csp := obs.StartSpan(ctx, "cache.lookup")
+		hit, ok := p.cache.LookupTraced(req.Prompt, root.TraceID())
+		csp.SetAttr("hit", ok)
+		if ok {
+			csp.SetAttr("similarity", hit.Similarity)
+			csp.SetAttr("exact", hit.Exact)
+		}
+		csp.End()
+		if ok {
+			p.cacheHits.Add(1)
+			p.mReqCache.Inc()
+			p.hLatCache.ObserveWithExemplar(time.Since(start).Seconds(), root.TraceID())
+			root.SetAttr("source", "cache")
+			p.log.Event(ctx, obs.Info, "proxy_cache_hit", "similarity", hit.Similarity, "exact", hit.Exact)
+			log := newChunkLog()
+			log.append(Chunk{Text: hit.Entry.Response, Model: "cache", Confidence: 1, Final: true})
+			log.finish(Answer{Text: hit.Entry.Response, Model: "cache", Confidence: 1, Source: "cache"}, nil)
+			return p.newClientStream(ctx, root, start, req, nil, log, "cache", false, release), nil
+		}
+		p.log.Event(ctx, obs.Debug, "proxy_cache_miss")
+	}
+
+	// In-flight dedup: join an identical pending call as a follower —
+	// streamed or not, every call carries a chunk log to replay.
+	key := req.Prompt
+	p.mu.Lock()
+	if c, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		p.coalesced.Add(1)
+		root.SetAttr("source", "coalesced")
+		p.log.Event(ctx, obs.Info, "proxy_coalesce_join")
+		return p.newClientStream(ctx, root, start, req, c, c.log, "coalesced", true, release), nil
+	}
+	c := &call{done: make(chan struct{}), log: newChunkLog()}
+	p.inflight[key] = c
+	p.gInflight.Add(1)
+	p.mu.Unlock()
+
+	p.pumpStreamUpstream(ctx, req, key, c)
+	return p.newClientStream(ctx, root, start, req, c, c.log, "cascade", false, release), nil
+}
+
+// pumpStreamUpstream starts the detached upstream run for a streamed
+// leader: the cascade streams (early-exiting when configured) into the
+// call's chunk log, and spend is accounted exactly once, mirroring the
+// request/response upstream.
+func (p *Proxy) pumpStreamUpstream(ctx context.Context, req llm.Request, key string, c *call) {
+	// Detached like the Complete upstream: a canceled leader must not
+	// starve its coalesced cohort, and the run is bounded by the proxy's
+	// own deadline. Values (trace, tenant, streaming class) survive
+	// WithoutCancel.
+	upCtx, cancelUp := context.WithTimeout(context.WithoutCancel(ctx), p.upstreamTimeout)
+	obs.Go(p.reg, "proxy_stream_upstream", func() {
+		defer cancelUp()
+		var (
+			resp  llm.Response
+			trace cascade.Trace
+		)
+		rs, err := p.casc.CompleteStream(upCtx, req)
+		if err == nil {
+			for {
+				sc, rerr := rs.Recv()
+				if rerr != nil {
+					// io.EOF or the terminal error — both are surfaced
+					// (with the trace) by Result below.
+					break
+				}
+				c.log.append(Chunk{
+					Text:       sc.Text,
+					Model:      sc.Model,
+					Tier:       sc.Tier,
+					Confidence: sc.Confidence,
+					Cost:       sc.Cost,
+					Restart:    sc.Restart,
+					Final:      sc.Final,
+				})
+			}
+			resp, trace, err = rs.Result()
+		}
+		// Spend accounting happens here — success or not — because a
+		// failed or early-exited run already paid for every emitted
+		// chunk; per-tenant attribution rides the same once-per-run spot.
+		p.modelCalls.Add(int64(len(trace.Steps)))
+		p.spend.Add(int64(trace.TotalCost))
+		p.mSpend.Add(int64(trace.TotalCost))
+		p.tenants.AddSpend(obs.TenantFrom(upCtx), int64(trace.TotalCost), trace.Escalations())
+		if err == nil {
+			if p.cache != nil {
+				p.cache.Put(req.Prompt, resp.Text, semcache.Original, semcache.Reuse)
+			}
+			c.ans = Answer{Text: resp.Text, Model: resp.Model, Confidence: resp.Confidence, Source: "cascade", Cost: trace.TotalCost}
+		} else {
+			c.ans = Answer{Source: "error", Cost: trace.TotalCost}
+			c.err = err
+			p.log.Event(upCtx, obs.Warn, "proxy_upstream_error", "error", err.Error(), "steps", len(trace.Steps))
+		}
+		c.steps = len(trace.Steps)
+		p.mu.Lock()
+		delete(p.inflight, key)
+		p.gInflight.Add(-1)
+		p.mu.Unlock()
+		c.log.finish(c.ans, c.err)
+		close(c.done)
+	})
+}
+
+// clientStream is one client's reader over a call's chunk log. All
+// clients — the leader and every coalesced follower — read the same
+// log; a follower's chunks are delivered with cost zeroed. The mutex
+// makes Close safe to race with Recv (the HTTP layer closes from a
+// defer while the pump loop reads).
+type clientStream struct {
+	p       *Proxy
+	ctx     context.Context
+	root    *obs.Span
+	start   time.Time
+	req     llm.Request
+	c       *call // nil for cache-hit streams
+	log     *chunkLog
+	source  string // provisional: "cache", "cascade" (leader), "coalesced"
+	follow  bool
+	release func()
+
+	mu        sync.Mutex
+	closeCh   chan struct{}
+	next      int // read position in the log
+	delivered int
+	gotFirst  bool
+	pending   *Chunk // stale-degrade chunk awaiting delivery
+	done      bool
+	finished  bool // terminal bookkeeping ran
+	closed    bool
+	ans       Answer
+	err       error
+}
+
+func (p *Proxy) newClientStream(ctx context.Context, root *obs.Span, start time.Time, req llm.Request, c *call, log *chunkLog, source string, follow bool, release func()) *clientStream {
+	return &clientStream{
+		p: p, ctx: ctx, root: root, start: start, req: req,
+		c: c, log: log, source: source, follow: follow, release: release,
+		closeCh: make(chan struct{}),
+	}
+}
+
+// Recv implements Stream.
+func (s *clientStream) Recv() (Chunk, error) {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return Chunk{}, llm.ErrStreamClosed
+		}
+		if s.pending != nil {
+			ch := *s.pending
+			s.pending = nil
+			s.deliverLocked(&ch)
+			s.mu.Unlock()
+			return ch, nil
+		}
+		if s.done {
+			err := s.err
+			s.mu.Unlock()
+			if err != nil {
+				return Chunk{}, err
+			}
+			return Chunk{}, io.EOF
+		}
+		l := s.log
+		l.mu.Lock()
+		if s.next < len(l.chunks) {
+			ch := l.chunks[s.next]
+			s.next++
+			l.mu.Unlock()
+			s.deliverLocked(&ch)
+			s.mu.Unlock()
+			return ch, nil
+		}
+		if l.done {
+			ans, lerr := l.ans, l.err
+			l.mu.Unlock()
+			s.settleLocked(ans, lerr)
+			s.mu.Unlock()
+			continue
+		}
+		wait := l.notify
+		l.mu.Unlock()
+		s.mu.Unlock()
+		select {
+		case <-wait:
+		case <-s.closeCh:
+			return Chunk{}, llm.ErrStreamClosed
+		case <-s.ctx.Done():
+			err := s.ctx.Err()
+			s.mu.Lock()
+			s.cancelLocked(err)
+			s.mu.Unlock()
+			return Chunk{}, err
+		}
+	}
+}
+
+// deliverLocked adjusts one chunk for this client and records
+// time-to-first-token on the first one. Called with s.mu held.
+func (s *clientStream) deliverLocked(ch *Chunk) {
+	if s.follow {
+		ch.Cost = 0 // the leader's tenant paid
+	}
+	s.delivered++
+	if !s.gotFirst {
+		s.gotFirst = true
+		ttft := time.Since(s.start)
+		s.p.reg.Histogram("proxy_stream_ttft_seconds", obs.LatencyBuckets, "source", s.source).
+			ObserveWithExemplar(ttft.Seconds(), s.root.TraceID())
+		s.p.log.Event(s.ctx, obs.Debug, "stream_first_chunk", "source", s.source, "ttft", ttft)
+	}
+}
+
+// settleLocked resolves the stream once the shared log finished: the
+// client's answer on success, a per-client stale degrade (or the error)
+// on failure. Called with s.mu held.
+func (s *clientStream) settleLocked(ans Answer, err error) {
+	p := s.p
+	if err == nil {
+		if s.follow {
+			ans.Source = "coalesced"
+			ans.Cost = 0 // the first caller paid
+		}
+		ans.Trace = s.root.TraceID()
+		s.ans = ans
+		s.done = true
+		switch s.source {
+		case "cache":
+			// Counted at lookup time, like the request/response path.
+		case "coalesced":
+			p.mReqCoalesced.Inc()
+			p.hLatCoalesced.ObserveWithExemplar(time.Since(s.start).Seconds(), s.root.TraceID())
+		default:
+			p.mReqCascade.Inc()
+			p.hLatCascade.ObserveWithExemplar(time.Since(s.start).Seconds(), s.root.TraceID())
+			root := s.root
+			root.SetAttr("model", ans.Model)
+			root.SetAttr("steps", stepsOf(s.c))
+			root.SetAttr("cost_microusd", int64(ans.Cost))
+		}
+		s.finishLocked(ans.Source, nil)
+		return
+	}
+	s.root.SetAttr("error", err.Error())
+	dans, derr := p.degrade(s.ctx, s.root, s.start, s.req, s.c)
+	if derr == nil {
+		// Stale degrade: one replacement chunk, marked Restart when this
+		// client already saw partial output from the failed run.
+		ch := Chunk{
+			Text:       dans.Text,
+			Model:      dans.Model,
+			Confidence: dans.Confidence,
+			Restart:    s.delivered > 0,
+			Final:      true,
+			Index:      s.next,
+		}
+		s.pending = &ch
+		dans.Trace = s.root.TraceID()
+		s.ans = dans
+		s.done = true
+		s.finishLocked("stale", nil)
+		return
+	}
+	dans.Trace = s.root.TraceID()
+	s.ans = dans
+	s.err = derr
+	s.done = true
+	s.finishLocked("error", derr)
+}
+
+func stepsOf(c *call) int {
+	if c == nil {
+		return 0
+	}
+	return c.steps
+}
+
+// cancelLocked terminates the stream for a dead client context. Called
+// with s.mu held.
+func (s *clientStream) cancelLocked(err error) {
+	if s.done {
+		return
+	}
+	s.p.mReqError.Inc()
+	s.root.SetAttr("source", "canceled")
+	s.done = true
+	s.err = err
+	s.finishLocked("canceled", err)
+}
+
+// finishLocked runs the once-per-stream terminal bookkeeping: limiter
+// release, stream counters/histograms, SLO and tenant records, the
+// terminal event, and the root span. Called with s.mu held.
+func (s *clientStream) finishLocked(outcome string, err error) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	p := s.p
+	if s.release != nil {
+		s.release()
+		s.release = nil
+	}
+	elapsed := time.Since(s.start)
+	p.reg.Counter("proxy_stream_requests_total", "source", outcome).Inc()
+	p.reg.Histogram("proxy_stream_duration_seconds", obs.LatencyBuckets, "source", outcome).
+		ObserveWithExemplar(elapsed.Seconds(), s.root.TraceID())
+	if p.slo != nil {
+		p.slo.Record(sched.ClassFrom(s.ctx).String(), elapsed, err == nil)
+	}
+	p.tenants.Record(obs.TenantFrom(s.ctx), obs.TenantSample{
+		Latency:  elapsed,
+		CacheHit: outcome == "cache",
+		Error:    err != nil,
+	})
+	if err == nil {
+		p.log.Event(s.ctx, obs.Info, "stream_done",
+			"source", outcome, "model", s.ans.Model, "cost_microusd", int64(s.ans.Cost),
+			"chunks", s.delivered, "elapsed", elapsed)
+	} else if errors.Is(err, llm.ErrStreamClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		p.log.Event(s.ctx, obs.Info, "stream_cancel",
+			"source", outcome, "chunks", s.delivered, "elapsed", elapsed)
+	} else {
+		p.log.Event(s.ctx, obs.Error, "stream_error",
+			"source", outcome, "error", err.Error(), "chunks", s.delivered, "elapsed", elapsed)
+	}
+	s.root.SetAttr("chunks", s.delivered)
+	if outcome != "canceled" {
+		s.root.SetAttr("source", outcome)
+	}
+	s.root.End()
+}
+
+// Close implements Stream.
+func (s *clientStream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.closeCh)
+	if !s.finished {
+		// Abandoned before the stream settled: account it like a client
+		// cancellation. The shared upstream (if any) keeps running for
+		// the rest of the cohort.
+		s.p.mReqError.Inc()
+		s.root.SetAttr("source", "canceled")
+		s.done = true
+		s.err = llm.ErrStreamClosed
+		s.finishLocked("canceled", llm.ErrStreamClosed)
+	}
+	return nil
+}
+
+// Answer implements Stream.
+func (s *clientStream) Answer() (Answer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return Answer{}, ErrStreamActive
+	}
+	return s.ans, s.err
+}

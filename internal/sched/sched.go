@@ -23,7 +23,8 @@
 //     and drained by a credit-based weighted round robin (default 4:1),
 //     so a sustained bulk backlog cannot starve interactive requests, and
 //     bulk work still gets its weighted share instead of being starved
-//     behind strict priority.
+//     behind strict priority. A third class, Streaming, has no queue at
+//     all: token-stream traffic bypasses batching entirely (see Class).
 //
 // Every signal — submissions, queue depth, queue wait, batch size, flush
 // cause, window width — is metered into an obs.Registry, and the proxy
@@ -51,26 +52,38 @@ const (
 	// Batch is bulk throughput traffic (experiment runs, backfills); it is
 	// dequeued at a lower weighted share and must never starve Interactive.
 	Batch
+	// Streaming is token-stream traffic. A stream's time-to-first-token is
+	// exactly the queueing delay batching would add, and a batched cohort
+	// cannot be aborted early for one member — so Streaming submissions
+	// bypass the batch queues entirely and go straight to the model.
+	Streaming
 
-	numClasses = 2
+	// numQueueClasses counts the classes with batch queues; Streaming has
+	// none — it never enqueues.
+	numQueueClasses = 2
 )
 
 // String returns the wire name of the class.
 func (c Class) String() string {
-	if c == Batch {
+	switch c {
+	case Batch:
 		return "batch"
+	case Streaming:
+		return "streaming"
 	}
 	return "interactive"
 }
 
-// ParseClass maps the wire names ("interactive", "batch"; "" means
-// interactive) to a Class.
+// ParseClass maps the wire names ("interactive", "batch", "streaming";
+// "" means interactive) to a Class.
 func ParseClass(s string) (Class, error) {
 	switch s {
 	case "", "interactive":
 		return Interactive, nil
 	case "batch":
 		return Batch, nil
+	case "streaming":
+		return Streaming, nil
 	}
 	return Interactive, fmt.Errorf("sched: unknown priority class %q", s)
 }
@@ -192,15 +205,15 @@ type result struct {
 // batch buffer are touched only by the tier's dispatcher goroutine.
 type tier struct {
 	model  llm.BatchModel
-	queues [numClasses]chan *item
+	queues [numQueueClasses]chan *item
 	window atomic.Int64 // current adaptive flush window, ns
 
 	// credits is the weighted-round-robin state: refilled to the class
 	// weights whenever no class can spend (empty queue or spent credit).
-	credits [numClasses]int
+	credits [numQueueClasses]int
 
 	gWindow                    *obs.Gauge
-	gDepth                     [numClasses]*obs.Gauge
+	gDepth                     [numQueueClasses]*obs.Gauge
 	hBatch                     *obs.Histogram
 	mFlushSize, mFlushDeadline *obs.Counter
 }
@@ -223,12 +236,13 @@ type Scheduler struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
-	submitted, batches, batchedItems, canceled, failed atomic.Int64
+	submitted, batches, batchedItems, canceled, failed, bypassed atomic.Int64
 
-	mSubmitted [numClasses]*obs.Counter
-	hWait      [numClasses]*obs.Histogram
+	mSubmitted [numQueueClasses]*obs.Counter
+	hWait      [numQueueClasses]*obs.Histogram
 	mCanceled  *obs.Counter
 	mFailed    *obs.Counter
+	mBypass    *obs.Counter
 }
 
 // New builds a Scheduler over the given model tiers and starts one
@@ -241,8 +255,9 @@ func New(cfg Config, models ...llm.BatchModel) *Scheduler {
 		stop:      make(chan struct{}),
 		mCanceled: cfg.Obs.Counter("sched_canceled_total"),
 		mFailed:   cfg.Obs.Counter("sched_batch_errors_total"),
+		mBypass:   cfg.Obs.Counter("sched_stream_bypass_total"),
 	}
-	for c := Class(0); c < numClasses; c++ {
+	for c := Class(0); c < numQueueClasses; c++ {
 		s.mSubmitted[c] = cfg.Obs.Counter("sched_submitted_total", "class", c.String())
 		s.hWait[c] = cfg.Obs.Histogram("sched_queue_wait_seconds", obs.LatencyBuckets, "class", c.String())
 	}
@@ -257,7 +272,7 @@ func New(cfg Config, models ...llm.BatchModel) *Scheduler {
 			mFlushSize:     cfg.Obs.Counter("sched_flushes_total", "model", m.Name(), "cause", "size"),
 			mFlushDeadline: cfg.Obs.Counter("sched_flushes_total", "model", m.Name(), "cause", "deadline"),
 		}
-		for c := Class(0); c < numClasses; c++ {
+		for c := Class(0); c < numQueueClasses; c++ {
 			t.queues[c] = make(chan *item, cfg.QueueDepth)
 			t.gDepth[c] = cfg.Obs.Gauge("sched_queue_depth", "model", m.Name(), "class", c.String())
 		}
@@ -300,6 +315,26 @@ func (s *Scheduler) Submit(ctx context.Context, model string, req llm.Request) (
 		return llm.Response{}, llm.ErrEmptyPrompt
 	}
 	class := ClassFrom(ctx)
+	if class == Streaming {
+		// Streaming traffic never queues: batching's cohort wait is pure
+		// time-to-first-token loss, and a shared batch cannot be aborted
+		// when one stream early-exits. Go straight to the model. The
+		// closed-gate check still applies so serving paths degrade to
+		// their own direct call after Close.
+		s.mu.RLock()
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return llm.Response{}, ErrClosed
+		}
+		_, sp := obs.StartSpan(ctx, "sched.bypass")
+		sp.SetAttr("model", model)
+		sp.SetAttr("class", class.String())
+		defer sp.End()
+		s.bypassed.Add(1)
+		s.mBypass.Inc()
+		return t.model.Complete(ctx, req)
+	}
 	it := &item{ctx: ctx, req: req, class: class, enq: time.Now(), out: make(chan result, 1)}
 
 	_, sp := obs.StartSpan(ctx, "sched.submit")
@@ -356,6 +391,9 @@ type Stats struct {
 	Canceled int64
 	// Failed counts batches whose upstream call errored.
 	Failed int64
+	// Bypassed counts Streaming-class submissions that skipped the batch
+	// queues and went straight to the model.
+	Bypassed int64
 	// Windows maps each tier to its current adaptive flush window.
 	Windows map[string]time.Duration
 }
@@ -368,6 +406,7 @@ func (s *Scheduler) Stats() Stats {
 		BatchedItems: s.batchedItems.Load(),
 		Canceled:     s.canceled.Load(),
 		Failed:       s.failed.Load(),
+		Bypassed:     s.bypassed.Load(),
 		Windows:      make(map[string]time.Duration, len(s.order)),
 	}
 	for _, name := range s.order {

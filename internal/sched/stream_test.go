@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/obs"
+)
+
+// Streaming-class submissions bypass the batch queues entirely: the
+// model is called directly, no batch is recorded, and the bypass
+// counter moves.
+func TestStreamingClassBypassesBatching(t *testing.T) {
+	f := &fakeBatch{name: "m"}
+	s := New(Config{Obs: obs.NewRegistry()}, f)
+	defer s.Close()
+
+	ctx := WithClass(context.Background(), Streaming)
+	resp, err := s.Submit(ctx, "m", llm.Request{Prompt: "stream me", Gold: "streamed"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Text != "streamed" {
+		t.Fatalf("resp %+v", resp)
+	}
+	st := s.Stats()
+	if st.Bypassed != 1 {
+		t.Fatalf("Bypassed = %d, want 1", st.Bypassed)
+	}
+	if st.Submitted != 0 || st.Batches != 0 {
+		// The scheduler must not have queued or flushed anything for a
+		// streaming request (the fake records the direct Complete itself).
+		t.Fatalf("stats %+v: streaming request leaked into the queueing path", st)
+	}
+	for _, b := range f.recorded() {
+		if len(b) != 1 {
+			t.Fatalf("streaming request was grouped into a batch of %d", len(b))
+		}
+	}
+}
+
+// The bypass still honors the closed gate.
+func TestStreamingBypassAfterClose(t *testing.T) {
+	f := &fakeBatch{name: "m"}
+	s := New(Config{Obs: obs.NewRegistry()}, f)
+	s.Close()
+	ctx := WithClass(context.Background(), Streaming)
+	if _, err := s.Submit(ctx, "m", llm.Request{Prompt: "p", Gold: "g"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// The new class round-trips through the wire names.
+func TestStreamingClassWireName(t *testing.T) {
+	if Streaming.String() != "streaming" {
+		t.Fatalf("String = %q", Streaming.String())
+	}
+	c, err := ParseClass("streaming")
+	if err != nil || c != Streaming {
+		t.Fatalf("ParseClass = %v, %v", c, err)
+	}
+}

@@ -65,6 +65,11 @@ type (
 	// Priority is a batching-scheduler request class; attach it to a
 	// context with WithPriority.
 	Priority = sched.Class
+	// Stream is one client's view of a token-streamed completion, as
+	// returned by the proxy's CompleteStream method.
+	Stream = proxy.Stream
+	// Chunk is one server-sent piece of a streamed completion.
+	Chunk = proxy.Chunk
 )
 
 // Scheduler priority classes.
@@ -74,6 +79,9 @@ const (
 	// PriorityBatch marks bulk traffic (experiments, backfills) that must
 	// not crowd out interactive requests.
 	PriorityBatch = sched.Batch
+	// PriorityStreaming bypasses micro-batching entirely; the proxy's
+	// CompleteStream applies it automatically.
+	PriorityStreaming = sched.Streaming
 )
 
 // NewMetricsRegistry returns an empty metrics registry to share across
@@ -204,6 +212,23 @@ func WithCascadeThreshold(tau float64) ProxyOption {
 	return func(cfg *proxy.Config) { cfg.Threshold = tau }
 }
 
+// WithEarlyExit sets the streamed cascade's mid-generation exit
+// threshold: a non-final tier whose per-chunk confidence drops below it
+// is aborted and escalated immediately, billing only the chunks already
+// emitted (default 0.35).
+func WithEarlyExit(threshold float64) ProxyOption {
+	return func(cfg *proxy.Config) {
+		cfg.ExitThreshold = threshold
+		cfg.DisableEarlyExit = false
+	}
+}
+
+// WithoutEarlyExit disables mid-generation early exit: every streamed
+// tier runs to completion before the cascade decides.
+func WithoutEarlyExit() ProxyOption {
+	return func(cfg *proxy.Config) { cfg.DisableEarlyExit = true }
+}
+
 // WithScheduler places an adaptive micro-batching scheduler between the
 // cascade and the model family: concurrent requests to the same tier
 // share batches, bulk traffic is weighted-fairly interleaved with
@@ -254,8 +279,11 @@ func WithResilience(rc ResilienceConfig) ProxyOption {
 //	        llmdm.WithScheduler(llmdm.SchedulerConfig{}),
 //	)
 //
-// Serve it with net/http via its Handler method. The proxy meters into
-// the client's metrics registry (see WithMetricsRegistry).
+// Serve it with net/http via its Handler method — POST /v1/complete
+// with "stream": true streams the completion as Server-Sent Events —
+// or stream in-process through its CompleteStream method (see Stream
+// and Chunk). The proxy meters into the client's metrics registry (see
+// WithMetricsRegistry).
 func (c *Client) Proxy(opts ...ProxyOption) *proxy.Proxy {
 	models := make([]llm.Model, len(c.family))
 	for i, m := range c.family {
@@ -266,14 +294,6 @@ func (c *Client) Proxy(opts ...ProxyOption) *proxy.Proxy {
 		opt(&cfg)
 	}
 	return proxy.New(cfg)
-}
-
-// LegacyProxy is the pre-options positional form of Proxy.
-//
-// Deprecated: use Proxy with WithCacheCapacity and
-// WithCascadeThreshold.
-func (c *Client) LegacyProxy(cacheCapacity int, cascadeThreshold float64) *proxy.Proxy {
-	return c.Proxy(WithCacheCapacity(cacheCapacity), WithCascadeThreshold(cascadeThreshold))
 }
 
 // SQLGenerator returns the constraint-aware SQL generator over db (paper

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -162,16 +163,40 @@ func TestClientProxy(t *testing.T) {
 	}
 }
 
-// The deprecated positional form must behave exactly like the options
-// form it delegates to.
-func TestClientLegacyProxy(t *testing.T) {
+// The facade's streaming vocabulary: CompleteStream through a client
+// proxy yields ordered Chunks whose costs sum to the settled Answer.
+func TestClientProxyCompleteStream(t *testing.T) {
 	c := NewClient()
-	p := c.LegacyProxy(100, 0.62)
-	if p == nil || p.Handler() == nil {
-		t.Fatal("legacy proxy not constructed")
-	}
-	if _, err := p.Complete(context.Background(), llmRequestForTest()); err != nil {
+	p := c.Proxy(WithEarlyExit(0.35))
+	s, err := p.CompleteStream(context.Background(), llmRequestForTest())
+	if err != nil {
 		t.Fatal(err)
+	}
+	defer s.Close()
+	var (
+		chunks []Chunk
+		sum    Cost
+	)
+	for {
+		ch, err := s.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, ch)
+		sum += ch.Cost
+	}
+	if len(chunks) == 0 || !chunks[len(chunks)-1].Final {
+		t.Fatalf("chunks = %+v", chunks)
+	}
+	ans, err := s.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Text == "" || sum != ans.Cost {
+		t.Fatalf("answer = %+v, chunk cost sum %v", ans, sum)
 	}
 }
 
