@@ -12,12 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: the internal/analysis suite (ctxflow,
-# lockscope, billmeter, gospawn, metricname) run by the llmdm-lint driver.
-# Also usable as a vettool: go vet -vettool=bin/llmdm-lint ./...
+# Project-specific static analysis: the internal/analysis suite — five
+# per-function analyzers (ctxflow, lockscope, billmeter, gospawn,
+# metricname) plus three interprocedural ones (lockorder, reslifecycle,
+# goleak) over the shared call-graph/summary program — run by the
+# llmdm-lint driver, followed by the waiver audit (every //llmdm:
+# annotation must carry a reason). Also usable as a vettool:
+# go vet -vettool=bin/llmdm-lint ./...
 lint:
 	$(GO) build -o bin/llmdm-lint ./cmd/llmdm-lint
 	./bin/llmdm-lint ./...
+	./bin/llmdm-lint -waivers ./...
 
 # The analyzers' own tests: fixture suites plus the in-tree enforcement
 # tests that pin the annotated waiver sites.
@@ -33,9 +38,11 @@ race:
 # The serving-path packages that run concurrent under load; the CI race
 # gate covers exactly these. internal/vector and internal/embed are here
 # because their kernels shard searches across goroutines and share pooled
-# scratch buffers.
+# scratch buffers. internal/analysis is here because the lint driver and
+# its enforcement tests walk one shared Program (summary/waiver caches)
+# from multiple test processes' goroutines.
 race-concurrent:
-	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/ ./internal/exper/ ./internal/vector/ ./internal/embed/
+	$(GO) test -race ./internal/proxy/ ./internal/core/cascade/ ./internal/core/semcache/ ./internal/llm/ ./internal/obs/ ./internal/resilience/ ./internal/sched/ ./internal/exper/ ./internal/vector/ ./internal/embed/ ./internal/analysis/...
 
 cover:
 	$(GO) test -cover ./...

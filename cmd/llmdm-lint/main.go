@@ -1,27 +1,46 @@
-// Command llmdm-lint runs the project's static-analysis suite — ctxflow,
-// lockscope, billmeter, gospawn, metricname (see internal/analysis) —
-// over the module.
+// Command llmdm-lint runs the project's static-analysis suite — the
+// five per-function analyzers (ctxflow, lockscope, billmeter, gospawn,
+// metricname) plus the three interprocedural ones (lockorder,
+// reslifecycle, goleak) built on the call-graph/summary layer in
+// internal/analysis — over the module.
 //
 // Standalone (what `make lint` runs):
 //
-//	llmdm-lint ./...                  # whole module
+//	llmdm-lint ./...                  # whole module, one shared Program
 //	llmdm-lint ./internal/proxy/...   # one subtree
 //	llmdm-lint -only ctxflow,gospawn ./...
 //	llmdm-lint -list                  # print the analyzers and rules
+//	llmdm-lint -json ./...            # machine-readable findings
+//	llmdm-lint -waivers ./...         # audit every //llmdm: annotation
 //
-// Diagnostics print as file:line:col: [analyzer] message, and the exit
-// status is 1 when any are found — so CI fails on a new violation.
+// Diagnostics print as file:line:col: [analyzer] message. Exit codes:
+//
+//	0  clean (no findings; for -waivers, no reasonless waivers)
+//	1  findings (or reasonless waivers under -waivers)
+//	2  load error (bad pattern, unparsable source, no go.mod)
+//
+// -json emits one object over stdout: {"schema":"llmdm-lint/1",
+// "findings":[{file,line,col,analyzer,message,waived}...],"count":N}
+// where count is the number of NON-waived findings (the exit-1 set);
+// waived findings are included so CI can annotate accepted sites.
+//
+// -waivers lists every //llmdm:allow and //llmdm:detached site with its
+// reason and exits 1 if any waiver lacks one: annotations are grep-able
+// audit points, and a reasonless waiver is an unreviewable one.
 //
 // Vettool compatibility: the binary also speaks enough of the `go vet
 // -vettool` unit-checker protocol (-V=full, a single *.cfg argument) to
 // run under `go vet -vettool=$(which llmdm-lint) ./...`. Standalone mode
-// is canonical; the vettool path analyzes the same files per package.
+// is canonical (and is the only mode with cross-package summaries); the
+// vettool path analyzes each package in isolation and exits 2 on
+// findings per that protocol's convention.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,6 +52,8 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON findings")
+	waivers := flag.Bool("waivers", false, "audit //llmdm: annotation sites; exit 1 on reasonless waivers")
 	version := flag.String("V", "", "vettool version handshake (-V=full)")
 	flagDefs := flag.Bool("flags", false, "print flag definitions as JSON (go vet handshake)")
 	flag.Parse()
@@ -51,7 +72,7 @@ func main() {
 	}
 	if *list {
 		for _, a := range suite.All() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -72,38 +93,161 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVettool(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers))
+	if *waivers {
+		os.Exit(runWaivers(os.Stdout, args))
+	}
+	os.Exit(runStandalone(os.Stdout, args, analyzers, *jsonOut))
 }
 
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// loadProgram loads the module packages selected by patterns into one
+// shared Program. Exit code 2 on any load failure.
+func loadProgram(patterns []string) (*analysis.Program, string, error) {
 	root, err := analysis.ModuleRoot(".")
 	if err != nil {
-		fatalf("%v", err)
+		return nil, "", err
 	}
 	pkgs, err := analysis.Load(root, patterns)
 	if err != nil {
-		fatalf("%v", err)
+		return nil, "", err
 	}
-	found := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, analyzers, false)
+	return analysis.BuildProgram(pkgs), root, nil
+}
+
+// jsonFinding is one diagnostic in the llmdm-lint/1 schema.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Schema   string        `json:"schema"`
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+func runStandalone(w io.Writer, patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	prog, root, err := loadProgram(patterns)
+	if err != nil {
+		return loadError(err)
+	}
+	return runReport(w, prog, root, analyzers, jsonOut)
+}
+
+// runReport renders prog's findings to w (text or llmdm-lint/1 JSON)
+// and returns the process exit code. Split from runStandalone so tests
+// can drive it with a synthetic program.
+func runReport(w io.Writer, prog *analysis.Program, root string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	// Two passes over the shared program: the annotation-honoring run
+	// is the finding set; the ignoring run additionally surfaces waived
+	// sites so -json can report them as accepted.
+	active := map[string]bool{}
+	var activeDiags []analysis.Diagnostic
+	for _, pkg := range prog.Pkgs {
+		diags, err := analysis.RunAnalyzersProg(prog, pkg, analyzers, false)
 		if err != nil {
-			fatalf("%v", err)
+			return loadError(err)
 		}
 		for _, d := range diags {
-			rel := d.Pos.Filename
-			if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
-				rel = r
+			active[diagKey(d)] = true
+		}
+		activeDiags = append(activeDiags, diags...)
+	}
+
+	if !jsonOut {
+		for _, d := range activeDiags {
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n",
+				relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		if len(activeDiags) > 0 {
+			fmt.Fprintf(os.Stderr, "llmdm-lint: %d finding(s)\n", len(activeDiags))
+			return 1
+		}
+		return 0
+	}
+
+	report := jsonReport{Schema: "llmdm-lint/1", Findings: []jsonFinding{}}
+	for _, pkg := range prog.Pkgs {
+		diags, err := analysis.RunAnalyzersProg(prog, pkg, analyzers, true)
+		if err != nil {
+			return loadError(err)
+		}
+		for _, d := range diags {
+			waived := !active[diagKey(d)]
+			if !waived {
+				report.Count++
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			found++
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     relPath(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Waived:   waived,
+			})
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "llmdm-lint: %d finding(s)\n", found)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return loadError(err)
+	}
+	if report.Count > 0 {
 		return 1
 	}
 	return 0
+}
+
+// runWaivers implements the -waivers audit.
+func runWaivers(w io.Writer, patterns []string) int {
+	prog, root, err := loadProgram(patterns)
+	if err != nil {
+		return loadError(err)
+	}
+	return runWaiverReport(w, prog, root)
+}
+
+// runWaiverReport renders prog's annotation sites and returns the exit
+// code (1 when any waiver lacks a reason).
+func runWaiverReport(w io.Writer, prog *analysis.Program, root string) int {
+	reasonless := 0
+	for _, wv := range prog.Waivers() {
+		name := wv.Verb
+		if wv.Analyzer != "" {
+			name += " " + wv.Analyzer
+		}
+		reason := wv.Reason
+		if reason == "" {
+			reason = "(no reason)"
+			reasonless++
+		}
+		fmt.Fprintf(w, "%s:%d: [%s] %s\n", relPath(root, wv.Pos.Filename), wv.Pos.Line, name, reason)
+	}
+	if reasonless > 0 {
+		fmt.Fprintf(os.Stderr, "llmdm-lint: %d waiver(s) without a reason — every //llmdm: annotation must say why\n", reasonless)
+		return 1
+	}
+	return 0
+}
+
+func diagKey(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+func relPath(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}
+
+func loadError(err error) int {
+	fmt.Fprintf(os.Stderr, "llmdm-lint: %v\n", err)
+	return 2
 }
 
 // vetConfig is the subset of the go vet unit-checker config we consume.
@@ -161,5 +305,5 @@ func runVettool(cfgPath string, analyzers []*analysis.Analyzer) int {
 
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "llmdm-lint: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -78,6 +78,10 @@ type Package struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the interprocedural view of the package group the pass's
+	// package was loaded with. Always non-nil: single-package runs get a
+	// one-package program.
+	Prog *Program
 	// IgnoreAnnotations makes Reportf ignore //llmdm: escape hatches —
 	// used by tests to prove an annotation is what accepts a site.
 	IgnoreAnnotations bool
@@ -91,8 +95,9 @@ type Pass struct {
 type lineDirectives map[int][]directive
 
 type directive struct {
-	verb string // "detached" | "allow"
-	arg  string // analyzer name for "allow"
+	verb   string // "detached" | "allow"
+	arg    string // analyzer name for "allow"
+	reason string // free-text justification after the verb/analyzer
 }
 
 // parseDirectives extracts //llmdm: comments from a file.
@@ -109,9 +114,12 @@ func parseDirectives(fset *token.FileSet, f *ast.File) lineDirectives {
 				continue
 			}
 			d := directive{verb: fields[0]}
-			if len(fields) > 1 {
-				d.arg = fields[1]
+			rest := fields[1:]
+			if d.verb == "allow" && len(rest) > 0 {
+				d.arg = rest[0]
+				rest = rest[1:]
 			}
+			d.reason = directiveReason(rest)
 			line := fset.Position(c.Pos()).Line
 			ld[line] = append(ld[line], d)
 		}
@@ -119,18 +127,99 @@ func parseDirectives(fset *token.FileSet, f *ast.File) lineDirectives {
 	return ld
 }
 
+// directiveReason joins the free-text tail of a directive, tolerating a
+// leading separator ("—", "--", "-", ":").
+func directiveReason(fields []string) string {
+	for len(fields) > 0 {
+		switch fields[0] {
+		case "—", "--", "-", ":":
+			fields = fields[1:]
+			continue
+		}
+		break
+	}
+	return strings.Join(fields, " ")
+}
+
+// Witness pairs a token.Pos with its resolved Position. Program-wide
+// analyses need it because each Package carries its own FileSet, so raw
+// Pos values from different packages cannot be compared or sorted.
+type Witness struct {
+	Pos      token.Pos
+	Position token.Position
+}
+
+// Waiver is one //llmdm: annotation site, for the -waivers audit.
+type Waiver struct {
+	Pos token.Position
+	// Verb is "allow" or "detached"; Analyzer the waived analyzer for
+	// "allow" ("" for detached).
+	Verb     string
+	Analyzer string
+	Reason   string
+}
+
+// String renders the waiver in the canonical audit-line form.
+func (w Waiver) String() string {
+	name := w.Verb
+	if w.Analyzer != "" {
+		name += " " + w.Analyzer
+	}
+	reason := w.Reason
+	if reason == "" {
+		reason = "(no reason)"
+	}
+	return fmt.Sprintf("%s: [%s] %s", w.Pos, name, reason)
+}
+
+// Waivers lists every annotation site in the program, position-sorted.
+func (pr *Program) Waivers() []Waiver {
+	var out []Waiver
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			for line, ds := range pr.directivesFor(pkg, f) {
+				for _, d := range ds {
+					pos := pkg.Fset.Position(f.Pos())
+					pos.Line = line
+					pos.Column = 0
+					out = append(out, Waiver{
+						Pos: pos, Verb: d.verb, Analyzer: d.arg, Reason: d.reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
 // RunAnalyzers applies each analyzer to pkg and returns the combined,
-// position-sorted diagnostics.
+// position-sorted diagnostics. The package is analyzed as a
+// single-package program; use RunAnalyzersProg to share a multi-package
+// program across passes.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer, ignoreAnnotations bool) ([]Diagnostic, error) {
+	return RunAnalyzersProg(BuildProgram([]*Package{pkg}), pkg, analyzers, ignoreAnnotations)
+}
+
+// RunAnalyzersProg applies each analyzer to pkg with prog as the
+// interprocedural context.
+func RunAnalyzersProg(prog *Program, pkg *Package, analyzers []*Analyzer, ignoreAnnotations bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	annots := make(map[*ast.File]lineDirectives, len(pkg.Files))
 	for _, f := range pkg.Files {
-		annots[f] = parseDirectives(pkg.Fset, f)
+		annots[f] = prog.directivesFor(pkg, f)
 	}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:          a,
 			Pkg:               pkg,
+			Prog:              prog,
 			IgnoreAnnotations: ignoreAnnotations,
 			diags:             &diags,
 			annots:            annots,

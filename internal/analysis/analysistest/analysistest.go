@@ -9,6 +9,14 @@
 // fail the test. A fixture can pin the import path the analyzers see
 // (for package-path-scoped rules) with a `//llmdm:pkgpath <path>`
 // comment.
+//
+// A fixture directory whose immediate children are themselves
+// directories is a *multi-package* fixture: each subdirectory loads as
+// one package (import path from its `//llmdm:pkgpath` pin, else
+// "fixture/<subdir>"), all packages index into one shared Program, and
+// the analyzer runs over every package — so a `want` in package a can
+// be triggered by a summary computed from package b, which is how the
+// interprocedural analyzers are tested honestly.
 package analysistest
 
 import (
@@ -28,27 +36,16 @@ var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
 // diagnostics against the fixture's want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("analysistest: no fixture files in %s", dir)
-	}
-	pkg, err := analysis.LoadFiles(files, "fixture")
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
+	pkgs := loadFixture(t, dir)
+	prog := analysis.BuildProgram(pkgs)
 
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, false)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunAnalyzersProg(prog, pkg, []*analysis.Analyzer{a}, false)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		diags = append(diags, ds...)
 	}
 
 	type want struct {
@@ -57,22 +54,24 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		matched bool
 	}
 	wants := map[string][]*want{} // "file:line" -> wants
-	for i, f := range pkg.Files {
-		fn := pkg.Filenames[i]
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			fn := pkg.Filenames[i]
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					unq := strings.ReplaceAll(m[1], `\"`, `"`)
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("analysistest: %s: bad want regexp %q: %v", fn, unq, err)
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					key := fn + ":" + itoa(line)
+					wants[key] = append(wants[key], &want{re: re, raw: unq})
 				}
-				unq := strings.ReplaceAll(m[1], `\"`, `"`)
-				re, err := regexp.Compile(unq)
-				if err != nil {
-					t.Fatalf("analysistest: %s: bad want regexp %q: %v", fn, unq, err)
-				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				key := fn + ":" + itoa(line)
-				wants[key] = append(wants[key], &want{re: re, raw: unq})
 			}
 		}
 	}
@@ -103,6 +102,60 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 			}
 		}
 	}
+}
+
+// loadFixture loads a fixture directory: flat .go files as one package,
+// or one package per subdirectory (multi-package mode).
+func loadFixture(t *testing.T, dir string) []*analysis.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	var subdirs []string
+	for _, e := range entries {
+		switch {
+		case e.IsDir():
+			subdirs = append(subdirs, e.Name())
+		case strings.HasSuffix(e.Name(), ".go"):
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(subdirs)
+
+	var pkgs []*analysis.Package
+	if len(files) > 0 {
+		pkg, err := analysis.LoadFiles(files, "fixture")
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, sub := range subdirs {
+		subEntries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		var subFiles []string
+		for _, e := range subEntries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				subFiles = append(subFiles, filepath.Join(dir, sub, e.Name()))
+			}
+		}
+		if len(subFiles) == 0 {
+			continue
+		}
+		pkg, err := analysis.LoadFiles(subFiles, "fixture/"+sub)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s", dir)
+	}
+	return pkgs
 }
 
 // RunClean asserts the analyzer produces zero diagnostics on the fixture

@@ -22,6 +22,11 @@
 //   - route through the scheduler (.Submit), whose flush path bills, or
 //   - carry an //llmdm:allow billmeter annotation with a reason.
 //
+// Method values count: `f := cli.Complete` binds the meter duty to f,
+// and every later `f(...)` is checked like a direct .Complete call (a
+// settlement read through a bound accessor — `settle := rs.Result;
+// settle()` — likewise counts as reading spend).
+//
 // Package main is exempt: commands and examples consume library APIs
 // that already meter.
 package billmeter
@@ -110,18 +115,28 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	// Identifiers appearing in return statements.
 	returned := map[string]bool{}
 	returnsCallDirectly := false
+	// Method values bound from a model call: `f := cli.Complete` makes
+	// every later `f(...)` a model call — the meter duty travels with the
+	// bound method, and before this tracking such calls escaped the rule
+	// entirely (an Ident-funned call looked like any helper).
+	boundModel := map[string]bool{}
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
 				switch {
-				case modelCallNames[sel.Sel.Name]:
+				case modelCallNames[fun.Sel.Name]:
 					modelCalls = append(modelCalls, n)
-				case sel.Sel.Name == "Submit":
+				case fun.Sel.Name == "Submit":
 					hasSpendFlow = true // scheduler path bills in its flush
-				case spendSelectors[sel.Sel.Name]:
+				case spendSelectors[fun.Sel.Name]:
 					hasSpendFlow = true
+				}
+			case *ast.Ident:
+				if boundModel[fun.Name] {
+					modelCalls = append(modelCalls, n)
 				}
 			}
 		case *ast.SelectorExpr:
@@ -129,7 +144,17 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				hasSpendFlow = true
 			}
 		case *ast.AssignStmt:
-			if rhsHasModelCall(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if sel, ok := n.Rhs[i].(*ast.SelectorExpr); ok && modelCallNames[sel.Sel.Name] {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						boundModel[id.Name] = true
+					}
+				}
+			}
+			if rhsHasModelCall(n.Rhs, boundModel) {
 				for _, lhs := range n.Lhs {
 					// The error result never carries spend: `resp, err := ...;
 					// return err` is a drop, not a propagation.
@@ -140,7 +165,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			}
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
-				if isModelCall(res) {
+				if isModelCall(res, boundModel) {
 					returnsCallDirectly = true
 				}
 				ast.Inspect(res, func(m ast.Node) bool {
@@ -163,30 +188,43 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 	}
 	for _, call := range modelCalls {
-		sel := call.Fun.(*ast.SelectorExpr)
 		pass.Reportf(call.Pos(),
-			"model call .%s: response spend is neither recorded (no Cost/Meter/Spend use in %s) nor propagated to the caller — bill a meter or return the response",
-			sel.Sel.Name, fn.Name.Name)
+			"model call %s: response spend is neither recorded (no Cost/Meter/Spend use in %s) nor propagated to the caller — bill a meter or return the response",
+			callName(call), fn.Name.Name)
 	}
 }
 
-func rhsHasModelCall(rhs []ast.Expr) bool {
+// callName renders the model call for the diagnostic: ".Complete" for a
+// direct method call, the bound name for a method-value call.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return "." + fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return analysis.ExprString(call.Fun)
+}
+
+func rhsHasModelCall(rhs []ast.Expr, bound map[string]bool) bool {
 	for _, e := range rhs {
-		if isModelCall(e) {
+		if isModelCall(e, bound) {
 			return true
 		}
 	}
 	return false
 }
 
-func isModelCall(e ast.Expr) bool {
+func isModelCall(e ast.Expr, bound map[string]bool) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return false
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return modelCallNames[fun.Sel.Name]
+	case *ast.Ident:
+		return bound[fun.Name]
 	}
-	return modelCallNames[sel.Sel.Name]
+	return false
 }

@@ -1,0 +1,19 @@
+// Fixture: model calls through bound method values are still model
+// calls — `f := m.Complete` carries the meter duty to every `f(...)`,
+// and dropping that call's response is the same dropped spend.
+package fixture
+
+func dropsThroughBoundMethod(m model, req request) error {
+	f := m.Complete
+	resp, err := f(nil, req) // want "model call f: response spend is neither recorded"
+	if err != nil {
+		return err
+	}
+	use(resp.Text)
+	return nil
+}
+
+func discardsThroughBoundBatch(m model, reqs []request) {
+	batch := m.GenerateBatch
+	_, _ = batch(nil, reqs) // want "model call batch: response spend is neither recorded"
+}

@@ -1,0 +1,30 @@
+// Fixture: bound method values with the spend visibly flowing — the
+// cost read, the response propagated, or a stream settled through a
+// bound accessor (`settle := rs.Result; settle()`).
+package fixture
+
+func boundButBilled(m model, req request) error {
+	f := m.Complete
+	resp, err := f(nil, req)
+	if err != nil {
+		return err
+	}
+	addSpend(resp.Cost)
+	return nil
+}
+
+func boundPropagated(m model, req request) (response, error) {
+	f := m.Complete
+	return f(nil, req)
+}
+
+func settlesThroughBoundResult(c cascadeRunner, req request) error {
+	rs, err := c.CompleteStream(nil, req)
+	if err != nil {
+		return err
+	}
+	settle := rs.Result
+	resp, _, err := settle()
+	use(resp)
+	return err
+}

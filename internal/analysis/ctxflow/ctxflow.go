@@ -11,6 +11,15 @@
 // detached roots such as the scheduler's batch-flush timeout, which must
 // outlive any single submitter. Detached work that should inherit values
 // (but not cancellation) must use context.WithoutCancel instead.
+//
+// The summary layer adds the dual check: a function that ACCEPTS a
+// named ctx parameter but never references it, while its body provably
+// blocks (a model call, channel op, sleep or HTTP round-trip in its
+// summary), has detached the caller's cancellation just as surely as a
+// fresh Background() — the deadline stops dead at its signature. Such
+// functions are reported at the declaration; deliberate sinks annotate
+// //llmdm:allow ctxflow (an underscore `_ context.Context` parameter —
+// interface conformance — is always fine).
 package ctxflow
 
 import (
@@ -61,8 +70,74 @@ func run(pass *analysis.Pass) error {
 				sel.Sel.Name)
 			return true
 		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDroppedCtx(pass, f, ctxNames, fd)
+		}
 	})
 	return nil
+}
+
+// checkDroppedCtx reports a function that takes a named ctx parameter,
+// never references it, and whose summary proves the body blocks: the
+// caller's cancellation dies at the signature.
+func checkDroppedCtx(pass *analysis.Pass, f *ast.File, ctxNames map[string]bool, fd *ast.FuncDecl) {
+	var ctxParams []string
+	for _, p := range fd.Type.Params.List {
+		if !isCtxType(ctxNames, p.Type) {
+			continue
+		}
+		for _, name := range p.Names {
+			if name.Name != "_" {
+				ctxParams = append(ctxParams, name.Name)
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	for _, name := range ctxParams {
+		if identUsed(fd.Body, name) {
+			return
+		}
+	}
+	fi := pass.Prog.FuncOf(pass.Pkg, fd)
+	if fi == nil {
+		return
+	}
+	sum := pass.Prog.Summary(fi)
+	if sum == nil || len(sum.Blocking) == 0 {
+		return
+	}
+	pass.Reportf(fd.Pos(),
+		"%s accepts %s but never threads it past its blocking work (%s): the caller's cancellation and deadline stop dead here — pass the ctx down or annotate //llmdm:allow ctxflow",
+		fd.Name.Name, ctxParams[0], sum.Blocking[0].What)
+}
+
+// isCtxType matches context.Context under any file-local import name.
+func isCtxType(ctxNames map[string]bool, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && ctxNames[id.Name]
+}
+
+// identUsed reports whether name is referenced anywhere in body other
+// than as a declaration name.
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+		}
+		return !used
+	})
+	return used
 }
 
 // contextImportNames returns the local names under which f imports the

@@ -1,0 +1,32 @@
+// Fixture: accepted shapes for the dropped-ctx check — ctx actually
+// threaded, an underscore parameter (interface conformance), a body
+// with no blocking work, and an annotated deliberate sink.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func threads(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func conformance(_ context.Context, n int) int {
+	time.Sleep(time.Millisecond)
+	return n * 2
+}
+
+func pureBookkeeping(ctx context.Context, m map[string]int) {
+	m["calls"]++
+}
+
+//llmdm:allow ctxflow fixture: drain helper, bounded by the channel close
+func deliberateSink(ctx context.Context, ch chan int) {
+	for range ch {
+		time.Sleep(time.Microsecond)
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture: a function that accepts ctx, ignores it, and blocks has
+// detached the caller's cancellation as surely as a fresh root.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func blockingSink(ctx context.Context, ch chan int) { // want "blockingSink accepts ctx but never threads it"
+	time.Sleep(time.Millisecond)
+	ch <- 1
+}
+
+// Ident aliases of the import count too.
+func sendSink(reqCtx context.Context, ch chan int) { // want "sendSink accepts reqCtx but never threads it"
+	ch <- 2
+}

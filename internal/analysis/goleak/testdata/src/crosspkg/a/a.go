@@ -1,0 +1,19 @@
+// Multi-package fixture, package a (serving path): the spawn sites are
+// here; whether they leak is decided by package b's summaries.
+//
+//llmdm:pkgpath repro/internal/proxy
+package fixture
+
+import (
+	"context"
+
+	fixb "fixture/b"
+)
+
+func spawnLeaky(ch chan int) {
+	go fixb.PumpForever(ch) // want "no guaranteed counterpart"
+}
+
+func spawnClean(ctx context.Context, ch chan int) {
+	go fixb.PumpGuarded(ctx, ch)
+}

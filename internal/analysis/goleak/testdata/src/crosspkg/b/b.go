@@ -1,0 +1,25 @@
+// Multi-package fixture, package b: not on the serving path itself, so
+// nothing here is reported — but its summaries decide package a's fate.
+//
+//llmdm:pkgpath fixture/b
+package fixture
+
+import "context"
+
+// PumpForever's summary carries an unguarded send.
+func PumpForever(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// PumpGuarded's sends all sit under a ctx.Done select.
+func PumpGuarded(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture: //llmdm:allow goleak at the channel op accepts a deliberate
+// parked send. The load-bearing test reruns with IgnoreAnnotations and
+// expects the finding back.
+//
+//llmdm:pkgpath repro/internal/proxy
+package fixture
+
+func deliberatePark(ch chan int) {
+	go func() {
+		//llmdm:allow goleak fixture: receiver lifetime proven elsewhere
+		ch <- 1
+	}()
+}

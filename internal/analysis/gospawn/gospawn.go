@@ -16,9 +16,11 @@
 //     bare `go`, or
 //   - carry //llmdm:allow gospawn with a reason.
 //
-// `go someMethod()` spawns (no literal) are always flagged: the analyzer
-// cannot see the body, so the site must go through obs.Go or be
-// annotated.
+// `go someFunc()` spawns (no literal) resolve through the program's
+// call graph: if the spawned function's summary proves both properties —
+// it installs a deferred recover() AND references a ctx/stop signal —
+// the spawn is accepted. Unresolvable or unproven named spawns are
+// flagged as before: the site must go through obs.Go or be annotated.
 package gospawn
 
 import (
@@ -59,30 +61,53 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	pass.EachFile(func(name string, f *ast.File) {
-		analysis.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := pass.Prog.FuncOf(pass.Pkg, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					checkNamedSpawn(pass, fi, g)
+					return true
+				}
+				if !hasDeferredRecover(lit.Body) {
+					pass.Reportf(g.Pos(),
+						"goroutine without panic recovery: install `defer func() { recover() ... }()` or spawn through obs.Go")
+				}
+				if !referencesCtxOrStop(lit) {
+					pass.Reportf(g.Pos(),
+						"goroutine carries no context or stop/done signal: it can neither be cancelled nor drained on shutdown")
+				}
 				return true
-			}
-			lit, ok := g.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				pass.Reportf(g.Pos(),
-					"bare `go %s(...)`: spawn through the managed helper obs.Go (panic containment) or annotate //llmdm:allow gospawn",
-					analysis.ExprString(g.Call.Fun))
-				return true
-			}
-			if !hasDeferredRecover(lit.Body) {
-				pass.Reportf(g.Pos(),
-					"goroutine without panic recovery: install `defer func() { recover() ... }()` or spawn through obs.Go")
-			}
-			if !referencesCtxOrStop(lit) {
-				pass.Reportf(g.Pos(),
-					"goroutine carries no context or stop/done signal: it can neither be cancelled nor drained on shutdown")
-			}
-			return true
-		})
+			})
+		}
 	})
 	return nil
+}
+
+// checkNamedSpawn handles `go fn()` with no literal: the body is out of
+// sight locally, but the call graph isn't — if fn's summary proves it
+// both recovers panics and references a ctx/stop signal, the spawn
+// carries its own containment and is accepted.
+func checkNamedSpawn(pass *analysis.Pass, fi *analysis.FuncInfo, g *ast.GoStmt) {
+	if fi != nil {
+		if callee := pass.Prog.Resolve(fi, g.Call); callee != nil {
+			sum := pass.Prog.Summary(callee)
+			if sum != nil && sum.Recovers && sum.RefsStop {
+				return
+			}
+		}
+	}
+	pass.Reportf(g.Pos(),
+		"bare `go %s(...)` without provable panic recovery and stop signal: spawn through the managed helper obs.Go (panic containment) or annotate //llmdm:allow gospawn",
+		analysis.ExprString(g.Call.Fun))
 }
 
 // hasDeferredRecover reports whether body contains a defer whose

@@ -15,6 +15,18 @@ func missingRecovery(ch chan int, done chan struct{}) {
 	}()
 }
 
+// Resolvable, but the summary proves neither recovery nor a stop
+// signal: the named spawn stays flagged.
+func unprovenNamedSpawn(ch chan int) {
+	go pumpNaked(ch) // want "bare `go pumpNaked\(\.\.\.\)`"
+}
+
+func pumpNaked(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
 func missingSignal(ch chan int) {
 	go func() { // want "goroutine carries no context or stop/done signal"
 		defer func() {

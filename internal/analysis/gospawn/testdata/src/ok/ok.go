@@ -38,3 +38,24 @@ func waivedBareSpawn(s *server) {
 	//llmdm:allow gospawn fire-and-forget warmup, bounded by process lifetime
 	go s.warmup()
 }
+
+// A named spawn is accepted when the callee's summary proves both
+// properties: deferred recover plus a ctx/stop reference.
+func provenNamedSpawn(ctx context.Context, ch chan int) {
+	go pumpManaged(ctx, ch)
+}
+
+func pumpManaged(ctx context.Context, ch chan int) {
+	defer func() {
+		if r := recover(); r != nil {
+			use(r)
+		}
+	}()
+	for {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package lockorder checks the program's global lock-acquisition graph.
+//
+// lockscope (PR 5) keeps any single critical section honest inside one
+// function; it cannot see that function A takes mu1 then calls into a
+// function whose own body takes mu2, while function B takes mu2 then
+// calls into one that takes mu1 — the classic cross-function deadlock
+// that only shows up under load. lockorder closes that gap using the
+// Program layer's function summaries:
+//
+//   - every AcquireSite contributes edges held-lock → acquired-lock for
+//     each canonical lock already held at the acquire;
+//   - every call made while holding a lock contributes edges
+//     held-lock → k for every k in the callee's *transitive* acquire
+//     set (memoized over the call graph, cycle-safe).
+//
+// Two shapes are diagnosed, each at its first witness site:
+//
+//   - a cycle in the graph (A → B and B → A, possibly through longer
+//     chains): the locks can be taken in both orders, so two goroutines
+//     can deadlock;
+//   - a self-edge (A → A): a call chain that re-acquires a lock the
+//     caller may still hold — sync.Mutex is not reentrant, so this is a
+//     single-goroutine self-deadlock.
+//
+// Plain edges are *not* findings — layered registries legitimately
+// acquire inner locks under outer ones. Only edges that close a loop
+// are reported. Locks are identified by canonical key
+// ("import/path.Type.field" for struct mutexes, "import/path.name" for
+// package-level ones); locks on locals never enter the global graph.
+//
+// Escape hatch: //llmdm:allow lockorder <reason> on the witness line.
+package lockorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "the global lock-acquisition graph (built from function summaries: locks held at each " +
+		"acquire and at each call, with callees' transitive acquires) must be cycle-free, and no " +
+		"call chain may re-acquire a lock the caller still holds",
+	Run: run,
+}
+
+// edge is one lock-order edge with its witness site.
+type edge struct {
+	from, to string
+	pkg      *analysis.Package
+	pos      analysis.Witness
+	desc     string
+}
+
+// graph is the program-wide result, memoized in Prog.Stash so the
+// per-package passes share one computation.
+type graph struct {
+	findings []finding
+}
+
+type finding struct {
+	pkgPath string
+	pos     analysis.Witness
+	msg     string
+}
+
+func run(pass *analysis.Pass) error {
+	g := buildGraph(pass.Prog)
+	for _, f := range g.findings {
+		if f.pkgPath != pass.Pkg.Path {
+			continue
+		}
+		pass.Reportf(f.pos.Pos, "%s", f.msg)
+	}
+	return nil
+}
+
+const stashKey = "lockorder.graph"
+
+func buildGraph(prog *analysis.Program) *graph {
+	if g, ok := prog.Stash[stashKey].(*graph); ok {
+		return g
+	}
+	var edges []edge
+	prog.EachFunc(func(f *analysis.FuncInfo) {
+		sum := prog.Summary(f)
+		for _, a := range sum.Acquires {
+			if a.Key == "" {
+				continue
+			}
+			for _, h := range a.Held {
+				if h == a.Key {
+					continue // RLock→RLock etc. handled as call self-edges only
+				}
+				edges = append(edges, edge{
+					from: h, to: a.Key, pkg: f.Pkg,
+					pos:  analysis.Witness{Pos: a.Pos, Position: f.Pkg.Fset.Position(a.Pos)},
+					desc: fmt.Sprintf("%s acquires %s while holding %s", f, short(a.Key), short(h)),
+				})
+			}
+		}
+		for _, c := range sum.Calls {
+			if c.Callee == nil || len(c.Held) == 0 {
+				continue
+			}
+			for k := range prog.TransitiveAcquires(c.Callee) {
+				for _, h := range c.Held {
+					edges = append(edges, edge{
+						from: h, to: k, pkg: f.Pkg,
+						pos: analysis.Witness{Pos: c.Pos, Position: f.Pkg.Fset.Position(c.Pos)},
+						desc: fmt.Sprintf("%s calls %s while holding %s; the callee's call graph acquires %s",
+							f, c.Expr, short(h), short(k)),
+					})
+				}
+			}
+		}
+	})
+	// Deterministic order: witness position, then edge identity.
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.pos.Position.Filename != b.pos.Position.Filename {
+			return a.pos.Position.Filename < b.pos.Position.Filename
+		}
+		if a.pos.Position.Line != b.pos.Position.Line {
+			return a.pos.Position.Line < b.pos.Position.Line
+		}
+		return a.from+"→"+a.to < b.from+"→"+b.to
+	})
+
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if e.from == e.to {
+			continue // self-edges diagnosed directly below
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+
+	g := &graph{}
+	seen := map[string]bool{} // one report per unordered lock pair / self lock
+	for _, e := range edges {
+		if e.from == e.to {
+			key := "self:" + e.from
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g.findings = append(g.findings, finding{
+				pkgPath: e.pkg.Path,
+				pos:     e.pos,
+				msg: fmt.Sprintf("lock self-cycle on %s: %s — sync mutexes are not reentrant, "+
+					"so this call chain can self-deadlock; restructure or annotate //llmdm:allow lockorder",
+					short(e.from), e.desc),
+			})
+			continue
+		}
+		if reachable(adj, e.to, e.from) {
+			key := cycleKey(e.from, e.to)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g.findings = append(g.findings, finding{
+				pkgPath: e.pkg.Path,
+				pos:     e.pos,
+				msg: fmt.Sprintf("lock-order cycle between %s and %s: %s, and another call path "+
+					"acquires them in the opposite order — two goroutines can deadlock; pick one "+
+					"global order or annotate //llmdm:allow lockorder",
+					short(e.from), short(e.to), e.desc),
+			})
+		}
+	}
+	prog.Stash[stashKey] = g
+	return g
+}
+
+// reachable reports whether from reaches to in the edge adjacency.
+func reachable(adj map[string]map[string]bool, from, to string) bool {
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for m := range adj[n] {
+			stack = append(stack, m)
+		}
+	}
+	return false
+}
+
+// cycleKey identifies the unordered pair so each two-lock cycle reports
+// once even when witnessed from both directions.
+func cycleKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return "cycle:" + a + "|" + b
+}
+
+// short trims the module prefix off a canonical lock key for messages.
+func short(key string) string {
+	key = strings.TrimPrefix(key, "repro/internal/")
+	key = strings.TrimPrefix(key, "repro/")
+	return key
+}

@@ -1,0 +1,33 @@
+// Multi-package fixture, package a: both witnesses live here, but the
+// first edge's second leg is only visible through package b's function
+// summary (fixb.Acquire's transitive acquires include B.Mu).
+//
+//llmdm:pkgpath fixture/a
+package fixture
+
+import (
+	"sync"
+
+	fixb "fixture/b"
+)
+
+type A struct{ mu sync.Mutex }
+
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// aThenB: A.mu held while calling into b, whose summary acquires B.Mu.
+func aThenB(a *A, b *fixb.B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fixb.Acquire(b) // want "lock-order cycle"
+}
+
+// bThenA: the opposite order — B.Mu held while a call chain takes A.mu.
+func bThenA(a *A, b *fixb.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	lockA(a)
+}

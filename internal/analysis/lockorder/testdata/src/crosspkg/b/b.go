@@ -1,0 +1,16 @@
+// Multi-package fixture, package b: the lock and its acquire helper.
+// Nothing here is a finding; this package only contributes summaries.
+//
+//llmdm:pkgpath fixture/b
+package fixture
+
+import "sync"
+
+// B exposes its mutex so sibling packages can order against it.
+type B struct{ Mu sync.Mutex }
+
+// Acquire takes and releases B.Mu — the summary callers see.
+func Acquire(b *B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+}

@@ -1,0 +1,44 @@
+// Fixture: consistent lock layering is NOT a finding — only edges that
+// close a loop are. Locals and unresolved receivers stay out of the
+// global graph entirely.
+package fixture
+
+import "sync"
+
+type Outer struct{ mu sync.Mutex }
+
+type Inner struct{ mu sync.Mutex }
+
+func lockInner(i *Inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+// Every path takes Outer.mu before Inner.mu: a clean hierarchy.
+func layered(o *Outer, i *Inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lockInner(i)
+}
+
+func alsoLayered(o *Outer, i *Inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// A lock on a local never enters the global graph.
+func localLock() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Sequential (non-nested) acquires create no edge.
+func sequential(o *Outer, i *Inner) {
+	o.mu.Lock()
+	o.mu.Unlock()
+	i.mu.Lock()
+	i.mu.Unlock()
+}

@@ -1,0 +1,20 @@
+// Fixture: an //llmdm:allow lockorder annotation at the witness site
+// accepts a deliberate ordering exception. The load-bearing test reruns
+// this fixture with IgnoreAnnotations and expects the finding back.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+func reacquire(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//llmdm:allow lockorder fixture: documented recursive entry point
+	lockA(a)
+}

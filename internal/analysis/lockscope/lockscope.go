@@ -13,7 +13,10 @@
 //   - channel sends and receives (except under a select with a default
 //     clause, which cannot block);
 //   - model-call methods: Complete, Generate, GenerateBatch, Submit;
-//   - time.Sleep, sync.WaitGroup-style .Wait(), and net/http calls.
+//   - time.Sleep, sync.WaitGroup-style .Wait(), and net/http calls;
+//   - calls into functions whose summaries carry a direct, unwaived
+//     blocking op (one call-graph level: the blocking op hidden one
+//     frame down is the same serialization bug).
 //
 // Tracking is a branch-sensitive may-hold approximation (no full CFG):
 // if/select/switch arms are analyzed with cloned lock state, an arm
@@ -43,17 +46,23 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	pass.EachFile(func(name string, f *ast.File) {
-		analysis.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					scanBody(pass, fn.Body)
-				}
-			case *ast.FuncLit:
-				scanBody(pass, fn.Body)
+		for _, decl := range f.Decls {
+			var fi *analysis.FuncInfo
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				fi = pass.Prog.FuncOf(pass.Pkg, fd)
 			}
-			return true
-		})
+			analysis.Inspect(decl, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						scanBody(pass, fi, fn.Body)
+					}
+				case *ast.FuncLit:
+					scanBody(pass, fi, fn.Body)
+				}
+				return true
+			})
+		}
 	})
 	return nil
 }
@@ -62,11 +71,12 @@ func run(pass *analysis.Pass) error {
 // receivers are currently held.
 type scanner struct {
 	pass *analysis.Pass
+	fi   *analysis.FuncInfo        // enclosing declaration, for call resolution
 	held map[string]token.Position // lock expr -> acquire position
 }
 
-func scanBody(pass *analysis.Pass, body *ast.BlockStmt) {
-	s := &scanner{pass: pass, held: map[string]token.Position{}}
+func scanBody(pass *analysis.Pass, fi *analysis.FuncInfo, body *ast.BlockStmt) {
+	s := &scanner{pass: pass, fi: fi, held: map[string]token.Position{}}
 	s.stmts(body.List)
 }
 
@@ -221,7 +231,7 @@ func (s *scanner) mergeArms(arms [][]ast.Stmt, includePre bool) {
 		states = append(states, pre)
 	}
 	for _, arm := range arms {
-		sub := &scanner{pass: s.pass, held: cloneState(pre)}
+		sub := &scanner{pass: s.pass, fi: s.fi, held: cloneState(pre)}
 		sub.stmts(arm)
 		if !terminates(arm) {
 			states = append(states, sub.held)
@@ -302,10 +312,39 @@ func (s *scanner) expr(e ast.Expr) {
 		case *ast.CallExpr:
 			if verb := blockingCall(n); verb != "" {
 				s.blocking(n.Pos(), verb)
+			} else {
+				s.calleeBlocking(n)
 			}
 		}
 		return true
 	})
+}
+
+// calleeBlocking consults the call graph one level deep: a call made
+// under a lock into a function whose own body provably blocks is the
+// same serialization bug with the blocking op hidden one frame down.
+// Only direct (non-transitive) blocking ops count, and an op waived at
+// its own site (//llmdm:allow lockscope) is honored here too — the
+// justification covers interprocedural callers.
+func (s *scanner) calleeBlocking(call *ast.CallExpr) {
+	if len(s.held) == 0 || s.fi == nil {
+		return
+	}
+	callee := s.pass.Prog.Resolve(s.fi, call)
+	if callee == nil {
+		return
+	}
+	sum := s.pass.Prog.Summary(callee)
+	if sum == nil {
+		return
+	}
+	for _, op := range sum.Blocking {
+		if op.Waived && !s.pass.IgnoreAnnotations {
+			continue
+		}
+		s.blocking(call.Pos(), "call into "+callee.String()+" (which does "+op.What+")")
+		return
+	}
 }
 
 // blockingCall classifies a call as one of the forbidden-under-lock

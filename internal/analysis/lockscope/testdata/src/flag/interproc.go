@@ -1,0 +1,33 @@
+// Fixture: calls under a lock into functions whose summaries block —
+// one call-graph level deep, the same serialization bug one frame down.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (st *store) flushSlowly() {
+	time.Sleep(time.Millisecond)
+}
+
+func (st *store) publish(v int) {
+	st.out <- v
+}
+
+func callsSleeperUnderLock(st *store) {
+	st.mu.Lock()
+	st.flushSlowly() // want "blocking call into fixture\.store\.flushSlowly \(which does time\.Sleep\)"
+	st.mu.Unlock()
+}
+
+func callsSenderUnderLock(st *store, v int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.publish(v) // want "blocking call into fixture\.store\.publish \(which does channel send\)"
+}

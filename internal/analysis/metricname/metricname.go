@@ -12,9 +12,10 @@
 // argument to be:
 //
 //   - a string literal matching ^[a-z][a-z0-9_]*$, or
-//   - an identifier/selector that resolves (within the package) to such
-//     a constant; unresolvable names from other packages are accepted as
-//     presumed constants.
+//   - an identifier or pkg.Name selector that resolves — through the
+//     program-wide constant index, so constants declared in any loaded
+//     package count — to such a constant; names from packages outside
+//     the program are accepted as presumed constants.
 //
 // Any computed expression — fmt.Sprintf, +, a function call — is
 // reported. The obs registry enforces the same grammar at runtime
@@ -73,22 +74,22 @@ func run(pass *analysis.Pass) error {
 			}
 			switch sel.Sel.Name {
 			case "Counter", "Gauge", "Histogram":
-				checkNameArg(pass, consts, sel.Sel.Name, "metric", call.Args[0])
+				checkNameArg(pass, f, consts, sel.Sel.Name, "metric", call.Args[0])
 			case "Event":
 				// Logger.Event(ctx, level, name, kv...): name at index 2.
 				if len(call.Args) >= 3 {
-					checkNameArg(pass, consts, sel.Sel.Name, "event", call.Args[2])
+					checkNameArg(pass, f, consts, sel.Sel.Name, "event", call.Args[2])
 				}
 			case "Emit":
 				// Logger.Emit(level, name, kv...): name at index 1.
 				if len(call.Args) >= 2 {
-					checkNameArg(pass, consts, sel.Sel.Name, "event", call.Args[1])
+					checkNameArg(pass, f, consts, sel.Sel.Name, "event", call.Args[1])
 				}
 			case "AddRule":
 				// AlertEngine.AddRule(name, cond, opts...): rule names land
 				// in alert_transition event attributes, the alert_state
 				// vocabulary and /v1/alerts — same charter, name at index 0.
-				checkNameArg(pass, consts, sel.Sel.Name, "alert-rule", call.Args[0])
+				checkNameArg(pass, f, consts, sel.Sel.Name, "alert-rule", call.Args[0])
 			}
 			return true
 		})
@@ -96,7 +97,7 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkNameArg(pass *analysis.Pass, consts map[string]string, method, kind string, arg ast.Expr) {
+func checkNameArg(pass *analysis.Pass, f *ast.File, consts map[string]string, method, kind string, arg ast.Expr) {
 	switch a := arg.(type) {
 	case *ast.BasicLit:
 		if a.Kind != token.STRING {
@@ -119,7 +120,14 @@ func checkNameArg(pass *analysis.Pass, consts map[string]string, method, kind st
 		// Unresolvable identifiers are presumed constants from another
 		// package; the obs runtime guard backstops them.
 	case *ast.SelectorExpr:
-		// pkg.Const: presumed constant, runtime guard backstops.
+		// pkg.Const: resolve through the program-wide constant index.
+		// Constants from packages outside the program remain presumed
+		// good — the obs runtime guard backstops them.
+		if lit, ok := pass.Prog.ConstStringIn(pass.Pkg.Path, f, a); ok && !NameRE.MatchString(lit) {
+			pass.Reportf(arg.Pos(),
+				"%s %s name constant %s = %q is not lowercase_snake (want %s)",
+				method, kind, analysis.ExprString(a), lit, NameRE.String())
+		}
 	default:
 		pass.Reportf(arg.Pos(),
 			"%s %s name is built dynamically: use a lowercase_snake string constant and put dynamic dimensions in label values", method, kind)

@@ -15,3 +15,7 @@ func TestFlagsBadAndDynamicNames(t *testing.T) {
 func TestAcceptsConstantSnakeNames(t *testing.T) {
 	analysistest.RunClean(t, filepath.Join("testdata", "src", "ok"), metricname.Analyzer)
 }
+
+func TestResolvesCrossPackageConstants(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "crosspkg"), metricname.Analyzer)
+}

@@ -1,0 +1,15 @@
+// Multi-package fixture, package a: metric names referenced as
+// pkg.Const resolve through the program-wide constant index, so a bad
+// constant declared in package b is caught at the registration here.
+package fixture
+
+import (
+	other "example.com/unloaded"
+	fixb "fixture/b"
+)
+
+func register(r registry) {
+	r.Counter(fixb.BadName) // want "metric name constant fixb\.BadName = \"Bad-Name\" is not lowercase_snake"
+	r.Counter(fixb.GoodName)
+	r.Counter(other.Unknown) // outside the program: presumed constant
+}

@@ -1,0 +1,9 @@
+// Multi-package fixture, package b: the constants package a registers
+// metrics under. Nothing here calls the registry, so nothing here is
+// reported — the bad name only matters at a's registration site.
+package fixture
+
+const (
+	BadName  = "Bad-Name"
+	GoodName = "good_name"
+)

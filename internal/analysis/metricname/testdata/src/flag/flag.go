@@ -18,11 +18,11 @@ func register(reg registry, model string) {
 }
 
 func emitEvents(ctx context, log logger, model string) {
-	log.Event(ctx, infoLevel, "Proxy-Admit")                          // want "Event event name \"Proxy-Admit\" is not lowercase_snake"
-	log.Event(ctx, infoLevel, badEventName, "model", model)           // want "Event event name constant badEventName = \"SLO-Burn!\" is not lowercase_snake"
-	log.Event(ctx, infoLevel, "cascade_"+model)                       // want "Event event name is built dynamically"
-	log.Emit(warnLevel, fmt.Sprintf("breaker_%s", model))             // want "Emit event name is built dynamically"
-	log.Emit(warnLevel, "Breaker_Transition", "from", "closed")       // want "Emit event name \"Breaker_Transition\" is not lowercase_snake"
+	log.Event(ctx, infoLevel, "Proxy-Admit")                    // want "Event event name \"Proxy-Admit\" is not lowercase_snake"
+	log.Event(ctx, infoLevel, badEventName, "model", model)     // want "Event event name constant badEventName = \"SLO-Burn!\" is not lowercase_snake"
+	log.Event(ctx, infoLevel, "cascade_"+model)                 // want "Event event name is built dynamically"
+	log.Emit(warnLevel, fmt.Sprintf("breaker_%s", model))       // want "Emit event name is built dynamically"
+	log.Emit(warnLevel, "Breaker_Transition", "from", "closed") // want "Emit event name \"Breaker_Transition\" is not lowercase_snake"
 }
 
 const badRuleName = "SLO Burn High"

@@ -1,0 +1,628 @@
+// Program: the interprocedural layer. A Program indexes a group of
+// loaded packages — every function and method declaration, struct field
+// types, package string constants, import graphs — and resolves call
+// sites to their target FuncInfo so analyzers can reason across
+// function and package boundaries.
+//
+// The framework is syntax-only (no go/types; see the package doc), so
+// resolution is name- and shape-based:
+//
+//   - free functions resolve within their package by identifier, and
+//     across packages through the file's imports (`pkg.Fn` → the import
+//     path's Fn);
+//   - methods resolve through a lightweight local type environment:
+//     receiver and parameter declarations, `var x T`, `x := T{...}`,
+//     `x := f(...)` (using f's declared result type), and field
+//     selectors through the struct index;
+//   - anything else is *unresolved* (Resolve returns nil). Analyzers
+//     must treat unresolved calls conservatively in whatever direction
+//     keeps them quiet: the engine's charter is high-confidence
+//     interprocedural findings, not completeness.
+//
+// Types are canonicalized to "import/path.Name" strings (pointers and
+// parens stripped), so a `*cascade.RunStream` result and a
+// `RunStream` receiver in package cascade meet at the same key.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Program is an indexed group of packages analyzed together.
+type Program struct {
+	Pkgs []*Package
+
+	// funcs: canonical key → declaration. Free functions key as
+	// "pkgpath.Name", methods as "pkgpath.Recv.Name".
+	funcs map[string]*FuncInfo
+	// structs: "pkgpath.Type" → field name → canonical field type.
+	structs map[string]map[string]string
+	// consts: "pkgpath" → const name → string value (for metricname's
+	// cross-package resolution).
+	consts map[string]map[string]string
+	// bufferedChans: "pkgpath" → names (vars or fields) observed being
+	// assigned a buffered `make(chan ..., n>0)` anywhere in the package.
+	bufferedChans map[string]map[string]bool
+
+	summaries map[*FuncInfo]*Summary
+	transAcq  map[*FuncInfo]map[string]bool
+	annots    map[*ast.File]lineDirectives
+	// Stash lets analyzers memoize program-wide computations (e.g.
+	// reslifecycle's obligation-creator closure) across per-package
+	// passes. Keys are namespaced by analyzer name.
+	Stash map[string]interface{}
+}
+
+// FuncInfo is one function or method declaration in the program.
+type FuncInfo struct {
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+	// Name is the bare identifier; Recv the receiver's base type name
+	// ("" for free functions).
+	Name string
+	Recv string
+	// Key is the canonical identity: pkgpath.Name or pkgpath.Recv.Name.
+	Key string
+	// Results are the canonical types of the declared results ("" for
+	// untracked shapes like funcs and maps).
+	Results []string
+
+	env map[string]string // lazily built local type environment
+}
+
+// String returns the human form used in diagnostics: Recv.Name or Name,
+// qualified by the package path's last element.
+func (f *FuncInfo) String() string {
+	short := f.Pkg.Path
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		short = short[i+1:]
+	}
+	if f.Recv != "" {
+		return short + "." + f.Recv + "." + f.Name
+	}
+	return short + "." + f.Name
+}
+
+// BuildProgram indexes the packages as one analysis unit.
+func BuildProgram(pkgs []*Package) *Program {
+	pr := &Program{
+		Pkgs:          pkgs,
+		funcs:         map[string]*FuncInfo{},
+		structs:       map[string]map[string]string{},
+		consts:        map[string]map[string]string{},
+		bufferedChans: map[string]map[string]bool{},
+		summaries:     map[*FuncInfo]*Summary{},
+		transAcq:      map[*FuncInfo]map[string]bool{},
+		annots:        map[*ast.File]lineDirectives{},
+		Stash:         map[string]interface{}{},
+	}
+	for _, pkg := range pkgs {
+		pr.indexPackage(pkg)
+	}
+	return pr
+}
+
+func (pr *Program) indexPackage(pkg *Package) {
+	consts := map[string]string{}
+	buffered := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fi := &FuncInfo{Pkg: pkg, File: f, Decl: d, Name: d.Name.Name}
+				if d.Recv != nil && len(d.Recv.List) == 1 {
+					fi.Recv = baseTypeName(d.Recv.List[0].Type)
+				}
+				fi.Key = funcKey(pkg.Path, fi.Recv, fi.Name)
+				if d.Type.Results != nil {
+					for _, r := range d.Type.Results.List {
+						ct := pr.canonicalType(pkg, f, r.Type)
+						n := len(r.Names)
+						if n == 0 {
+							n = 1
+						}
+						for i := 0; i < n; i++ {
+							fi.Results = append(fi.Results, ct)
+						}
+					}
+				}
+				pr.funcs[fi.Key] = fi
+			case *ast.GenDecl:
+				pr.indexGenDecl(pkg, f, d, consts)
+			}
+		}
+		// Buffered-channel names: any assignment or composite field of a
+		// buffered make(chan ..., n) marks that name as a safe-send slot
+		// package-wide (goleak's "guaranteed counterpart" heuristic).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isBufferedMake(rhs) {
+						buffered[lastName(n.Lhs[i])] = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				if k, ok := n.Key.(*ast.Ident); ok && isBufferedMake(n.Value) {
+					buffered[k.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	pr.consts[pkg.Path] = consts
+	pr.bufferedChans[pkg.Path] = buffered
+}
+
+func (pr *Program) indexGenDecl(pkg *Package, f *ast.File, d *ast.GenDecl, consts map[string]string) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			st, ok := s.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			fields := map[string]string{}
+			for _, fl := range st.Fields.List {
+				ct := pr.canonicalType(pkg, f, fl.Type)
+				for _, name := range fl.Names {
+					fields[name.Name] = ct
+				}
+			}
+			pr.structs[pkg.Path+"."+s.Name.Name] = fields
+		case *ast.ValueSpec:
+			if d.Tok.String() != "const" {
+				continue
+			}
+			for i, name := range s.Names {
+				if i >= len(s.Values) {
+					break
+				}
+				if lit, ok := s.Values[i].(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+					if v, err := strconv.Unquote(lit.Value); err == nil {
+						consts[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+func funcKey(pkgPath, recv, name string) string {
+	if recv != "" {
+		return pkgPath + "." + recv + "." + name
+	}
+	return pkgPath + "." + name
+}
+
+// baseTypeName strips pointers/parens off a receiver or value type and
+// returns the bare identifier ("" for untracked shapes).
+func baseTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return baseTypeName(e.X)
+	case *ast.ParenExpr:
+		return baseTypeName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr: // generic instantiation
+		return baseTypeName(e.X)
+	}
+	return ""
+}
+
+// canonicalType renders a type expression as "import/path.Name".
+// Builtins and untracked shapes (maps, funcs, channels) return "".
+func (pr *Program) canonicalType(pkg *Package, f *ast.File, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return pr.canonicalType(pkg, f, e.X)
+	case *ast.ParenExpr:
+		return pr.canonicalType(pkg, f, e.X)
+	case *ast.Ident:
+		if isBuiltinType(e.Name) {
+			return ""
+		}
+		return pkg.Path + "." + e.Name
+	case *ast.SelectorExpr:
+		id, ok := e.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		if path, ok := importPath(f, id.Name); ok {
+			return path + "." + e.Sel.Name
+		}
+		return ""
+	}
+	return ""
+}
+
+func isBuiltinType(name string) bool {
+	switch name {
+	case "bool", "string", "error", "byte", "rune", "any",
+		"int", "int8", "int16", "int32", "int64",
+		"uint", "uint8", "uint16", "uint32", "uint64", "uintptr",
+		"float32", "float64", "complex64", "complex128":
+		return true
+	}
+	return false
+}
+
+// importPath resolves a file-local package identifier to its import
+// path ("llm" → "repro/internal/llm").
+func importPath(f *ast.File, name string) (string, bool) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := path
+		if i := strings.LastIndex(local, "/"); i >= 0 {
+			local = local[i+1:]
+		}
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == name {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// directivesFor parses (and caches) a file's //llmdm: directives.
+func (pr *Program) directivesFor(pkg *Package, f *ast.File) lineDirectives {
+	if ld, ok := pr.annots[f]; ok {
+		return ld
+	}
+	ld := parseDirectives(pkg.Fset, f)
+	pr.annots[f] = ld
+	return ld
+}
+
+// Waived reports whether pos (in one of pkg's files) carries an
+// //llmdm:allow <analyzer> directive on its line or the line above.
+// Summaries use this so a waiver's justification covers interprocedural
+// consumers of the summarized fact, not just the local analyzer.
+func (pr *Program) Waived(pkg *Package, pos token.Pos, analyzer string) bool {
+	var file *ast.File
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	ld := pr.directivesFor(pkg, file)
+	line := pkg.Fset.Position(pos).Line
+	for _, ds := range [][]directive{ld[line], ld[line-1]} {
+		for _, d := range ds {
+			if d.verb == "allow" && d.arg == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncOf returns the FuncInfo for a declaration in pkg, or nil.
+func (pr *Program) FuncOf(pkg *Package, decl *ast.FuncDecl) *FuncInfo {
+	recv := ""
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		recv = baseTypeName(decv(decl))
+	}
+	return pr.funcs[funcKey(pkg.Path, recv, decl.Name.Name)]
+}
+
+func decv(decl *ast.FuncDecl) ast.Expr { return decl.Recv.List[0].Type }
+
+// Lookup finds a function by canonical key parts.
+func (pr *Program) Lookup(pkgPath, recv, name string) *FuncInfo {
+	return pr.funcs[funcKey(pkgPath, recv, name)]
+}
+
+// ConstString resolves pkg.Name or a bare Name to a string constant
+// declared anywhere in the program.
+func (pr *Program) ConstString(f *FuncInfo, e ast.Expr) (string, bool) {
+	return pr.ConstStringIn(f.Pkg.Path, f.File, e)
+}
+
+// ConstStringIn is ConstString for sites outside any indexed function:
+// it resolves a bare Name against pkgPath's constants and pkg.Name
+// through file's imports into the program-wide constant index.
+func (pr *Program) ConstStringIn(pkgPath string, file *ast.File, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := pr.consts[pkgPath][e.Name]
+		return v, ok
+	case *ast.SelectorExpr:
+		id, ok := e.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		path, ok := importPath(file, id.Name)
+		if !ok {
+			return "", false
+		}
+		v, ok := pr.consts[path][e.Sel.Name]
+		return v, ok
+	}
+	return "", false
+}
+
+// BufferedChanName reports whether name was observed being assigned a
+// buffered channel anywhere in the package.
+func (pr *Program) BufferedChanName(pkgPath, name string) bool {
+	return pr.bufferedChans[pkgPath][name]
+}
+
+func isBufferedMake(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.ChanType); !ok {
+		return false
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+		return false
+	}
+	return true // non-literal sizes presumed intentional buffering
+}
+
+func lastName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return lastName(e.X)
+	case *ast.CallExpr: // <-ctx.Done() names the method
+		return lastName(e.Fun)
+	case *ast.ParenExpr:
+		return lastName(e.X)
+	}
+	return ""
+}
+
+// typeEnv builds (and caches) the function's flow-insensitive local
+// type environment: variable name → canonical type.
+func (pr *Program) typeEnv(f *FuncInfo) map[string]string {
+	if f.env != nil {
+		return f.env
+	}
+	env := map[string]string{}
+	d := f.Decl
+	if d.Recv != nil && len(d.Recv.List) == 1 && len(d.Recv.List[0].Names) == 1 {
+		env[d.Recv.List[0].Names[0].Name] = f.Pkg.Path + "." + f.Recv
+	}
+	for _, p := range d.Type.Params.List {
+		ct := pr.canonicalType(f.Pkg, f.File, p.Type)
+		for _, name := range p.Names {
+			env[name.Name] = ct
+		}
+	}
+	if d.Type.Results != nil {
+		for _, r := range d.Type.Results.List {
+			ct := pr.canonicalType(f.Pkg, f.File, r.Type)
+			for _, name := range r.Names {
+				env[name.Name] = ct
+			}
+		}
+	}
+	if d.Body != nil {
+		// Two passes so `x := f(...)` can see types established after it
+		// in source order (rare, but cheap to cover).
+		for i := 0; i < 2; i++ {
+			ast.Inspect(d.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.DeclStmt:
+					gd, ok := n.Decl.(*ast.GenDecl)
+					if !ok {
+						return true
+					}
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || vs.Type == nil {
+							continue
+						}
+						ct := pr.canonicalType(f.Pkg, f.File, vs.Type)
+						for _, name := range vs.Names {
+							env[name.Name] = ct
+						}
+					}
+				case *ast.AssignStmt:
+					pr.inferAssign(f, env, n)
+				case *ast.RangeStmt:
+					// Untyped; skip.
+				case *ast.TypeSwitchStmt:
+					return false // per-arm types are beyond this env
+				}
+				return true
+			})
+		}
+	}
+	f.env = env
+	return env
+}
+
+func (pr *Program) inferAssign(f *FuncInfo, env map[string]string, a *ast.AssignStmt) {
+	// x, err := call() — single multi-result RHS.
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		if results := pr.callResults(f, env, a.Rhs[0]); results != nil {
+			for i, lhs := range a.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if i < len(results) && results[i] != "" {
+					if _, exists := env[id.Name]; !exists {
+						env[id.Name] = results[i]
+					}
+				}
+			}
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if i >= len(a.Rhs) {
+			break
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if _, exists := env[id.Name]; exists {
+			continue
+		}
+		if t := pr.exprType(f, env, a.Rhs[i]); t != "" {
+			env[id.Name] = t
+		}
+	}
+}
+
+// callResults returns the canonical result types of a resolvable call.
+func (pr *Program) callResults(f *FuncInfo, env map[string]string, e ast.Expr) []string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if callee := pr.resolveWithEnv(f, env, call); callee != nil {
+		return callee.Results
+	}
+	return nil
+}
+
+// exprType infers the canonical type of an expression from the local
+// environment ("" when unknown).
+func (pr *Program) exprType(f *FuncInfo, env map[string]string, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return env[e.Name]
+	case *ast.UnaryExpr:
+		return pr.exprType(f, env, e.X) // &T{...}
+	case *ast.StarExpr:
+		return pr.exprType(f, env, e.X)
+	case *ast.ParenExpr:
+		return pr.exprType(f, env, e.X)
+	case *ast.CompositeLit:
+		if e.Type != nil {
+			return pr.canonicalType(f.Pkg, f.File, e.Type)
+		}
+	case *ast.TypeAssertExpr:
+		if e.Type != nil {
+			return pr.canonicalType(f.Pkg, f.File, e.Type)
+		}
+	case *ast.SelectorExpr:
+		// x.field through the struct index; or pkg.Var (untracked).
+		base := pr.exprType(f, env, e.X)
+		if base == "" {
+			return ""
+		}
+		return pr.structs[base][e.Sel.Name]
+	case *ast.CallExpr:
+		if results := pr.callResults(f, env, e); len(results) > 0 {
+			return results[0]
+		}
+	case *ast.IndexExpr:
+		return "" // element types untracked
+	}
+	return ""
+}
+
+// Resolve maps a call expression inside f to its target declaration, or
+// nil when the target cannot be confidently identified.
+func (pr *Program) Resolve(f *FuncInfo, call *ast.CallExpr) *FuncInfo {
+	return pr.resolveWithEnv(f, pr.typeEnv(f), call)
+}
+
+func (pr *Program) resolveWithEnv(f *FuncInfo, env map[string]string, call *ast.CallExpr) *FuncInfo {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// Same-package free function — unless shadowed by a local.
+		if _, shadowed := env[fun.Name]; shadowed {
+			return nil
+		}
+		return pr.funcs[funcKey(f.Pkg.Path, "", fun.Name)]
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, local := env[id.Name]; !local {
+				if path, ok := importPath(f.File, id.Name); ok {
+					return pr.funcs[funcKey(path, "", fun.Sel.Name)]
+				}
+			}
+		}
+		recvType := pr.exprType(f, env, fun.X)
+		if recvType == "" {
+			return nil
+		}
+		dot := strings.LastIndex(recvType, ".")
+		if dot < 0 {
+			return nil
+		}
+		return pr.funcs[funcKey(recvType[:dot], recvType[dot+1:], fun.Sel.Name)]
+	}
+	return nil
+}
+
+// TypeOf exposes expression typing to analyzers.
+func (pr *Program) TypeOf(f *FuncInfo, e ast.Expr) string {
+	return pr.exprType(f, pr.typeEnv(f), e)
+}
+
+// EachFunc invokes fn for every function declaration in the program, in
+// package and then source order.
+func (pr *Program) EachFunc(fn func(*FuncInfo)) {
+	for _, pkg := range pr.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if fi := pr.FuncOf(pkg, fd); fi != nil {
+						fn(fi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TransitiveAcquires returns every canonical lock key f may acquire,
+// directly or through resolvable callees. Memoized and cycle-safe.
+func (pr *Program) TransitiveAcquires(f *FuncInfo) map[string]bool {
+	if got, ok := pr.transAcq[f]; ok {
+		if got == nil {
+			return map[string]bool{} // cycle in progress: fixed point below
+		}
+		return got
+	}
+	pr.transAcq[f] = nil // in-progress marker
+	out := map[string]bool{}
+	sum := pr.Summary(f)
+	for _, a := range sum.Acquires {
+		if a.Key != "" {
+			out[a.Key] = true
+		}
+	}
+	for _, c := range sum.Calls {
+		if c.Callee == nil || c.Callee == f {
+			continue
+		}
+		for k := range pr.TransitiveAcquires(c.Callee) {
+			out[k] = true
+		}
+	}
+	pr.transAcq[f] = out
+	return out
+}

@@ -1,0 +1,11 @@
+// Multi-package fixture, package b: a wrapper whose declared result is
+// llm.Stream — package a's obligations come from this signature.
+package fixture
+
+import (
+	"context"
+
+	llm "repro/internal/llm"
+)
+
+func Open(ctx context.Context) (llm.Stream, error) { return nil, nil }

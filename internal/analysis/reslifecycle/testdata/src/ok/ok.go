@@ -1,0 +1,139 @@
+// Fixture: every way an obligation legitimately dies — defer after the
+// err guard, direct propagation, field stores, channel sends, bound
+// release methods, scratch release, nil self-guards, and arg hand-off.
+package fixture
+
+import (
+	"context"
+	"net/http"
+
+	llm "repro/internal/llm"
+	sched "repro/internal/sched"
+)
+
+type vecPool struct{}
+
+func (vecPool) TextScratch(text string) []float32  { return nil }
+func (vecPool) ReleaseScratch(v []float32)         {}
+func score(v []float32) float32                    { return 0 }
+func open(ctx context.Context) (llm.Stream, error) { return nil, nil }
+func newSched() (*sched.Scheduler, error)          { return nil, nil }
+func register(s llm.Stream)                        {}
+
+type holder struct {
+	s   llm.Stream
+	err error
+}
+
+// Canonical shape: guard the error, then defer the release.
+func deferAfterGuard(ctx context.Context) error {
+	s, err := open(ctx)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return nil
+}
+
+// Creator call returned directly: propagation, the caller owns it now.
+func propagate(ctx context.Context) (llm.Stream, error) {
+	return open(ctx)
+}
+
+// Returning the named value also escapes it.
+func namedReturn(ctx context.Context) (llm.Stream, error) {
+	s, err := open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Creation straight into struct fields: stored, not ours to track.
+func (h *holder) init(ctx context.Context) {
+	h.s, h.err = open(ctx)
+}
+
+// Store after creation transfers ownership to the holder.
+func stash(ctx context.Context, h *holder) error {
+	s, err := open(ctx)
+	if err != nil {
+		return err
+	}
+	h.s = s
+	return nil
+}
+
+// Sending on a channel hands the value to the receiver.
+func publish(ctx context.Context, ch chan llm.Stream) error {
+	s, err := open(ctx)
+	if err != nil {
+		return err
+	}
+	ch <- s
+	return nil
+}
+
+// Bound method value: f := s.Close discharges at the binding.
+func boundRelease(ctx context.Context) error {
+	s, err := open(ctx)
+	if err != nil {
+		return err
+	}
+	f := s.Close
+	defer f()
+	return nil
+}
+
+// Scratch vectors die only through a Release*-named call.
+func scratchReleased(p *vecPool, text string) float32 {
+	v := p.TextScratch(text)
+	defer p.ReleaseScratch(v)
+	return score(v)
+}
+
+// Non-deferred release works too.
+func scratchInline(p *vecPool, text string) float32 {
+	v := p.TextScratch(text)
+	r := score(v)
+	p.ReleaseScratch(v)
+	return r
+}
+
+// Explicit nil self-guard: nothing to release on the nil path.
+func maybeClose(ctx context.Context) {
+	s, _ := open(ctx)
+	if s != nil {
+		s.Close()
+	}
+}
+
+// Passing a stream to a consumer transfers custody (unlike scratch).
+func handOff(ctx context.Context) error {
+	s, err := open(ctx)
+	if err != nil {
+		return err
+	}
+	register(s)
+	return nil
+}
+
+// Closer subsystems follow the same discipline.
+func withScheduler(ctx context.Context) error {
+	sc, err := newSched()
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	return nil
+}
+
+// Response bodies close through resp.Body.Close().
+func fetchOK(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,18 @@
+// Fixture: //llmdm:allow reslifecycle at the creation waives a
+// deliberate process-lifetime obligation. The load-bearing test reruns
+// with IgnoreAnnotations and expects the finding back.
+package fixture
+
+import (
+	"context"
+
+	llm "repro/internal/llm"
+)
+
+func open(ctx context.Context) (llm.Stream, error) { return nil, nil }
+
+func processLifetime(ctx context.Context) {
+	//llmdm:allow reslifecycle fixture: stream lives until process exit
+	s, _ := open(ctx)
+	_ = s
+}

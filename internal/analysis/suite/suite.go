@@ -1,14 +1,19 @@
-// Package suite bundles the project's five analyzers in the order
-// cmd/llmdm-lint and the in-tree enforcement tests run them.
+// Package suite bundles the project's eight analyzers in the order
+// cmd/llmdm-lint and the in-tree enforcement tests run them: the five
+// per-function analyzers from PR 5, then the three interprocedural ones
+// built on the Program/summary layer.
 package suite
 
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/billmeter"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/gospawn"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/lockscope"
 	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/reslifecycle"
 )
 
 // All returns the full analyzer suite.
@@ -19,6 +24,9 @@ func All() []*analysis.Analyzer {
 		billmeter.Analyzer,
 		gospawn.Analyzer,
 		metricname.Analyzer,
+		lockorder.Analyzer,
+		reslifecycle.Analyzer,
+		goleak.Analyzer,
 	}
 }
 

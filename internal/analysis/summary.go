@@ -1,0 +1,703 @@
+// Function summaries: per-function facts computed once per Program and
+// consumed by the interprocedural analyzers (lockorder, reslifecycle,
+// goleak) and by the summary-sharpened per-function ones.
+//
+// A summary records, for one declaration body:
+//
+//   - Acquires: every mutex acquire with the canonical keys already
+//     held at that point (branch-sensitive may-hold, the same model as
+//     lockscope: cloned arm states, diverging arms discard releases,
+//     deferred unlocks hold to function end);
+//   - Calls: every call site with its may-held lock set and, when the
+//     target resolves, the callee's FuncInfo — the call-graph edges;
+//   - Blocking: direct blocking operations in lockscope's vocabulary
+//     (chan ops, Sleep, Wait, model calls, net/http), minus sites
+//     waived with //llmdm:allow lockscope — a waiver's justification
+//     ("takes no locks, joined immediately") covers callers too;
+//   - ChanOps: channel sends/receives that are *not* guarded by a
+//     select with a default or a ctx.Done()/stop-family arm, minus
+//     //llmdm:allow goleak waivers — goroutine-leak raw material;
+//   - context threading (has a ctx parameter / actually uses it),
+//     deferred recover(), stop-signal references (gospawn's facts);
+//   - Selectors / ReturnsIdents: name-level facts cheap enough to keep
+//     for every function (billmeter's spend-flow sharpening).
+//
+// Function literals are separate execution units and are skipped here;
+// goleak walks goroutine literals directly.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AcquireSite is one mutex acquire.
+type AcquireSite struct {
+	// Key is the canonical lock identity ("pkg/path.Type.field" or
+	// "pkg/path.var"); "" for locks on untracked locals.
+	Key string
+	// Expr is the source form ("s.mu") for diagnostics.
+	Expr string
+	Pos  token.Pos
+	// Read marks RLock.
+	Read bool
+	// Held are the canonical keys already held at this acquire.
+	Held []string
+}
+
+// CallSite is one call expression with its lock context.
+type CallSite struct {
+	// Callee is the resolved target, nil when unresolved.
+	Callee *FuncInfo
+	// Expr renders the call target for diagnostics.
+	Expr string
+	Pos  token.Pos
+	// Held are the canonical lock keys that may be held at the call.
+	Held []string
+}
+
+// BlockOp is one direct blocking operation (lockscope vocabulary).
+type BlockOp struct {
+	Pos  token.Pos
+	What string
+	// Waived: the op carries //llmdm:allow lockscope. Consumers honor
+	// the waiver unless running with IgnoreAnnotations — the flag stays
+	// in the summary so load-bearing tests can resurface the site.
+	Waived bool
+}
+
+// ChanOp is one unguarded channel operation (goleak raw material).
+type ChanOp struct {
+	Pos  token.Pos
+	Send bool
+	// Name is the channel's last path element ("out" for it.out).
+	Name string
+	// Waived: the op carries //llmdm:allow goleak (see BlockOp.Waived).
+	Waived bool
+}
+
+// Summary is the per-function fact sheet.
+type Summary struct {
+	Func     *FuncInfo
+	Acquires []AcquireSite
+	Calls    []CallSite
+	Blocking []BlockOp
+	ChanOps  []ChanOp
+
+	// HasCtxParam: declares a context.Context parameter; CtxUsed: that
+	// parameter's name appears in the body.
+	HasCtxParam bool
+	CtxUsed     bool
+	// Recovers: body installs a deferred recover(). RefsStop: body
+	// references a ctx/stop/done-style identifier.
+	Recovers bool
+	RefsStop bool
+
+	// Selectors are all selector names used in the body; ReturnsIdents
+	// the identifiers appearing inside return statements.
+	Selectors     map[string]bool
+	ReturnsIdents map[string]bool
+}
+
+// Summary computes (and caches) f's summary.
+func (pr *Program) Summary(f *FuncInfo) *Summary {
+	if s, ok := pr.summaries[f]; ok {
+		return s
+	}
+	s := &Summary{
+		Func:          f,
+		Selectors:     map[string]bool{},
+		ReturnsIdents: map[string]bool{},
+	}
+	pr.summaries[f] = s
+	d := f.Decl
+	if d.Type.Params != nil {
+		for _, p := range d.Type.Params.List {
+			if pr.canonicalType(f.Pkg, f.File, p.Type) == "context.Context" {
+				s.HasCtxParam = true
+				for _, name := range p.Names {
+					if name.Name != "_" && identUsed(d.Body, name.Name) {
+						s.CtxUsed = true
+					}
+				}
+			}
+		}
+	}
+	if d.Body == nil {
+		return s
+	}
+	s.Recovers = hasDeferredRecoverBody(d.Body)
+	s.RefsStop = refsStopSignal(d.Body)
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			s.Selectors[n.Sel.Name] = true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						s.ReturnsIdents[id.Name] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	w := &sumWalker{pr: pr, f: f, sum: s, held: map[string]token.Pos{}}
+	w.stmts(d.Body.List)
+	return s
+}
+
+// SummarizeBlock runs the summary walker over one statement block (e.g.
+// a goroutine literal's body) in f's resolution scope. The result is
+// not cached: literal bodies are not declarations.
+func (pr *Program) SummarizeBlock(f *FuncInfo, body *ast.BlockStmt) *Summary {
+	s := &Summary{
+		Func:          f,
+		Selectors:     map[string]bool{},
+		ReturnsIdents: map[string]bool{},
+	}
+	w := &sumWalker{pr: pr, f: f, sum: s, held: map[string]token.Pos{}}
+	w.stmts(body.List)
+	return s
+}
+
+// LockKeyOf canonicalizes the receiver expression of a Lock/Unlock
+// call: "s.mu" with s typed → "pkg/path.Type.mu"; a bare package-level
+// "mu" → "pkg/path.mu"; locks on untracked locals → "".
+func (pr *Program) LockKeyOf(f *FuncInfo, e ast.Expr) string {
+	env := pr.typeEnv(f)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if _, local := env[e.Name]; local {
+			return ""
+		}
+		if declaredLocally(f, e.Name) {
+			return ""
+		}
+		return f.Pkg.Path + "." + e.Name
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, local := env[id.Name]; !local {
+				if path, ok := importPath(f.File, id.Name); ok {
+					return path + "." + e.Sel.Name
+				}
+			}
+		}
+		base := pr.exprType(f, env, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return pr.LockKeyOf(f, e.X)
+	case *ast.StarExpr:
+		return pr.LockKeyOf(f, e.X)
+	}
+	return ""
+}
+
+// declaredLocally reports whether name is := or var-declared somewhere
+// in the body (the type env only holds names whose type was inferred).
+func declaredLocally(f *FuncInfo, name string) bool {
+	if f.Decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if id.Name == name {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sumWalker is the branch-sensitive body walk behind Summary. It mirrors
+// lockscope's scanner (same arm-cloning and divergence rules) while
+// recording acquires, call sites, blocking ops and chan ops.
+type sumWalker struct {
+	pr   *Program
+	f    *FuncInfo
+	sum  *Summary
+	held map[string]token.Pos
+}
+
+func (w *sumWalker) heldKeys() []string {
+	if len(w.held) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(w.held))
+	for k := range w.held {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func (w *sumWalker) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		w.stmt(st)
+	}
+}
+
+func (w *sumWalker) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if w.lockStmt(st.X) {
+			return
+		}
+		w.expr(st.X, false)
+	case *ast.DeferStmt:
+		// A deferred Unlock pins the critical section to function end —
+		// leave held untouched. A deferred release/Close is recorded as a
+		// call site (reslifecycle wants it); other deferred work runs
+		// after the body.
+		w.recordCall(st.Call)
+	case *ast.GoStmt:
+		// The spawn doesn't block; the body is a separate unit.
+	case *ast.SendStmt:
+		w.chanOp(st.Arrow, true, st.Chan, false)
+		w.expr(st.Chan, true)
+		w.expr(st.Value, false)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, false)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, true)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, false)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, false)
+		}
+	case *ast.IfStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond, false)
+		arms := [][]ast.Stmt{st.Body.List}
+		if st.Else != nil {
+			arms = append(arms, []ast.Stmt{st.Else})
+		}
+		w.mergeArms(arms, st.Else == nil)
+	case *ast.ForStmt:
+		w.stmt(st.Init)
+		if st.Cond != nil {
+			w.expr(st.Cond, false)
+		}
+		w.stmt(st.Post)
+		w.mergeArms([][]ast.Stmt{st.Body.List}, true)
+	case *ast.RangeStmt:
+		w.expr(st.X, false)
+		w.mergeArms([][]ast.Stmt{st.Body.List}, true)
+	case *ast.BlockStmt:
+		w.stmts(st.List)
+	case *ast.SwitchStmt:
+		w.stmt(st.Init)
+		if st.Tag != nil {
+			w.expr(st.Tag, false)
+		}
+		w.mergeArms(sumCaseArms(st.Body), !sumHasDefault(st.Body))
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init)
+		w.stmt(st.Assign)
+		w.mergeArms(sumCaseArms(st.Body), !sumHasDefault(st.Body))
+	case *ast.SelectStmt:
+		guarded := selectIsGuarded(st)
+		var arms [][]ast.Stmt
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.commOp(cc.Comm, guarded)
+			}
+			arms = append(arms, cc.Body)
+		}
+		w.mergeArms(arms, false)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		w.expr(st.X, false)
+	}
+}
+
+// lockStmt handles recv.Lock/RLock/Unlock/RUnlock expression statements,
+// reporting whether the statement was consumed.
+func (w *sumWalker) lockStmt(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		key := w.pr.LockKeyOf(w.f, sel.X)
+		w.sum.Acquires = append(w.sum.Acquires, AcquireSite{
+			Key:  key,
+			Expr: ExprString(sel.X),
+			Pos:  call.Pos(),
+			Read: sel.Sel.Name == "RLock",
+			Held: w.heldKeys(),
+		})
+		if key != "" {
+			w.held[key] = call.Pos()
+		}
+		return true
+	case "Unlock", "RUnlock":
+		if key := w.pr.LockKeyOf(w.f, sel.X); key != "" {
+			delete(w.held, key)
+		}
+		return true
+	}
+	return false
+}
+
+// commOp records the comm clause of a select: guarded ops never appear
+// in ChanOps, but blocking classification matches lockscope (a select
+// without default still blocks).
+func (w *sumWalker) commOp(st ast.Stmt, guarded bool) {
+	switch st := st.(type) {
+	case *ast.SendStmt:
+		w.chanOp(st.Arrow, true, st.Chan, guarded)
+	case *ast.ExprStmt:
+		if u, ok := st.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			w.chanOp(u.Pos(), false, u.X, guarded)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				w.chanOp(u.Pos(), false, u.X, guarded)
+			}
+		}
+	}
+}
+
+func (w *sumWalker) chanOp(pos token.Pos, send bool, ch ast.Expr, guarded bool) {
+	if guarded {
+		return
+	}
+	w.sum.ChanOps = append(w.sum.ChanOps, ChanOp{
+		Pos: pos, Send: send, Name: lastName(ch), Waived: w.waived(pos, "goleak"),
+	})
+	what := "channel receive"
+	if send {
+		what = "channel send"
+	}
+	w.blocking(pos, what)
+}
+
+// mergeArms mirrors lockscope's may-hold union over branch arms.
+func (w *sumWalker) mergeArms(arms [][]ast.Stmt, includePre bool) {
+	pre := cloneHeld(w.held)
+	var states []map[string]token.Pos
+	if includePre {
+		states = append(states, pre)
+	}
+	for _, arm := range arms {
+		sub := &sumWalker{pr: w.pr, f: w.f, sum: w.sum, held: cloneHeld(pre)}
+		sub.stmts(arm)
+		if !sumTerminates(arm) {
+			states = append(states, sub.held)
+		}
+	}
+	merged := map[string]token.Pos{}
+	for _, st := range states {
+		for k, v := range st {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	w.held = merged
+}
+
+// expr records calls, chan receives and blocking ops in an expression
+// subtree. lhs marks assignment targets (whose index exprs still run).
+func (w *sumWalker) expr(e ast.Expr, lhs bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.chanOp(n.Pos(), false, n.X, false)
+				w.expr(n.X, false)
+				return false
+			}
+		case *ast.CallExpr:
+			w.recordCall(n)
+			if verb := classifyBlocking(n); verb != "" {
+				w.blocking(n.Pos(), verb)
+			}
+		}
+		return true
+	})
+}
+
+func (w *sumWalker) recordCall(call *ast.CallExpr) {
+	// Lock ops and builtins are not call-graph edges.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && len(call.Args) == 0 {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			return
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make", "len", "cap", "append", "new", "panic", "close", "copy", "delete", "recover",
+			"print", "println", "min", "max", "string", "int", "int64", "float64", "byte":
+			return
+		}
+	}
+	w.sum.Calls = append(w.sum.Calls, CallSite{
+		Callee: w.pr.Resolve(w.f, call),
+		Expr:   ExprString(call.Fun),
+		Pos:    call.Pos(),
+		Held:   w.heldKeys(),
+	})
+}
+
+func (w *sumWalker) blocking(pos token.Pos, what string) {
+	w.sum.Blocking = append(w.sum.Blocking, BlockOp{
+		Pos: pos, What: what, Waived: w.waived(pos, "lockscope"),
+	})
+}
+
+// waived reports whether pos carries //llmdm:allow <analyzer> (same
+// line or the line above) — waived sites are dropped from the summary
+// so the waiver's justification covers interprocedural callers too.
+func (w *sumWalker) waived(pos token.Pos, analyzer string) bool {
+	return w.pr.Waived(w.f.Pkg, pos, analyzer)
+}
+
+// classifyBlocking mirrors lockscope's blocking-call vocabulary.
+func classifyBlocking(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Complete", "Generate", "GenerateBatch", "Submit":
+		return "model call ." + sel.Sel.Name
+	case "Sleep":
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+			return "time.Sleep"
+		}
+	case "Wait":
+		return ExprString(sel.X) + ".Wait()"
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "http" {
+		return "net/http call http." + sel.Sel.Name
+	}
+	return ""
+}
+
+// selectIsGuarded reports whether a select statement cannot park
+// forever on its data arms: it has a default clause, or an arm
+// receiving from a context Done()/Err() channel, a stop-family channel,
+// or a timer/ticker .C.
+func selectIsGuarded(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default
+		}
+		if recvIsExitArm(cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsExitArm classifies one comm clause as an exit signal: a receive
+// from ctx.Done(), a stop/done/quit-named channel, or a timer channel.
+func recvIsExitArm(st ast.Stmt) bool {
+	var ch ast.Expr
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if u, ok := st.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			ch = u.X
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				ch = u.X
+			}
+		}
+	}
+	if ch == nil {
+		return false
+	}
+	if call, ok := ch.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Done" || sel.Sel.Name == "Err") {
+			return true
+		}
+		return false
+	}
+	name := lastName(ch)
+	if name == "C" { // time.Timer/Ticker channels fire eventually
+		return true
+	}
+	return IsStopChanName(name)
+}
+
+// IsStopChanName matches the stop/done/quit channel naming family.
+func IsStopChanName(name string) bool {
+	switch name {
+	case "stop", "done", "quit", "closing", "closed", "exit", "cancel":
+		return true
+	}
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"stop", "done", "quit", "close", "exit", "cancel"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneHeld(m map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func sumCaseArms(body *ast.BlockStmt) [][]ast.Stmt {
+	var arms [][]ast.Stmt
+	for _, c := range body.List {
+		arms = append(arms, c.(*ast.CaseClause).Body)
+	}
+	return arms
+}
+
+func sumHasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if c.(*ast.CaseClause).List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func sumTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.LabeledStmt:
+		return sumTerminates([]ast.Stmt{last.Stmt})
+	case *ast.BlockStmt:
+		return sumTerminates(last.List)
+	}
+	return false
+}
+
+// identUsed reports whether name appears as an identifier in body.
+func identUsed(body *ast.BlockStmt, name string) bool {
+	if body == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// hasDeferredRecoverBody reports whether body installs a deferred
+// recover() (directly or via a deferred literal).
+func hasDeferredRecoverBody(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+// refsStopSignal reports whether body references a ctx/stop/done-family
+// identifier (gospawn's cancellability heuristic).
+func refsStopSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isCtxOrStopIdent(n.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isCtxOrStopIdent(n.Sel.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCtxOrStopIdent(name string) bool {
+	switch name {
+	case "ctx", "context", "stop", "done", "quit", "closing", "closed":
+		return true
+	}
+	for _, frag := range []string{"Ctx", "ctx", "Stop", "stop", "Done", "done", "Quit", "quit"} {
+		if len(name) > len(frag) && strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -310,7 +310,12 @@ func (r *RunStream) tierError(err error) error {
 	c.reg().Counter("cascade_escalations_total").Add(int64(r.tr.Escalations()))
 	c.logger().Event(r.ctx, obs.Warn, "cascade_tier_error",
 		"model", r.curModel.Name(), "tier", r.tier, "error", err.Error())
-	r.cur = nil
+	// Close, don't just drop: a mid-stream tier error leaves the
+	// underlying stream open, and its remainder would keep billing.
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
 	r.finish(llm.Response{}, err)
 	return err
 }

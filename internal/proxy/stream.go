@@ -235,6 +235,9 @@ func (p *Proxy) pumpStreamUpstream(ctx context.Context, req llm.Request, key str
 		)
 		rs, err := p.casc.CompleteStream(upCtx, req)
 		if err == nil {
+			// Idempotent; the run normally settles via Result below, but a
+			// panic in the chunk loop must not leave the tier stream open.
+			defer rs.Close()
 			for {
 				sc, rerr := rs.Recv()
 				if rerr != nil {

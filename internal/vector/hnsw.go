@@ -446,7 +446,6 @@ func (h *HNSW) distBatch(p *hnswQuery, nbrs []int, dists []float64, workers int)
 	}
 	// Distance workers are pure reads of immutable node data; they take no
 	// locks, so joining them under the index read lock cannot deadlock.
-	//llmdm:allow lockscope bounded distance workers take no locks and are joined immediately
 	wg.Wait()
 }
 

@@ -265,7 +265,6 @@ func (s *colStore) scan(t *topK, p *preparedQuery, score func(*preparedQuery, in
 	// Shard workers read immutable rows and private heaps only; they can
 	// never take index locks, so joining them while the caller holds the
 	// index read lock cannot deadlock.
-	//llmdm:allow lockscope bounded scan shards take no locks and are joined immediately
 	wg.Wait()
 	for _, part := range parts {
 		for _, r := range part.h {
