@@ -1,0 +1,43 @@
+package reslifecycle_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/reslifecycle"
+)
+
+func TestAliasReleaseRepro(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import "net/http"
+
+func aliasClose() error {
+	resp, err := http.Get("http://x")
+	if err != nil {
+		return err
+	}
+	r2 := resp
+	r2.Body.Close()
+	return nil
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(dir, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysistest.Findings(t, pkg, reslifecycle.Analyzer, false)
+	for _, d := range diags {
+		t.Logf("diag: %s", d)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected clean, got %d diagnostics", len(diags))
+	}
+}
